@@ -1,0 +1,236 @@
+// Package maliva's root benchmark suite regenerates every table and figure
+// of the paper's evaluation (§7) as a testing.B benchmark, plus
+// micro-benchmarks for the hot substrate paths. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benchmarks use the reduced ("small") configuration so the whole
+// suite finishes in minutes; cmd/maliva-bench runs the full scale. Custom
+// metrics (VQP, AQRT) are attached via b.ReportMetric so the shape results
+// appear directly in benchmark output.
+package maliva_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/engine"
+	"github.com/maliva/maliva/internal/harness"
+	"github.com/maliva/maliva/internal/nn"
+	"github.com/maliva/maliva/internal/qte"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// runExperiment executes one harness experiment per benchmark iteration and
+// reports headline metrics from its first comparison section.
+func runExperiment(b *testing.B, id string) {
+	exp, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := exp.Run(harness.RunConfig{Small: true})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Sections) == 0 {
+			b.Fatalf("%s: empty report", id)
+		}
+	}
+}
+
+// BenchmarkTable1Datasets regenerates Table 1 (datasets).
+func BenchmarkTable1Datasets(b *testing.B) { runExperiment(b, "t1") }
+
+// BenchmarkTable2Buckets regenerates Table 2 (evaluation workload sizes by
+// number of viable plans).
+func BenchmarkTable2Buckets(b *testing.B) { runExperiment(b, "t2") }
+
+// BenchmarkTable3Buckets regenerates Table 3 (16/32 rewrite options).
+func BenchmarkTable3Buckets(b *testing.B) { runExperiment(b, "t3") }
+
+// BenchmarkStatOptimizerFailure regenerates the §1 statistic (269/602).
+func BenchmarkStatOptimizerFailure(b *testing.B) { runExperiment(b, "s1") }
+
+// BenchmarkFig12VQP regenerates Figure 12 (VQP on three datasets) and
+// reports the Twitter 1-viable-plan VQP for MDP(Accurate) vs the baseline.
+func BenchmarkFig12VQP(b *testing.B) {
+	exp, _ := harness.ByID("fig12")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := exp.Run(harness.RunConfig{Small: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rep
+	}
+}
+
+// BenchmarkFig13AQRT regenerates Figure 13 (AQRT on three datasets).
+func BenchmarkFig13AQRT(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14RewriteOptions regenerates Figure 14 (16/32 options VQP).
+func BenchmarkFig14RewriteOptions(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15RewriteOptions regenerates Figure 15 (16/32 options AQRT).
+func BenchmarkFig15RewriteOptions(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16TimeBudgets regenerates Figure 16 (VQP across budgets).
+func BenchmarkFig16TimeBudgets(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17TimeBudgets regenerates Figure 17 (AQRT across budgets).
+func BenchmarkFig17TimeBudgets(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkFig18Joins regenerates Figure 18 (join queries, 21 options).
+func BenchmarkFig18Joins(b *testing.B) { runExperiment(b, "fig18") }
+
+// BenchmarkFig19Unseen regenerates Figure 19 (unseen queries + commercial
+// database profile).
+func BenchmarkFig19Unseen(b *testing.B) { runExperiment(b, "fig19") }
+
+// BenchmarkFig20QualityAware regenerates Figure 20 (quality-aware
+// one-stage/two-stage rewriting).
+func BenchmarkFig20QualityAware(b *testing.B) { runExperiment(b, "fig20") }
+
+// BenchmarkFig21Training regenerates Figure 21 (learning and training-time
+// curves).
+func BenchmarkFig21Training(b *testing.B) { runExperiment(b, "fig21") }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: the substrate hot paths behind the experiments.
+
+// benchDB builds the shared micro-benchmark database once.
+func benchDB(b *testing.B) (*workload.Dataset, *engine.Query) {
+	b.Helper()
+	cfg := workload.TwitterConfig()
+	cfg.Rows = 40_000
+	cfg.Scale = 100e6 / float64(cfg.Rows)
+	ds, err := workload.Twitter(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := workload.GenerateQueries(ds, 1, workload.QuerySpec{NumPreds: 3, Seed: 3})
+	return ds, qs[0]
+}
+
+// BenchmarkEngineExecuteIndexPlan measures a hinted multi-index execution.
+func BenchmarkEngineExecuteIndexPlan(b *testing.B) {
+	ds, q := benchDB(b)
+	h := engine.ForcedHint([]int{0, 1}, engine.JoinAuto)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ds.DB.Run(q, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineExecuteSeqScan measures a forced sequential scan.
+func BenchmarkEngineExecuteSeqScan(b *testing.B) {
+	ds, q := benchDB(b)
+	h := engine.ForcedHint(nil, engine.JoinAuto)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ds.DB.Run(q, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizerChoosePlan measures plan enumeration + costing.
+func BenchmarkOptimizerChoosePlan(b *testing.B) {
+	ds, q := benchDB(b)
+	ds.DB.ChoosePlan(q) // warm the statistics cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds.DB.ChoosePlan(q)
+	}
+}
+
+// BenchmarkBuildContext measures ground-truth construction per query.
+func BenchmarkBuildContext(b *testing.B) {
+	ds, q := benchDB(b)
+	cfg := core.DefaultContextConfig(core.HintOnlySpec())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildContext(ds.DB, q, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAgentRewrite measures one online Algorithm-2 pass.
+func BenchmarkAgentRewrite(b *testing.B) {
+	ds, q := benchDB(b)
+	ctx, err := core.BuildContext(ds.DB, q, core.DefaultContextConfig(core.HintOnlySpec()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := qte.NewAccurateQTE()
+	agent := core.NewAgent(core.DefaultAgentConfig(), ctx.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := core.NewEnv(core.EnvConfig{Budget: 500, QTE: est, Beta: 1}, ctx)
+		agent.Rewrite(env)
+	}
+}
+
+// BenchmarkQNetForward measures a single Q-network inference.
+func BenchmarkQNetForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewMLP([]int{17, 17, 17, 8}, rng)
+	x := make([]float64, 17)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}
+
+// BenchmarkBTreeRange measures index range scans.
+func BenchmarkBTreeRange(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 200_000
+	keys := make([]float64, n)
+	rows := make([]uint32, n)
+	for i := range keys {
+		keys[i] = rng.Float64() * 1e6
+		rows[i] = uint32(i)
+	}
+	tree := engine.NewBTree(keys, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Float64() * 9e5
+		tree.Range(lo, lo+1e4)
+	}
+}
+
+// BenchmarkRTreeSearch measures spatial box queries.
+func BenchmarkRTreeSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 200_000
+	pts := make([]engine.Point, n)
+	rows := make([]uint32, n)
+	for i := range pts {
+		pts[i] = engine.Point{Lon: rng.Float64() * 100, Lat: rng.Float64() * 50}
+		rows[i] = uint32(i)
+	}
+	tree := engine.NewRTree(pts, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cx, cy := rng.Float64()*100, rng.Float64()*50
+		tree.Search(engine.Rect{MinLon: cx, MinLat: cy, MaxLon: cx + 5, MaxLat: cy + 3})
+	}
+}

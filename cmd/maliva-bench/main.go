@@ -1,0 +1,67 @@
+// Command maliva-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	maliva-bench                 # run every experiment at full scale
+//	maliva-bench -exp fig12      # run one experiment
+//	maliva-bench -small          # reduced sizes (minutes instead of tens)
+//	maliva-bench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/maliva/maliva/internal/harness"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "experiment id to run (default: all)")
+		small = flag.Bool("small", false, "use reduced workload sizes")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quiet = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := harness.RunConfig{Small: *small}
+	if !*quiet {
+		cfg.Out = os.Stderr
+	}
+
+	var exps []harness.Experiment
+	if *expID == "" {
+		exps = harness.All()
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			e, ok := harness.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Title)
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		rep.Write(os.Stdout)
+		fmt.Fprintf(os.Stderr, "done %s in %s\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,73 @@
+// Command maliva-server runs the Maliva middleware as an HTTP service over
+// the synthetic Twitter dataset: it trains an MDP agent at startup, then
+// serves visualization requests at POST /viz.
+//
+//	curl -s localhost:8080/viz -d '{
+//	  "keyword": "word0007",
+//	  "from": "2016-11-20T00:00:00Z", "to": "2016-11-27T00:00:00Z",
+//	  "min_lon": -124.4, "min_lat": 32.5, "max_lon": -114.1, "max_lat": 42.0,
+//	  "kind": "heatmap", "budget_ms": 500
+//	}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/harness"
+	"github.com/maliva/maliva/internal/middleware"
+	"github.com/maliva/maliva/internal/qte"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		budget  = flag.Float64("budget", 500, "default time budget in virtual ms")
+		queries = flag.Int("queries", 400, "training workload size")
+	)
+	flag.Parse()
+
+	cfg := workload.TwitterConfig()
+	cfg.Rows = 60_000
+	cfg.Scale = 100e6 / float64(cfg.Rows)
+	ds, err := workload.Twitter(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "training MDP agent on startup...")
+	lab, err := harness.BuildLab(ds, harness.LabConfig{
+		NumQueries: *queries,
+		QuerySpec:  workload.QuerySpec{NumPreds: 3, Seed: 5},
+		Space:      core.HintOnlySpec(),
+		Budget:     *budget,
+		Seed:       9,
+		Progress:   os.Stderr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	est := qte.NewAccurateQTE()
+	agent, score := lab.TrainAgent(harness.TrainAgentConfig{
+		Agent: core.DefaultAgentConfig(),
+		QTE:   est,
+		Seeds: []int64{7},
+	})
+	fmt.Fprintf(os.Stderr, "agent ready (validation score %.3f)\n", score)
+
+	srv := middleware.NewServer(ds,
+		&core.MDPRewriter{Agent: agent, QTE: est, Tag: "Accurate-QTE"},
+		core.HintOnlySpec(), *budget)
+	fmt.Fprintf(os.Stderr, "maliva middleware listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "maliva-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Quality-aware rewriting: for an expensive query with no viable exact plan,
+// Maliva trades result quality for responsiveness using approximation rules
+// (§6). The example trains the one-stage and two-stage quality-aware agents
+// and shows their different decisions on easy and impossible queries.
+//
+//	go run ./examples/quality_aware
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/harness"
+	"github.com/maliva/maliva/internal/qte"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := workload.TwitterConfig()
+	cfg.Rows = 40_000
+	cfg.Scale = 100e6 / float64(cfg.Rows)
+	ds, err := workload.Twitter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const budget = 500.0
+	const beta = 0.7
+	space := core.QualityAwareSpec() // 8 hint sets + 5 LIMIT rules
+
+	fmt.Println("training quality-aware agents (one-stage, two-stage)...")
+	lab, err := harness.BuildLab(ds, harness.LabConfig{
+		NumQueries: 240,
+		QuerySpec:  workload.QuerySpec{NumPreds: 3, Seed: 5},
+		Space:      space,
+		Budget:     budget,
+		Seed:       9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := qte.NewAccurateQTE()
+	agentCfg := core.DefaultAgentConfig()
+	agentCfg.MaxEpochs = 10
+
+	oneStage, _ := lab.TrainAgent(harness.TrainAgentConfig{
+		Agent: agentCfg, QTE: est, Beta: beta, Seeds: []int64{7},
+	})
+	exact := func(c *core.QueryContext) []int { return core.ExactOptionIndexes(c) }
+	approx := func(c *core.QueryContext) []int { return core.ApproxOptionIndexes(c) }
+	hintAgent, _ := lab.TrainAgent(harness.TrainAgentConfig{
+		Agent: agentCfg, QTE: est, Seeds: []int64{7},
+		Contexts:    subContexts(lab.Train, exact),
+		ValContexts: subContexts(lab.Val, exact),
+	})
+	stage2, _ := lab.TrainAgent(harness.TrainAgentConfig{
+		Agent: agentCfg, QTE: est, Beta: beta, Seeds: []int64{7},
+		Contexts:    subContexts(lab.Train, approx),
+		ValContexts: subContexts(lab.Val, approx),
+	})
+
+	one := &core.OneStageRewriter{Agent: oneStage, QTE: est, Beta: beta}
+	two := &core.TwoStageRewriter{StageOne: hintAgent, StageTwo: stage2, QTE: est, Beta: beta}
+
+	// Pick one impossible query (0 viable exact plans) and one easy query
+	// from the evaluation set, then compare the rewriters on both.
+	var impossible, easy *core.QueryContext
+	for _, ctx := range lab.Eval {
+		nv := ctx.NumViable(budget)
+		if nv == 0 && impossible == nil {
+			impossible = ctx
+		}
+		if nv >= 3 && easy == nil {
+			easy = ctx
+		}
+		if impossible != nil && easy != nil {
+			break
+		}
+	}
+	if impossible == nil || easy == nil {
+		log.Fatal("workload did not contain both query kinds; increase NumQueries")
+	}
+
+	show := func(name string, ctx *core.QueryContext) {
+		fmt.Printf("\n%s (viable exact plans: %d, baseline %.0f ms)\n",
+			name, ctx.NumViable(budget), ctx.BaselineMs)
+		for _, rw := range []core.Rewriter{one, two} {
+			out := rw.Rewrite(ctx, budget)
+			opt := ctx.Options[out.Option]
+			fmt.Printf("  %-28s → %-16s total %6.0f ms, viable=%-5v quality=%.2f\n",
+				rw.Name(), opt.Label(len(ctx.Query.Preds)), out.TotalMs, out.Viable, out.Quality)
+		}
+	}
+	show("impossible query", impossible)
+	show("easy query", easy)
+
+	fmt.Println("\ntwo-stage never gives up result quality when an exact viable plan exists;")
+	fmt.Println("one-stage finds more viable rewrites on impossible queries (paper Fig. 20).")
+}
+
+// subContexts restricts contexts to a subset of options.
+func subContexts(ctxs []*core.QueryContext, sel func(*core.QueryContext) []int) []*core.QueryContext {
+	var out []*core.QueryContext
+	for _, ctx := range ctxs {
+		if idx := sel(ctx); len(idx) > 0 {
+			out = append(out, core.SubContext(ctx, idx))
+		}
+	}
+	return out
+}

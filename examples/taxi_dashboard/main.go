@@ -1,0 +1,117 @@
+// Taxi dashboard: three typical dashboard panels over the NYC Taxi dataset,
+// each a visualization query with a 1-second budget. For every panel the
+// example compares what the backend optimizer would do on its own (the
+// baseline) against Maliva's rewriting.
+//
+//	go run ./examples/taxi_dashboard
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/engine"
+	"github.com/maliva/maliva/internal/harness"
+	"github.com/maliva/maliva/internal/qte"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := workload.TaxiConfig()
+	cfg.Rows = 40_000
+	cfg.Scale = 500e6 / float64(cfg.Rows)
+	ds, err := workload.Taxi(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("training the MDP agent on the taxi workload...")
+	lab, err := harness.BuildLab(ds, harness.LabConfig{
+		NumQueries: 240,
+		QuerySpec:  workload.QuerySpec{NumPreds: 3, Seed: 5},
+		Space:      core.HintOnlySpec(),
+		Budget:     1000,
+		Seed:       9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := qte.NewAccurateQTE()
+	agentCfg := core.DefaultAgentConfig()
+	agentCfg.MaxEpochs = 10
+	agent, _ := lab.TrainAgent(harness.TrainAgentConfig{Agent: agentCfg, QTE: est, Seeds: []int64{7}})
+	maliva := &core.MDPRewriter{Agent: agent, QTE: est, Tag: "Accurate-QTE"}
+	baseline := core.BaselineRewriter{}
+
+	day := func(y, m, d int) float64 {
+		return float64(time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC).UnixMilli())
+	}
+	midtown := engine.Rect{MinLon: -74.01, MinLat: 40.74, MaxLon: -73.96, MaxLat: 40.77}
+	jfk := engine.Rect{MinLon: -73.82, MinLat: 40.62, MaxLon: -73.76, MaxLat: 40.67}
+
+	panels := []struct {
+		name  string
+		query *engine.Query
+	}{
+		// An easy panel: a half-day window is selective enough that even the
+		// backend optimizer's single-index plan meets the budget.
+		{"Midtown pickups, New Year's Eve", &engine.Query{
+			Table: "trips", OutputCols: []string{"id", "pickup_coordinates"},
+			Preds: []engine.Predicate{
+				{Col: "pickup_datetime", Kind: engine.PredRange, Lo: day(2010, 12, 31), Hi: day(2010, 12, 31) + 12*3600*1000},
+				{Col: "trip_distance", Kind: engine.PredRange, Lo: 0, Hi: 5},
+				{Col: "pickup_coordinates", Kind: engine.PredGeo, Box: midtown},
+			},
+		}},
+		// The contrast panel: a month of long-haul JFK trips. The optimizer
+		// misjudges the spatial and distance conditions and picks a slow
+		// plan; only the distance ∩ geo intersection (forced by hints) is
+		// viable.
+		{"JFK long-haul trips, July 2012", &engine.Query{
+			Table: "trips", OutputCols: []string{"id", "pickup_coordinates"},
+			Preds: []engine.Predicate{
+				{Col: "pickup_datetime", Kind: engine.PredRange, Lo: day(2012, 7, 1), Hi: day(2012, 8, 1)},
+				{Col: "trip_distance", Kind: engine.PredRange, Lo: 10, Hi: 300},
+				{Col: "pickup_coordinates", Kind: engine.PredGeo, Box: jfk},
+			},
+		}},
+		// An impossible panel: a month of city-wide short hops has no viable
+		// exact plan at all (this is where §6's approximation rules would
+		// take over; see examples/quality_aware).
+		{"City-wide short hops, June 2011", &engine.Query{
+			Table: "trips", OutputCols: []string{"id", "pickup_coordinates"},
+			Preds: []engine.Predicate{
+				{Col: "pickup_datetime", Kind: engine.PredRange, Lo: day(2011, 6, 1), Hi: day(2011, 7, 1)},
+				{Col: "trip_distance", Kind: engine.PredRange, Lo: 0, Hi: 1.5},
+				{Col: "pickup_coordinates", Kind: engine.PredGeo, Box: workload.NYCExtent},
+			},
+		}},
+	}
+
+	const budget = 1000.0
+	fmt.Printf("\n%-38s %14s %18s %8s\n", "panel", "baseline", "maliva", "explored")
+	for _, p := range panels {
+		ctx, err := core.BuildContext(ds.DB, p.query, core.DefaultContextConfig(core.HintOnlySpec()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := baseline.Rewrite(ctx, budget)
+		m := maliva.Rewrite(ctx, budget)
+		fmt.Printf("%-38s %9.0f ms %s %10.0f ms %s %6d\n",
+			p.name,
+			b.TotalMs, mark(b.Viable),
+			m.TotalMs, mark(m.Viable),
+			m.Explored)
+	}
+	fmt.Printf("\n(budget %.0f ms; ✓ = served within budget)\n", budget)
+}
+
+func mark(viable bool) string {
+	if viable {
+		return "✓"
+	}
+	return "✗"
+}

@@ -1,0 +1,124 @@
+// Twitter heatmap: run the full Fig. 5 middleware pipeline — a frontend
+// request becomes SQL, the MDP rewriter picks a rewritten query under the
+// budget, and the binned result is rendered as an ASCII heatmap of the US.
+//
+// The request deliberately reproduces the paper's Fig. 2 situation: a
+// country-wide heatmap over a month that no exact plan can serve in time,
+// so the quality-aware agent substitutes a random sample table.
+//
+//	go run ./examples/twitter_heatmap
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/harness"
+	"github.com/maliva/maliva/internal/middleware"
+	"github.com/maliva/maliva/internal/qte"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := workload.TwitterConfig()
+	cfg.Rows = 80_000
+	cfg.Scale = 100e6 / float64(cfg.Rows)
+	ds, err := workload.Twitter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Pre-build the sample tables the approximation rules substitute.
+	tweets := ds.DB.Table("tweets")
+	for _, pct := range []int{20, 40, 80} {
+		if _, err := tweets.BuildSample(pct, 99); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Fig. 11's option space: 8 hint sets, plus 3 sample rules crossed with
+	// the hint sets (so a sample table can be paired with the right indexes).
+	space := core.SpaceSpec{
+		IncludeEmptyHint: true,
+		ApproxRules: []core.ApproxRule{
+			{Kind: core.ApproxSample, Percent: 20},
+			{Kind: core.ApproxSample, Percent: 40},
+			{Kind: core.ApproxSample, Percent: 80},
+		},
+		CrossApprox: true,
+	}
+
+	fmt.Println("training the quality-aware MDP agent...")
+	lab, err := harness.BuildLab(ds, harness.LabConfig{
+		NumQueries: 200,
+		QuerySpec:  workload.QuerySpec{NumPreds: 3, Seed: 5},
+		Space:      space,
+		Budget:     1000,
+		Seed:       9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := qte.NewAccurateQTE()
+	agentCfg := core.DefaultAgentConfig()
+	agentCfg.MaxEpochs = 10
+	agent, _ := lab.TrainAgent(harness.TrainAgentConfig{
+		Agent: agentCfg, QTE: est, Beta: 0.7, Seeds: []int64{7},
+	})
+
+	srv := middleware.NewServer(ds,
+		&core.MDPRewriter{Agent: agent, QTE: est, Beta: 0.7, Tag: "quality-aware"},
+		space, 1000)
+
+	// A Thanksgiving-month heatmap over the continental US with a frequent
+	// keyword — far too heavy for any exact plan.
+	req := middleware.Request{
+		Keyword: "word0001",
+		From:    time.Date(2016, 11, 1, 0, 0, 0, 0, time.UTC),
+		To:      time.Date(2016, 12, 1, 0, 0, 0, 0, time.UTC),
+		Region:  workload.USExtent,
+		Kind:    middleware.VizHeatmap,
+		GridW:   56, GridH: 18,
+	}
+	resp, err := srv.Handle(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nrequest SQL:")
+	fmt.Println("  " + resp.Trace.SQL)
+	fmt.Println("rewritten SQL:")
+	fmt.Println("  " + resp.Trace.RewrittenSQL)
+	fmt.Printf("decision: %s after exploring %d rewritten queries\n",
+		resp.Trace.Option, resp.Trace.NumExplored)
+	fmt.Printf("virtual total time: %.0f ms (plan %.0f + exec %.0f), viable=%v, quality=%.2f\n\n",
+		resp.Trace.TotalMs, resp.Trace.PlanMs, resp.Trace.ExecMs, resp.Trace.Viable, resp.Trace.Quality)
+
+	renderHeatmap(resp.Bins, resp.GridW, resp.GridH)
+}
+
+// renderHeatmap prints the count grid with density glyphs (north on top).
+func renderHeatmap(bins map[int]float64, w, h int) {
+	var maxV float64
+	for _, v := range bins {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		fmt.Println("(empty result)")
+		return
+	}
+	glyphs := []rune(" .:-=+*#%@")
+	for y := h - 1; y >= 0; y-- {
+		row := make([]rune, w)
+		for x := 0; x < w; x++ {
+			v := bins[y*w+x]
+			idx := int(float64(len(glyphs)-1) * v / maxV)
+			row[x] = glyphs[idx]
+		}
+		fmt.Println(string(row))
+	}
+	fmt.Printf("\nmax cell ≈ %.0f matching tweets (sample-weighted)\n", maxV)
+}

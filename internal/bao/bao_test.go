@@ -1,0 +1,120 @@
+package bao
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/engine"
+)
+
+// makeContexts fabricates contexts where the optimizer's estimates are
+// informative up to a fixed distortion, so Bao's QTE has signal to learn.
+func makeContexts(n int, seed int64, distort float64) []*core.QueryContext {
+	rng := rand.New(rand.NewSource(seed))
+	var out []*core.QueryContext
+	for qi := 0; qi < n; qi++ {
+		q := &engine.Query{Table: "t", Preds: make([]engine.Predicate, 3)}
+		ctx := &core.QueryContext{
+			Query:       q,
+			NReal:       1e8,
+			Fingerprint: uint64(rng.Int63()),
+		}
+		for mask := uint32(0); mask < 8; mask++ {
+			trueMs := math.Exp(rng.Float64()*5 + 2) // 7ms .. 1100ms
+			estMs := trueMs * math.Exp(distort*rng.NormFloat64())
+			pos := engine.PositionsFromMask(mask, 3)
+			ctx.Options = append(ctx.Options, core.Option{Mask: mask, HasHint: true})
+			ctx.TrueMs = append(ctx.TrueMs, trueMs)
+			ctx.Quality = append(ctx.Quality, 1)
+			ctx.NeedSels = append(ctx.NeedSels, pos)
+			ctx.PlanEst = append(ctx.PlanEst, engine.PlanEstimate{
+				Positions: pos,
+				EstMs:     estMs,
+				EstRows:   trueMs * 100,
+				EstSels:   []float64{0.01, 0.02, 0.03},
+			})
+		}
+		out = append(out, ctx)
+	}
+	return out
+}
+
+func TestBaoTrainingImprovesOverRawOptimizer(t *testing.T) {
+	train := makeContexts(80, 1, 0.8)
+	test := makeContexts(30, 2, 0.8)
+	b := New(DefaultConfig())
+
+	// Untrained: falls back to the optimizer's (distorted) estimate.
+	rawErr := b.MeanRelError(test)
+	b.Train(train)
+	learnedErr := b.MeanRelError(test)
+	t.Logf("raw optimizer error %.2f → learned QTE error %.2f", rawErr, learnedErr)
+	if learnedErr >= rawErr {
+		t.Errorf("training should reduce estimation error: %.2f → %.2f", rawErr, learnedErr)
+	}
+}
+
+func TestBaoRewriteEnumeratesAllArms(t *testing.T) {
+	ctxs := makeContexts(10, 3, 0.3)
+	b := New(DefaultConfig())
+	b.Train(ctxs)
+	out := b.Rewrite(ctxs[0], 500)
+	if out.Explored != 8 {
+		t.Errorf("Bao must enumerate all 8 options, explored %d", out.Explored)
+	}
+	wantPlan := 8 * b.Cfg.PerPlanMs
+	if out.PlanMs != wantPlan {
+		t.Errorf("PlanMs = %v, want %v", out.PlanMs, wantPlan)
+	}
+	if out.Option < 0 || out.Option >= 8 {
+		t.Errorf("Option = %d", out.Option)
+	}
+	if out.TotalMs != out.PlanMs+out.ExecMs {
+		t.Error("TotalMs inconsistent")
+	}
+}
+
+func TestBaoSkipsApproxOptions(t *testing.T) {
+	ctxs := makeContexts(5, 4, 0.3)
+	ctx := ctxs[0]
+	ctx.Options = append(ctx.Options, core.Option{Approx: core.ApproxRule{Kind: core.ApproxLimit, Percent: 1}})
+	ctx.TrueMs = append(ctx.TrueMs, 1)
+	ctx.Quality = append(ctx.Quality, 0.1)
+	ctx.NeedSels = append(ctx.NeedSels, []int{0})
+	ctx.PlanEst = append(ctx.PlanEst, ctx.PlanEst[0])
+	b := New(DefaultConfig())
+	b.Train(ctxs)
+	out := b.Rewrite(ctx, 500)
+	if out.Option == 8 {
+		t.Error("Bao must not pick approximation options")
+	}
+	if out.Explored != 8 {
+		t.Errorf("Explored = %d", out.Explored)
+	}
+}
+
+func TestBaoDeterministicGivenSeed(t *testing.T) {
+	train := makeContexts(30, 5, 0.5)
+	b1 := New(DefaultConfig())
+	b1.Train(train)
+	b2 := New(DefaultConfig())
+	b2.Train(train)
+	for _, ctx := range train[:5] {
+		if b1.Rewrite(ctx, 500).Option != b2.Rewrite(ctx, 500).Option {
+			t.Fatal("Bao decisions differ across identical training runs")
+		}
+	}
+}
+
+func TestBaoPredictMsPositive(t *testing.T) {
+	ctxs := makeContexts(10, 6, 0.3)
+	b := New(DefaultConfig())
+	b.Train(ctxs)
+	for i := 0; i < 8; i++ {
+		if p := b.PredictMs(ctxs[0], i); p < 0 || math.IsNaN(p) {
+			t.Errorf("PredictMs(%d) = %v", i, p)
+		}
+	}
+}

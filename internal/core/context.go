@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/maliva/maliva/internal/engine"
+	"github.com/maliva/maliva/internal/viz"
+)
+
+// QueryContext captures everything Maliva (and its baselines) can observe
+// about one query: the option set Ω, the true execution time and result
+// quality of every rewritten query, the true and sample-estimated predicate
+// selectivities, and the optimizer's plan estimates. Contexts are built once
+// per query (the paper's offline experience collection) and then replayed by
+// MDP training, online rewriting, and every comparator — which keeps all
+// approaches measured against identical ground truth.
+type QueryContext struct {
+	Query   *engine.Query
+	Options []Option
+
+	// TrueMs[i] is the actual (virtual) execution time of RQ_i.
+	TrueMs []float64
+	// Quality[i] is F(r(Q), r(RQ_i)) ∈ [0,1]; 1 for exact options.
+	Quality []float64
+	// NeedSels[i] lists predicate positions whose selectivity a QTE must
+	// collect before estimating RQ_i.
+	NeedSels [][]int
+
+	// SelTrue[p] is the exact selectivity of predicate p; SelSampled[p] is a
+	// deterministic sampling-based estimate of it (with binomial noise).
+	SelTrue    []float64
+	SelSampled []float64
+
+	// PlanEst[i] is the optimizer's estimate for RQ_i (Bao's features).
+	PlanEst []engine.PlanEstimate
+
+	// BaselineMs is the execution time of the original query when the
+	// backend optimizer picks the plan (the no-rewriting baseline), and
+	// BaselineOption is the Ω index matching that choice, or -1.
+	BaselineMs     float64
+	BaselineOption int
+
+	// Fingerprint is a stable hash of the query, seeding deterministic
+	// per-query randomness (sampling noise, cost jitter).
+	Fingerprint uint64
+
+	// Scale is the main table's ScaleFactor (for LIMIT sizing).
+	Scale float64
+	// EstRows is the optimizer's cardinality estimate for the original query.
+	EstRows float64
+	// NReal and InnerNReal are the real-scale row counts of the main and
+	// joined tables (features for learned QTEs).
+	NReal      float64
+	InnerNReal float64
+}
+
+// N returns the number of rewriting options.
+func (c *QueryContext) N() int { return len(c.Options) }
+
+// NumViable returns the number of options whose true execution time alone is
+// within the budget — the paper's per-query difficulty metric ("number of
+// viable plans"). Approximation options are excluded, matching the paper's
+// definition over physical plans of the original query.
+func (c *QueryContext) NumViable(budget float64) int {
+	n := 0
+	for i, o := range c.Options {
+		if o.IsApprox() {
+			continue
+		}
+		if c.TrueMs[i] <= budget {
+			n++
+		}
+	}
+	return n
+}
+
+// BestExactMs returns the minimum true time over exact options.
+func (c *QueryContext) BestExactMs() float64 {
+	best := -1.0
+	for i, o := range c.Options {
+		if o.IsApprox() {
+			continue
+		}
+		if best < 0 || c.TrueMs[i] < best {
+			best = c.TrueMs[i]
+		}
+	}
+	return best
+}
+
+// ContextConfig controls context construction.
+type ContextConfig struct {
+	Space SpaceSpec
+	// SampleRows is the virtual count(*) sample size behind SelSampled
+	// (binomial noise scale). Default 1000.
+	SampleRows int
+	// QualityGrid is the raster used for Jaccard quality. Default 128×128
+	// over the query's spatial extent (or the table's).
+	QualityGridW, QualityGridH int
+	// Seed decorrelates sampling noise across experiments.
+	Seed int64
+}
+
+// DefaultContextConfig returns the standard configuration for a space.
+func DefaultContextConfig(space SpaceSpec) ContextConfig {
+	return ContextConfig{Space: space, SampleRows: 1000, QualityGridW: 128, QualityGridH: 128, Seed: 1}
+}
+
+// BuildContext executes every rewritten query for q once and assembles the
+// ground-truth context. This is the expensive offline step (the paper pays
+// it during training-data collection); everything downstream replays it.
+func BuildContext(db *engine.DB, q *engine.Query, cfg ContextConfig) (*QueryContext, error) {
+	t := db.Table(q.Table)
+	if t == nil {
+		return nil, fmt.Errorf("core: unknown table %q", q.Table)
+	}
+	opts := EnumerateOptions(db, q, cfg.Space)
+	if len(opts) == 0 {
+		return nil, fmt.Errorf("core: no rewriting options for query on %q", q.Table)
+	}
+	ctx := &QueryContext{
+		Query:       q,
+		Options:     opts,
+		TrueMs:      make([]float64, len(opts)),
+		Quality:     make([]float64, len(opts)),
+		NeedSels:    make([][]int, len(opts)),
+		PlanEst:     make([]engine.PlanEstimate, len(opts)),
+		Fingerprint: queryFingerprint(q, cfg.Seed),
+		Scale:       t.ScaleFactor,
+		NReal:       t.RealRows(),
+	}
+	if q.Join != nil {
+		if inner := db.Table(q.Join.Table); inner != nil {
+			ctx.InnerNReal = inner.RealRows()
+		}
+	}
+
+	// Optimizer view of the original query (baseline + LIMIT sizing).
+	chosen := db.ChoosePlan(q)
+	ctx.EstRows = chosen.EstRows
+	baseRes, baseStats, err := db.Run(q, engine.Hint{})
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline run: %w", err)
+	}
+	ctx.BaselineMs = baseStats.SimMs
+	ctx.BaselineOption = -1
+
+	// Quality grid over the query's spatial extent when present.
+	grid := qualityGrid(t, q, cfg)
+	origPixels := grid.Rasterize(baseRes.Points)
+
+	// True selectivities and deterministic sampled estimates.
+	ctx.SelTrue = db.TrueSelectivities(q)
+	ctx.SelSampled = make([]float64, len(ctx.SelTrue))
+	sampleRows := cfg.SampleRows
+	if sampleRows <= 0 {
+		sampleRows = 1000
+	}
+	rng := rand.New(rand.NewSource(int64(ctx.Fingerprint)))
+	for i, s := range ctx.SelTrue {
+		ctx.SelSampled[i] = binomialEstimate(rng, s, sampleRows)
+	}
+
+	for i, o := range opts {
+		rq, h := BuildRQ(q, o, ctx.EstRows, ctx.Scale)
+		res, stats, err := db.Run(rq, h)
+		if err != nil {
+			return nil, fmt.Errorf("core: option %s: %w", o.Label(len(q.Preds)), err)
+		}
+		ctx.TrueMs[i] = stats.SimMs
+		ctx.NeedSels[i] = NeededSels(q, o)
+		ctx.PlanEst[i] = db.EstimatePlan(rq, h)
+		if o.IsApprox() {
+			ctx.Quality[i] = viz.JaccardPixels(origPixels, grid.Rasterize(res.Points))
+		} else {
+			ctx.Quality[i] = 1
+		}
+		// Identify the baseline's plan among exact options.
+		if !o.IsApprox() && o.HasHint &&
+			o.Mask == engine.MaskFromPositions(chosen.Positions) &&
+			(q.Join == nil || o.Join == chosen.Join) {
+			ctx.BaselineOption = i
+		}
+	}
+	return ctx, nil
+}
+
+// qualityGrid picks the raster extent: the query's geo predicate box when
+// present, otherwise the whole table grid statistic extent.
+func qualityGrid(t *engine.Table, q *engine.Query, cfg ContextConfig) viz.Grid {
+	w, h := cfg.QualityGridW, cfg.QualityGridH
+	if w <= 0 {
+		w = 128
+	}
+	if h <= 0 {
+		h = 128
+	}
+	for _, p := range q.Preds {
+		if p.Kind == engine.PredGeo {
+			return viz.NewGrid(p.Box, w, h)
+		}
+	}
+	// Fall back to the extent of the first point column.
+	for _, c := range t.Cols {
+		if c.Type == engine.ColPoint && len(c.Points) > 0 {
+			ext := engine.PointRect(c.Points[0])
+			for _, pt := range c.Points[1:] {
+				ext = ext.Extend(engine.PointRect(pt))
+			}
+			return viz.NewGrid(ext, w, h)
+		}
+	}
+	return viz.NewGrid(engine.Rect{MaxLon: 1, MaxLat: 1}, w, h)
+}
+
+// binomialEstimate simulates a count(*) over n sample rows: the estimated
+// selectivity is Binomial(n, sel)/n, drawn deterministically from rng.
+func binomialEstimate(rng *rand.Rand, sel float64, n int) float64 {
+	if sel <= 0 {
+		return 0
+	}
+	if sel >= 1 {
+		return 1
+	}
+	// Normal approximation for large n·sel, exact draw otherwise.
+	mean := float64(n) * sel
+	if mean > 30 && float64(n)*(1-sel) > 30 {
+		sd := math.Sqrt(mean * (1 - sel))
+		k := mean + rng.NormFloat64()*sd
+		if k < 0 {
+			k = 0
+		}
+		if k > float64(n) {
+			k = float64(n)
+		}
+		return k / float64(n)
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < sel {
+			k++
+		}
+	}
+	return float64(k) / float64(n)
+}
+
+// queryFingerprint hashes query structure for deterministic per-query noise.
+func queryFingerprint(q *engine.Query, seed int64) uint64 {
+	var h uint64 = 14695981039346656037
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(seed))
+	for _, c := range q.Table {
+		mix(uint64(c))
+	}
+	for _, p := range q.Preds {
+		mix(uint64(p.Kind) + 3)
+		mix(uint64(p.Word) + 5)
+		mix(uint64(int64(p.Lo*100)) + 7)
+		mix(uint64(int64(p.Hi*100)) + 11)
+		mix(uint64(int64(p.Box.MinLon*1000)) + 13)
+		mix(uint64(int64(p.Box.MinLat*1000)) + 17)
+		mix(uint64(int64(p.Box.MaxLon*1000)) + 19)
+		mix(uint64(int64(p.Box.MaxLat*1000)) + 23)
+	}
+	if q.Join != nil {
+		for _, c := range q.Join.Table {
+			mix(uint64(c) + 29)
+		}
+	}
+	return h
+}

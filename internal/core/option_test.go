@@ -1,0 +1,327 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/maliva/maliva/internal/engine"
+)
+
+// smallDB builds a compact engine database for option/context tests.
+func smallDB(t testing.TB, rows int) (*engine.DB, *engine.Query) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	db := engine.NewDB(engine.ProfilePostgres(), 31)
+	tb := engine.NewTable("docs", 50)
+	const vocab = 30
+	texts := make([][]uint32, rows)
+	times := make([]int64, rows)
+	points := make([]engine.Point, rows)
+	fk := make([]int64, rows)
+	for i := 0; i < rows; i++ {
+		k := rng.Intn(3) + 1
+		toks := make([]uint32, 0, k)
+		for j := 0; j < k; j++ {
+			toks = append(toks, uint32(rng.Intn(vocab))+1)
+		}
+		texts[i] = engine.SortTokens(toks)
+		times[i] = int64(rng.Intn(1000))
+		points[i] = engine.Point{Lon: rng.Float64() * 10, Lat: rng.Float64() * 10}
+		fk[i] = int64(rng.Intn(rows/20 + 1))
+	}
+	for _, c := range []*engine.Column{
+		{Name: "text", Type: engine.ColText, Texts: texts},
+		{Name: "ts", Type: engine.ColTime, Ints: times},
+		{Name: "loc", Type: engine.ColPoint, Points: points},
+		{Name: "fk", Type: engine.ColInt64, Ints: fk},
+	} {
+		if err := tb.AddColumn(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for col, kind := range map[string]engine.IndexKind{
+		"text": engine.IndexInverted, "ts": engine.IndexBTree, "loc": engine.IndexRTree,
+	} {
+		if _, err := tb.BuildIndex(col, kind); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.AddTable(tb); err != nil {
+		t.Fatal(err)
+	}
+
+	dim := engine.NewTable("dims", 50)
+	nd := rows/20 + 1
+	ids := make([]int64, nd)
+	ws := make([]float64, nd)
+	for i := range ids {
+		ids[i] = int64(i)
+		ws[i] = rng.Float64() * 100
+	}
+	if err := dim.AddColumn(&engine.Column{Name: "id", Type: engine.ColInt64, Ints: ids}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dim.AddColumn(&engine.Column{Name: "w", Type: engine.ColFloat64, Floats: ws}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dim.BuildIndex("id", engine.IndexBTree); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTable(dim); err != nil {
+		t.Fatal(err)
+	}
+
+	q := &engine.Query{
+		Table:      "docs",
+		OutputCols: []string{"loc"},
+		Preds: []engine.Predicate{
+			{Col: "text", Kind: engine.PredKeyword, Word: 3, WordText: "w3"},
+			{Col: "ts", Kind: engine.PredRange, Lo: 100, Hi: 700},
+			{Col: "loc", Kind: engine.PredGeo, Box: engine.Rect{MinLon: 1, MinLat: 1, MaxLon: 8, MaxLat: 8}},
+		},
+	}
+	return db, q
+}
+
+func TestEnumerateHintOnly(t *testing.T) {
+	db, q := smallDB(t, 1000)
+	opts := EnumerateOptions(db, q, HintOnlySpec())
+	if len(opts) != 8 {
+		t.Fatalf("got %d options, want 2^3 = 8", len(opts))
+	}
+	seen := map[uint32]bool{}
+	for _, o := range opts {
+		if !o.HasHint || o.IsApprox() {
+			t.Errorf("hint-only space produced %+v", o)
+		}
+		if seen[o.Mask] {
+			t.Errorf("duplicate mask %b", o.Mask)
+		}
+		seen[o.Mask] = true
+	}
+}
+
+func TestEnumerateJoinSpace(t *testing.T) {
+	db, q := smallDB(t, 1000)
+	q.Join = &engine.JoinClause{Table: "dims", LeftCol: "fk", RightCol: "id"}
+	opts := EnumerateOptions(db, q, JoinSpec())
+	if len(opts) != 21 {
+		t.Fatalf("got %d options, want 7 × 3 = 21 (§7.5)", len(opts))
+	}
+	for _, o := range opts {
+		if o.Mask == 0 {
+			t.Error("join space must exclude the empty index combination")
+		}
+		if o.Join == engine.JoinAuto {
+			t.Error("join space options must force a join method")
+		}
+	}
+}
+
+func TestEnumerateQualityAware(t *testing.T) {
+	db, q := smallDB(t, 1000)
+	opts := EnumerateOptions(db, q, QualityAwareSpec())
+	if len(opts) != 13 {
+		t.Fatalf("got %d options, want 8 + 5 = 13 (§7.7)", len(opts))
+	}
+	approx := 0
+	for _, o := range opts {
+		if o.IsApprox() {
+			approx++
+			if o.Approx.Kind != ApproxLimit {
+				t.Errorf("expected limit rules, got %v", o.Approx.Kind)
+			}
+		}
+	}
+	if approx != 5 {
+		t.Errorf("approx options = %d, want 5", approx)
+	}
+}
+
+func TestEnumerateCrossApprox(t *testing.T) {
+	db, q := smallDB(t, 1000)
+	spec := SpaceSpec{
+		IncludeEmptyHint: true,
+		ApproxRules:      []ApproxRule{{Kind: ApproxSample, Percent: 20}},
+		CrossApprox:      true,
+	}
+	opts := EnumerateOptions(db, q, spec)
+	// 8 exact + 1 unhinted sample + 7 hinted samples (mask ≠ 0).
+	if len(opts) != 16 {
+		t.Fatalf("got %d options, want 16", len(opts))
+	}
+}
+
+func TestEnumerateSkipsUnindexablePreds(t *testing.T) {
+	db, q := smallDB(t, 1000)
+	// Add a predicate on an unindexed column: it must not enlarge the space.
+	q.Preds = append(q.Preds, engine.Predicate{Col: "fk", Kind: engine.PredRange, Lo: 0, Hi: 10})
+	opts := EnumerateOptions(db, q, HintOnlySpec())
+	if len(opts) != 8 {
+		t.Fatalf("got %d options, want 8 (fk has no index)", len(opts))
+	}
+	for _, o := range opts {
+		if o.Mask&(1<<3) != 0 {
+			t.Error("mask includes unindexable predicate")
+		}
+	}
+}
+
+func TestBuildRQ(t *testing.T) {
+	db, q := smallDB(t, 1000)
+	_ = db
+	// Hint-only.
+	rq, h := BuildRQ(q, Option{Mask: 0b101, HasHint: true}, 1e6, 50)
+	if !h.Forced || len(h.UseIndex) != 2 || h.UseIndex[0] != 0 || h.UseIndex[1] != 2 {
+		t.Errorf("hint = %+v", h)
+	}
+	if rq.Limit != 0 || rq.SamplePercent != 0 {
+		t.Error("hint-only RQ must not approximate")
+	}
+	// Limit rule: 4% of 1e6 estimated rows at scale 50 → 800 stored rows.
+	rq, _ = BuildRQ(q, Option{Approx: ApproxRule{Kind: ApproxLimit, Percent: 4}}, 1e6, 50)
+	if rq.Limit != 800 {
+		t.Errorf("Limit = %d, want 800", rq.Limit)
+	}
+	// Tiny estimates floor at 1.
+	rq, _ = BuildRQ(q, Option{Approx: ApproxRule{Kind: ApproxLimit, Percent: 0.0001}}, 100, 50)
+	if rq.Limit != 1 {
+		t.Errorf("Limit = %d, want 1", rq.Limit)
+	}
+	// Sample rule.
+	rq, _ = BuildRQ(q, Option{Approx: ApproxRule{Kind: ApproxSample, Percent: 20}}, 1e6, 50)
+	if rq.SamplePercent != 20 {
+		t.Errorf("SamplePercent = %d", rq.SamplePercent)
+	}
+	// The original query is never mutated.
+	if q.Limit != 0 || q.SamplePercent != 0 {
+		t.Error("BuildRQ mutated the original query")
+	}
+}
+
+func TestNeededSels(t *testing.T) {
+	_, q := smallDB(t, 100)
+	if got := NeededSels(q, Option{Mask: 0b011, HasHint: true}); len(got) != 2 {
+		t.Errorf("NeededSels hint = %v", got)
+	}
+	if got := NeededSels(q, Option{Approx: ApproxRule{Kind: ApproxLimit, Percent: 1}}); len(got) != 3 {
+		t.Errorf("NeededSels approx = %v (cardinality needs all)", got)
+	}
+	if got := NeededSels(q, Option{}); len(got) != 3 {
+		t.Errorf("NeededSels unhinted = %v", got)
+	}
+}
+
+func TestOptionLabel(t *testing.T) {
+	cases := []struct {
+		o    Option
+		want string
+	}{
+		{Option{Mask: 0b101, HasHint: true}, "idx{0,2}"},
+		{Option{HasHint: true}, "idx{}"},
+		{Option{}, "auto"},
+		{Option{Mask: 1, HasHint: true, Join: engine.HashJoin}, "idx{0}+hash"},
+		{Option{Approx: ApproxRule{Kind: ApproxLimit, Percent: 4}}, "auto+limit4%"},
+		{Option{Mask: 2, HasHint: true, Approx: ApproxRule{Kind: ApproxSample, Percent: 20}}, "idx{1}+sample20%"},
+	}
+	for _, tc := range cases {
+		if got := tc.o.Label(3); got != tc.want {
+			t.Errorf("Label = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestContextBuild(t *testing.T) {
+	db, q := smallDB(t, 3000)
+	ctx, err := BuildContext(db, q, DefaultContextConfig(HintOnlySpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.N() != 8 {
+		t.Fatalf("N = %d", ctx.N())
+	}
+	for i := range ctx.Options {
+		if ctx.TrueMs[i] <= 0 {
+			t.Errorf("TrueMs[%d] = %v", i, ctx.TrueMs[i])
+		}
+		if ctx.Quality[i] != 1 {
+			t.Errorf("exact option quality = %v", ctx.Quality[i])
+		}
+	}
+	if ctx.BaselineMs <= 0 {
+		t.Error("BaselineMs not set")
+	}
+	if ctx.BaselineOption < 0 {
+		t.Error("baseline plan should match one of the 2^m options")
+	}
+	for i, s := range ctx.SelTrue {
+		if s < 0 || s > 1 {
+			t.Errorf("SelTrue[%d] = %v", i, s)
+		}
+		if ctx.SelSampled[i] < 0 || ctx.SelSampled[i] > 1 {
+			t.Errorf("SelSampled[%d] = %v", i, ctx.SelSampled[i])
+		}
+	}
+	if ctx.NReal != 3000*50 {
+		t.Errorf("NReal = %v", ctx.NReal)
+	}
+	// NumViable is monotone in the budget.
+	if ctx.NumViable(100) > ctx.NumViable(10000) {
+		t.Error("NumViable not monotone")
+	}
+	if ctx.BestExactMs() <= 0 {
+		t.Error("BestExactMs not positive")
+	}
+}
+
+func TestContextQualityForApproxOptions(t *testing.T) {
+	db, q := smallDB(t, 3000)
+	ctx, err := BuildContext(db, q, DefaultContextConfig(QualityAwareSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawLoss := false
+	for i, o := range ctx.Options {
+		if !o.IsApprox() {
+			continue
+		}
+		if ctx.Quality[i] < 0 || ctx.Quality[i] > 1 {
+			t.Errorf("quality[%d] = %v", i, ctx.Quality[i])
+		}
+		if ctx.Quality[i] < 0.999 {
+			sawLoss = true
+		}
+	}
+	if !sawLoss {
+		t.Error("expected at least one approx option with quality loss")
+	}
+}
+
+func TestContextUnknownTable(t *testing.T) {
+	db, _ := smallDB(t, 100)
+	_, err := BuildContext(db, &engine.Query{Table: "ghost"}, DefaultContextConfig(HintOnlySpec()))
+	if err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestContextDeterminism(t *testing.T) {
+	db, q := smallDB(t, 2000)
+	a, err := BuildContext(db, q, DefaultContextConfig(HintOnlySpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildContext(db, q, DefaultContextConfig(HintOnlySpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.TrueMs {
+		if a.TrueMs[i] != b.TrueMs[i] {
+			t.Fatalf("TrueMs differ at %d", i)
+		}
+		if a.SelSampled[i%len(a.SelSampled)] != b.SelSampled[i%len(b.SelSampled)] {
+			t.Fatal("SelSampled differ")
+		}
+	}
+}

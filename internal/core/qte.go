@@ -1,0 +1,52 @@
+package core
+
+// SelCache tracks which predicate selectivities have already been collected
+// while planning one query. Collecting a selectivity for one rewritten query
+// makes estimating later rewritten queries cheaper — the cost-update dynamic
+// of the paper's Fig. 7.
+type SelCache struct {
+	have map[int]bool
+}
+
+// NewSelCache returns an empty cache.
+func NewSelCache() *SelCache { return &SelCache{have: make(map[int]bool)} }
+
+// Has reports whether predicate position p's selectivity was collected.
+func (c *SelCache) Has(p int) bool { return c.have[p] }
+
+// Add marks predicate position p's selectivity as collected.
+func (c *SelCache) Add(p int) { c.have[p] = true }
+
+// Missing returns how many of the given positions are not yet cached.
+func (c *SelCache) Missing(positions []int) int {
+	n := 0
+	for _, p := range positions {
+		if !c.have[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of cached selectivities.
+func (c *SelCache) Len() int { return len(c.have) }
+
+// Estimator is a Query Time Estimator (QTE, §4.2): it predicts the execution
+// time of a rewritten query, at a non-negligible planning cost. The MDP
+// environment charges the cost against the time budget and feeds the
+// estimate into the agent's state.
+type Estimator interface {
+	// Name identifies the estimator in reports.
+	Name() string
+	// InitialCost returns the rough, history-based cost estimate for
+	// estimating option i before any planning starts (the C_i initial
+	// values in the MDP state; they need not be accurate).
+	InitialCost(ctx *QueryContext, i int) float64
+	// CostNow returns the exact cost of estimating option i given the
+	// selectivities already collected in cache.
+	CostNow(ctx *QueryContext, i int, cache *SelCache) float64
+	// Estimate performs the estimation for option i: it returns the
+	// estimated execution time and the actual cost paid, and records newly
+	// collected selectivities in cache.
+	Estimate(ctx *QueryContext, i int, cache *SelCache) (estMs, costMs float64)
+}

@@ -1,0 +1,132 @@
+package core
+
+// This file implements the §6 quality-aware rewriters. Both use the
+// quality-aware MDP model (reward Eq. 2); they differ in how they organize
+// the option space:
+//
+//   - One-stage: a single agent considers query hints and approximation
+//     rules simultaneously. Highest chance of finding a viable RQ for
+//     0-viable-plan queries, but may pick an approximate RQ even when an
+//     exact viable one exists.
+//   - Two-stage: run the hint-only agent first; only if it exhausts all
+//     exact options without finding a viable RQ (and budget remains) run a
+//     quality-aware agent over the approximation options, inheriting the
+//     elapsed planning time. Never misses an exact viable RQ the first
+//     stage can find, so average quality is higher.
+
+// SubContext returns a context restricted to the options selected by keep
+// (indexes into ctx.Options). Ground-truth slices are re-sliced; the query
+// and selectivities are shared.
+func SubContext(ctx *QueryContext, keep []int) *QueryContext {
+	sub := &QueryContext{
+		Query:          ctx.Query,
+		BaselineMs:     ctx.BaselineMs,
+		BaselineOption: -1,
+		Fingerprint:    ctx.Fingerprint,
+		Scale:          ctx.Scale,
+		EstRows:        ctx.EstRows,
+		SelTrue:        ctx.SelTrue,
+		SelSampled:     ctx.SelSampled,
+	}
+	for newIdx, i := range keep {
+		sub.Options = append(sub.Options, ctx.Options[i])
+		sub.TrueMs = append(sub.TrueMs, ctx.TrueMs[i])
+		sub.Quality = append(sub.Quality, ctx.Quality[i])
+		sub.NeedSels = append(sub.NeedSels, ctx.NeedSels[i])
+		sub.PlanEst = append(sub.PlanEst, ctx.PlanEst[i])
+		if i == ctx.BaselineOption {
+			sub.BaselineOption = newIdx
+		}
+	}
+	return sub
+}
+
+// ExactOptionIndexes returns the indexes of exact (hint-only) options.
+func ExactOptionIndexes(ctx *QueryContext) []int {
+	var out []int
+	for i, o := range ctx.Options {
+		if !o.IsApprox() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ApproxOptionIndexes returns the indexes of approximation options.
+func ApproxOptionIndexes(ctx *QueryContext) []int {
+	var out []int
+	for i, o := range ctx.Options {
+		if o.IsApprox() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// OneStageRewriter runs a single quality-aware agent over the full option
+// space (hints + approximation rules).
+type OneStageRewriter struct {
+	Agent *Agent
+	QTE   Estimator
+	Beta  float64
+}
+
+// Name implements Rewriter.
+func (r *OneStageRewriter) Name() string { return "1-stage MDP (" + r.QTE.Name() + ")" }
+
+// Rewrite implements Rewriter.
+func (r *OneStageRewriter) Rewrite(ctx *QueryContext, budget float64) Outcome {
+	env := NewEnv(EnvConfig{Budget: budget, QTE: r.QTE, Beta: r.Beta}, ctx)
+	return r.Agent.Rewrite(env)
+}
+
+// TwoStageRewriter runs the hint-only agent first, then (only on exhaustion
+// with time remaining) the quality-aware agent over approximation options.
+type TwoStageRewriter struct {
+	// StageOne is trained on the exact sub-space with the Eq. 1 reward.
+	StageOne *Agent
+	// StageTwo is trained on the approximation sub-space with Eq. 2.
+	StageTwo *Agent
+	QTE      Estimator
+	Beta     float64
+}
+
+// Name implements Rewriter.
+func (r *TwoStageRewriter) Name() string { return "2-stage MDP (" + r.QTE.Name() + ")" }
+
+// Rewrite implements Rewriter.
+func (r *TwoStageRewriter) Rewrite(ctx *QueryContext, budget float64) Outcome {
+	exactIdx := ExactOptionIndexes(ctx)
+	exactCtx := SubContext(ctx, exactIdx)
+	env1 := NewEnv(EnvConfig{Budget: budget, QTE: r.QTE, Beta: 1}, exactCtx)
+	out1 := r.StageOne.Rewrite(env1)
+	out1.Option = exactIdx[out1.Option]
+
+	// Stage 1 found an estimated-viable exact RQ, or ran out of budget:
+	// its decision stands.
+	if out1.TotalMs <= budget || out1.PlanMs >= budget {
+		return out1
+	}
+	// Exhausted all exact options without a viable one and budget remains:
+	// explore approximation rules, inheriting elapsed planning time.
+	approxIdx := ApproxOptionIndexes(ctx)
+	if len(approxIdx) == 0 {
+		return out1
+	}
+	approxCtx := SubContext(ctx, approxIdx)
+	env2 := NewEnv(EnvConfig{Budget: budget, QTE: r.QTE, Beta: r.Beta}, approxCtx)
+	env2.ResetWithElapsed(out1.PlanMs)
+	out2 := r.StageTwo.RewriteFrom(env2)
+	out2.Option = approxIdx[out2.Option]
+	out2.Explored += out1.Explored
+
+	// Keep whichever decision is better: prefer a viable outcome; among
+	// non-viable ones prefer the faster total (the agent had to commit to
+	// stage 2 once stage 1 failed, so out2 is the decision; but if stage 2
+	// is worse than just running stage 1's best exact estimate, a real
+	// middleware would fall back).
+	if out2.Viable || out2.TotalMs <= out1.TotalMs {
+		return out2
+	}
+	return out1
+}

@@ -1,0 +1,59 @@
+package core
+
+import "math/rand"
+
+// Experience is one MDP transition (s, a, s′, r′) plus the termination flag
+// and the next state's exploration mask (needed to mask invalid actions when
+// computing the Bellman target).
+type Experience struct {
+	State        []float64
+	Action       int
+	NextState    []float64
+	Reward       float64
+	Done         bool
+	NextExplored []bool
+}
+
+// Replay is a fixed-capacity FIFO experience buffer (the paper's replay
+// memory M with capacity C, replaced FIFO when full).
+type Replay struct {
+	cap   int
+	buf   []Experience
+	next  int
+	count int
+}
+
+// NewReplay creates a replay memory with the given capacity.
+func NewReplay(capacity int) *Replay {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Replay{cap: capacity, buf: make([]Experience, capacity)}
+}
+
+// Add stores an experience, evicting the oldest when full.
+func (r *Replay) Add(e Experience) {
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % r.cap
+	if r.count < r.cap {
+		r.count++
+	}
+}
+
+// Len returns the number of stored experiences.
+func (r *Replay) Len() int { return r.count }
+
+// Cap returns the capacity.
+func (r *Replay) Cap() int { return r.cap }
+
+// Sample draws n experiences uniformly with replacement.
+func (r *Replay) Sample(rng *rand.Rand, n int) []Experience {
+	if r.count == 0 {
+		return nil
+	}
+	out := make([]Experience, n)
+	for i := range out {
+		out[i] = r.buf[rng.Intn(r.count)]
+	}
+	return out
+}

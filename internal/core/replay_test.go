@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReplayFIFOEviction(t *testing.T) {
+	r := NewReplay(3)
+	for i := 0; i < 5; i++ {
+		r.Add(Experience{Action: i})
+	}
+	if r.Len() != 3 || r.Cap() != 3 {
+		t.Fatalf("Len=%d Cap=%d", r.Len(), r.Cap())
+	}
+	// Oldest (actions 0, 1) must be gone.
+	seen := map[int]bool{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		for _, e := range r.Sample(rng, 3) {
+			seen[e.Action] = true
+		}
+	}
+	if seen[0] || seen[1] {
+		t.Error("evicted experiences still sampled")
+	}
+	for a := 2; a <= 4; a++ {
+		if !seen[a] {
+			t.Errorf("action %d never sampled", a)
+		}
+	}
+}
+
+func TestReplaySampleEmpty(t *testing.T) {
+	r := NewReplay(4)
+	if got := r.Sample(rand.New(rand.NewSource(1)), 2); got != nil {
+		t.Errorf("sample of empty replay = %v", got)
+	}
+}
+
+// TestReplayLenNeverExceedsCap is a property over random add/sample traces.
+func TestReplayLenNeverExceedsCap(t *testing.T) {
+	prop := func(capRaw uint8, adds uint8) bool {
+		c := int(capRaw)%20 + 1
+		r := NewReplay(c)
+		for i := 0; i < int(adds); i++ {
+			r.Add(Experience{Action: i})
+			if r.Len() > c {
+				return false
+			}
+		}
+		want := int(adds)
+		if want > c {
+			want = c
+		}
+		return r.Len() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayZeroCapacityClamped(t *testing.T) {
+	r := NewReplay(0)
+	r.Add(Experience{Action: 9})
+	if r.Len() != 1 || r.Cap() != 1 {
+		t.Errorf("Len=%d Cap=%d", r.Len(), r.Cap())
+	}
+}

@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// bruteRange computes the expected row set for [lo, hi] directly.
+func bruteRange(keys []float64, lo, hi float64) []uint32 {
+	var out []uint32
+	for i, k := range keys {
+		if k >= lo && k <= hi {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+func sortedCopy(rows []uint32) []uint32 {
+	cp := append([]uint32(nil), rows...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return cp
+}
+
+func equalRows(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBTreeRangeMatchesBruteForce is a property test: for random key sets
+// and random ranges, the B+-tree range scan returns exactly the brute-force
+// row set.
+func TestBTreeRangeMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64, n uint16, loRaw, hiRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n)%500 + 1
+		keys := make([]float64, size)
+		rows := make([]uint32, size)
+		for i := range keys {
+			keys[i] = float64(rng.Intn(100)) // duplicates on purpose
+			rows[i] = uint32(i)
+		}
+		tree := NewBTree(keys, rows)
+		lo, hi := loRaw, hiRaw
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		// Map raw floats into the key domain.
+		lo = float64(int(lo) % 120)
+		hi = lo + float64(int(hi)%50)
+		got, entries := tree.Range(lo, hi)
+		if entries <= 0 {
+			return false
+		}
+		return equalRows(sortedCopy(got), bruteRange(keys, lo, hi))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBTreeInsertMatchesBulk verifies that incremental inserts produce the
+// same range results as bulk loading.
+func TestBTreeInsertMatchesBulk(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := rng.Intn(800) + 1
+		keys := make([]float64, size)
+		rows := make([]uint32, size)
+		for i := range keys {
+			keys[i] = float64(rng.Intn(200))
+			rows[i] = uint32(i)
+		}
+		bulk := NewBTree(keys, rows)
+		inc := NewBTree(nil, nil)
+		for i := range keys {
+			inc.Insert(keys[i], rows[i])
+		}
+		if inc.Len() != bulk.Len() {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			lo := float64(rng.Intn(220) - 10)
+			hi := lo + float64(rng.Intn(60))
+			a, _ := bulk.Range(lo, hi)
+			b, _ := inc.Range(lo, hi)
+			if !equalRows(sortedCopy(a), sortedCopy(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeEmpty(t *testing.T) {
+	tree := NewBTree(nil, nil)
+	rows, entries := tree.Range(0, 100)
+	if len(rows) != 0 {
+		t.Errorf("empty tree returned %d rows", len(rows))
+	}
+	if entries < 1 {
+		t.Errorf("expected at least the root visit, got %d", entries)
+	}
+	if tree.Len() != 0 || tree.Height() != 1 {
+		t.Errorf("empty tree: Len=%d Height=%d", tree.Len(), tree.Height())
+	}
+}
+
+func TestBTreeHeightGrows(t *testing.T) {
+	n := btreeOrder*btreeOrder + 1 // forces at least three levels
+	keys := make([]float64, n)
+	rows := make([]uint32, n)
+	for i := range keys {
+		keys[i] = float64(i)
+		rows[i] = uint32(i)
+	}
+	tree := NewBTree(keys, rows)
+	if h := tree.Height(); h < 3 {
+		t.Errorf("height %d, want ≥3 for %d keys", h, n)
+	}
+	// Point lookups still work at depth.
+	for _, probe := range []float64{0, float64(n / 2), float64(n - 1)} {
+		got, _ := tree.Range(probe, probe)
+		if len(got) != 1 || got[0] != uint32(probe) {
+			t.Errorf("Range(%v,%v) = %v", probe, probe, got)
+		}
+	}
+}
+
+func TestBTreeCountRange(t *testing.T) {
+	keys := []float64{1, 2, 2, 3, 5, 8}
+	rows := []uint32{0, 1, 2, 3, 4, 5}
+	tree := NewBTree(keys, rows)
+	for _, tc := range []struct {
+		lo, hi float64
+		want   int
+	}{
+		{1, 3, 4}, {2, 2, 2}, {4, 7, 1}, {9, 10, 0}, {-5, 100, 6},
+	} {
+		if got := tree.CountRange(tc.lo, tc.hi); got != tc.want {
+			t.Errorf("CountRange(%v,%v) = %d, want %d", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestBTreeMismatchedInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched keys/rows")
+		}
+	}()
+	NewBTree([]float64{1, 2}, []uint32{0})
+}

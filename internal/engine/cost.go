@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// CostModel converts work counters into virtual milliseconds at paper scale.
+// Unit costs are in microseconds per unit of work measured at *real* scale
+// (i.e. after multiplying stored-row counters by the table's ScaleFactor).
+//
+// The defaults are calibrated so that, on the paper's 100M-row Twitter table,
+// a full scan costs ~15s, a poorly-chosen single-index plan costs 1–5s, and a
+// well-chosen multi-index plan costs 30–300ms — the regime of Figures 1–4.
+type CostModel struct {
+	StartupMs     float64 // fixed per-query latency (parse, network)
+	FullScanRowUS float64 // sequential scan, per row (includes predicate evals)
+	IndexEntryUS  float64 // per index entry touched
+	IntersectUS   float64 // per comparison while intersecting posting lists
+	FetchUS       float64 // per candidate row fetched from the heap
+	PredEvalUS    float64 // per residual predicate evaluation
+	OutputUS      float64 // per output row (projection / aggregation)
+	HashBuildUS   float64 // per inner row inserted into a join hash table
+	HashProbeUS   float64 // per outer row probing the join hash table
+	NestProbeUS   float64 // per outer row probing the inner index (nest loop)
+	SortUS        float64 // per n·log2(n) unit when sorting for merge join
+}
+
+// DefaultCostModel returns the PostgreSQL-like cost profile.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		StartupMs:     2.0,
+		FullScanRowUS: 0.15,
+		IndexEntryUS:  0.05,
+		IntersectUS:   0.02,
+		FetchUS:       1.5,
+		PredEvalUS:    0.05,
+		OutputUS:      0.05,
+		HashBuildUS:   0.35,
+		HashProbeUS:   0.30,
+		NestProbeUS:   1.2,
+		SortUS:        0.04,
+	}
+}
+
+// ExecStats counts the work performed while executing a plan, at stored
+// (scaled-down) granularity, and carries the derived virtual time.
+type ExecStats struct {
+	IndexEntries int // index entries touched across all index scans
+	IntersectOps int // comparisons during posting-list intersection
+	RowsScanned  int // rows visited by sequential scans
+	RowsFetched  int // candidate rows fetched after index access
+	PredEvals    int // residual predicate evaluations
+	RowsOutput   int // rows produced (pre-binning)
+	HashBuilds   int
+	HashProbes   int
+	NestProbes   int
+	SortUnits    int // sum of n·log2(n) units
+
+	SimMs float64 // virtual execution time at paper scale, noise included
+}
+
+// add accumulates counters from another stats value (used across join sides).
+func (s *ExecStats) add(o ExecStats) {
+	s.IndexEntries += o.IndexEntries
+	s.IntersectOps += o.IntersectOps
+	s.RowsScanned += o.RowsScanned
+	s.RowsFetched += o.RowsFetched
+	s.PredEvals += o.PredEvals
+	s.HashBuilds += o.HashBuilds
+	s.HashProbes += o.HashProbes
+	s.NestProbes += o.NestProbes
+	s.SortUnits += o.SortUnits
+}
+
+// simMs converts counters to virtual milliseconds given a table scale factor.
+func (m CostModel) simMs(s ExecStats, scale float64) float64 {
+	us := float64(s.IndexEntries)*m.IndexEntryUS +
+		float64(s.IntersectOps)*m.IntersectUS +
+		float64(s.RowsScanned)*m.FullScanRowUS +
+		float64(s.RowsFetched)*m.FetchUS +
+		float64(s.PredEvals)*m.PredEvalUS +
+		float64(s.RowsOutput)*m.OutputUS +
+		float64(s.HashBuilds)*m.HashBuildUS +
+		float64(s.HashProbes)*m.HashProbeUS +
+		float64(s.NestProbes)*m.NestProbeUS +
+		float64(s.SortUnits)*m.SortUS
+	return m.StartupMs + us*scale/1000.0
+}
+
+// Profile bundles a cost model with the run-to-run variance characteristics
+// of a backend database. ProfilePostgres models a well-behaved open-source
+// engine; ProfileCommercial models the §7.6 commercial DBMS whose buffering
+// and dynamic plan switching make execution times much harder to predict.
+type Profile struct {
+	Name       string
+	Cost       CostModel
+	NoiseSigma float64 // lognormal sigma on execution time
+	// PlanSwitchProb is the chance a query run triggers a mid-flight plan
+	// change (commercial profile), multiplying time by PlanSwitchFactor.
+	PlanSwitchProb   float64
+	PlanSwitchFactor float64
+	// OptimizerMaxIndexes caps how many indexes the *unhinted* optimizer
+	// will combine in one access path (classic optimizers pick a single
+	// index per table; hints can still force any combination — that gap is
+	// why hinting helps, per the paper's Fig. 1). 0 means unlimited.
+	OptimizerMaxIndexes int
+	// HintDropProb is the probability that the engine ignores a forced hint
+	// and falls back to the optimizer's plan — the paper's challenge C2
+	// ("the backend database may or may not follow the provided hints").
+	// The drop decision is deterministic per (seed, plan), so experiments
+	// remain reproducible. 0 disables it.
+	HintDropProb float64
+}
+
+// ProfilePostgres returns the default engine profile.
+func ProfilePostgres() Profile {
+	return Profile{
+		Name:                "postgres",
+		Cost:                DefaultCostModel(),
+		NoiseSigma:          0.06,
+		OptimizerMaxIndexes: 1,
+	}
+}
+
+// ProfileCommercial returns the §7.6 commercial-DB profile: the same work
+// model but with heavy buffering variance and occasional dynamic plan
+// switches, which degrade any selectivity-only QTE's accuracy.
+func ProfileCommercial() Profile {
+	return Profile{
+		Name:                "commercial",
+		Cost:                DefaultCostModel(),
+		NoiseSigma:          0.45,
+		PlanSwitchProb:      0.15,
+		PlanSwitchFactor:    2.5,
+		OptimizerMaxIndexes: 1,
+	}
+}
+
+// noiseFactor derives a deterministic lognormal noise factor for a
+// (seed, fingerprint) pair, so repeated runs of the same plan agree and
+// different plans de-correlate.
+func (p Profile) noiseFactor(seed int64, fingerprint uint64) float64 {
+	if p.NoiseSigma == 0 && p.PlanSwitchProb == 0 {
+		return 1
+	}
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(seed) >> (8 * i))
+		buf[8+i] = byte(fingerprint >> (8 * i))
+	}
+	h.Write(buf[:])
+	u := h.Sum64()
+	// Two uniforms from the hash via splitmix-style remixing.
+	u1 := float64(mix64(u)>>11) / float64(1<<53)
+	u2 := float64(mix64(u^0xdeadbeefcafe)>>11) / float64(1<<53)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	f := math.Exp(p.NoiseSigma * z)
+	if p.PlanSwitchProb > 0 {
+		u3 := float64(mix64(u^0x5ca1ab1e)>>11) / float64(1<<53)
+		if u3 < p.PlanSwitchProb {
+			f *= p.PlanSwitchFactor
+		}
+	}
+	return f
+}
+
+// mix64 is the splitmix64 finalizer, used to derive independent streams.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

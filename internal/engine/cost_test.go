@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimMsArithmetic(t *testing.T) {
+	m := CostModel{
+		StartupMs:     2,
+		FullScanRowUS: 1,
+		IndexEntryUS:  1,
+		FetchUS:       1,
+		PredEvalUS:    1,
+		OutputUS:      1,
+		IntersectUS:   1,
+		HashBuildUS:   1,
+		HashProbeUS:   1,
+		NestProbeUS:   1,
+		SortUS:        1,
+	}
+	s := ExecStats{IndexEntries: 1000, RowsFetched: 500, PredEvals: 250, RowsOutput: 250}
+	// (1000 + 500 + 250 + 250) µs × scale 2 / 1000 + 2 ms startup = 6 ms.
+	got := m.simMs(s, 2)
+	if math.Abs(got-6) > 1e-9 {
+		t.Errorf("simMs = %v, want 6", got)
+	}
+}
+
+// TestSimMsMonotoneInWork: more work never costs less (property).
+func TestSimMsMonotoneInWork(t *testing.T) {
+	m := DefaultCostModel()
+	prop := func(a, b uint16) bool {
+		s1 := ExecStats{RowsFetched: int(a)}
+		s2 := ExecStats{RowsFetched: int(a) + int(b)}
+		return m.simMs(s2, 100) >= m.simMs(s1, 100)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	pg := ProfilePostgres()
+	com := ProfileCommercial()
+	if com.NoiseSigma <= pg.NoiseSigma {
+		t.Error("commercial profile should be noisier")
+	}
+	if com.PlanSwitchProb <= 0 {
+		t.Error("commercial profile should switch plans")
+	}
+	if pg.OptimizerMaxIndexes != 1 {
+		t.Error("postgres profile should be single-index")
+	}
+}
+
+func TestNoiseFactorZeroSigma(t *testing.T) {
+	p := Profile{NoiseSigma: 0}
+	if got := p.noiseFactor(1, 2); got != 1 {
+		t.Errorf("noise with σ=0 = %v, want 1", got)
+	}
+}
+
+// TestCommercialNoiseSpread: the commercial profile's execution noise spans
+// a much wider multiplicative range than the postgres profile.
+func TestCommercialNoiseSpread(t *testing.T) {
+	pg, com := ProfilePostgres(), ProfileCommercial()
+	spread := func(p Profile) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := uint64(0); i < 500; i++ {
+			f := p.noiseFactor(7, i)
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		return hi / lo
+	}
+	if spread(com) < 3*spread(pg) {
+		t.Errorf("commercial spread %.2f vs postgres %.2f — not noisy enough",
+			spread(com), spread(pg))
+	}
+}
+
+// TestHintDropFallsBackToOptimizer: with HintDropProb = 1 every forced hint
+// is ignored and execution matches the unhinted run.
+func TestHintDropFallsBackToOptimizer(t *testing.T) {
+	db := buildTestDB(t, 3000, 41)
+	q := testQuery(db)
+	_, auto, err := db.Run(q, Hint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Profile.HintDropProb = 1.0
+	_, dropped, err := db.Run(q, ForcedHint([]int{0, 1, 2}, JoinAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped.RowsFetched != auto.RowsFetched || dropped.RowsScanned != auto.RowsScanned {
+		t.Errorf("dropped-hint run should match the optimizer plan:\nauto   %+v\ndropped %+v", auto, dropped)
+	}
+	// With drop probability 0 the hinted run differs (it uses all indexes).
+	db.Profile.HintDropProb = 0
+	_, forced, err := db.Run(q, ForcedHint([]int{0, 1, 2}, JoinAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.IndexEntries == dropped.IndexEntries {
+		t.Error("forced plan should differ from the optimizer plan in this scenario")
+	}
+}
+
+// TestHintDropDeterministic: the drop decision is stable across runs.
+func TestHintDropDeterministic(t *testing.T) {
+	db := buildTestDB(t, 2000, 42)
+	db.Profile.HintDropProb = 0.5
+	q := testQuery(db)
+	_, s1, err := db.Run(q, ForcedHint([]int{0}, JoinAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s2, err := db.Run(q, ForcedHint([]int{0}, JoinAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("hint dropping must be deterministic per plan")
+	}
+}

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DB is the engine façade: a set of tables plus an execution profile. It is
+// safe for concurrent reads after loading; statistics are built lazily and
+// cached.
+type DB struct {
+	Tables  map[string]*Table
+	Profile Profile
+	// Seed drives the deterministic execution-noise stream.
+	Seed int64
+
+	mu    sync.Mutex
+	stats map[string]*TableStats
+}
+
+// NewDB creates an empty database with the given profile.
+func NewDB(p Profile, seed int64) *DB {
+	return &DB{
+		Tables:  make(map[string]*Table),
+		Profile: p,
+		Seed:    seed,
+		stats:   make(map[string]*TableStats),
+	}
+}
+
+// AddTable registers a table.
+func (db *DB) AddTable(t *Table) error {
+	if _, dup := db.Tables[t.Name]; dup {
+		return fmt.Errorf("engine: duplicate table %q", t.Name)
+	}
+	db.Tables[t.Name] = t
+	return nil
+}
+
+// table returns the named table, panicking on schema errors.
+func (db *DB) table(name string) *Table {
+	t, ok := db.Tables[name]
+	if !ok {
+		panic(fmt.Sprintf("engine: unknown table %q", name))
+	}
+	return t
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table { return db.Tables[name] }
+
+// statsFor lazily builds and caches optimizer statistics for a table.
+func (db *DB) statsFor(name string) *TableStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if st, ok := db.stats[name]; ok {
+		return st
+	}
+	st := BuildTableStats(db.table(name))
+	db.stats[name] = st
+	return st
+}
+
+// Stats exposes the optimizer statistics for a table (read-only use).
+func (db *DB) Stats(name string) *TableStats { return db.statsFor(name) }
+
+// InvalidateStats drops cached statistics (after data changes).
+func (db *DB) InvalidateStats(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.stats, name)
+}
+
+// TrueSelectivities computes exact selectivities for all main-table
+// predicates of q (ground truth for QTEs and workload construction).
+func (db *DB) TrueSelectivities(q *Query) []float64 {
+	t := db.table(q.Table)
+	out := make([]float64, len(q.Preds))
+	for i, p := range q.Preds {
+		out[i] = TrueSelectivity(t, p)
+	}
+	return out
+}

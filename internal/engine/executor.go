@@ -1,0 +1,405 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result holds the rows produced by a query execution. Row ids always refer
+// to the *base* table (sample-table hits are translated back), so results of
+// approximate rewrites can be compared against the original for quality.
+type Result struct {
+	RowIDs    []uint32        // matching main-table rows (base-table ids)
+	Points    []Point         // output points, parallel to RowIDs, when a point column is projected or binned
+	Bins      map[int]float64 // BIN_ID → (scaled) count, when Bin != nil
+	Truncated bool            // a LIMIT stopped execution early
+	Weight    float64         // per-row weight (100/SamplePercent for samples)
+}
+
+// execContext carries state through one query execution.
+type execContext struct {
+	db    *DB
+	q     *Query
+	t     *Table // resolved table (base or sample)
+	stats ExecStats
+	res   *Result
+	limit int
+}
+
+// Run executes q with hint h and returns the result plus execution stats
+// including the virtual execution time. The engine follows forced hints
+// exactly; with an empty hint the optimizer chooses the plan.
+func (db *DB) Run(q *Query, h Hint) (*Result, ExecStats, error) {
+	t, err := db.resolveTable(q)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	positions := h.UseIndex
+	join := h.Join
+	forced := h.Forced
+	if forced && db.Profile.HintDropProb > 0 {
+		// Challenge C2: the backend may ignore hints. Deterministic per
+		// (seed, plan identity) so repeated runs agree.
+		u := float64(mix64(uint64(db.Seed)^planFingerprint(q, positions, join))%100000) / 100000
+		if u < db.Profile.HintDropProb {
+			forced = false
+		}
+	}
+	if !forced {
+		pe := db.ChoosePlan(q)
+		positions = pe.Positions
+		if join == JoinAuto {
+			join = pe.Join
+		}
+	}
+	for _, pos := range positions {
+		if pos < 0 || pos >= len(q.Preds) {
+			return nil, ExecStats{}, fmt.Errorf("engine: hint position %d out of range (%d preds)", pos, len(q.Preds))
+		}
+		if t.Index(q.Preds[pos].Col) == nil {
+			return nil, ExecStats{}, fmt.Errorf("engine: hint forces index on %q but none exists", q.Preds[pos].Col)
+		}
+	}
+	weight := 1.0
+	if q.SamplePercent > 0 {
+		weight = 100.0 / float64(q.SamplePercent)
+	}
+	ec := &execContext{
+		db:    db,
+		q:     q,
+		t:     t,
+		res:   &Result{Weight: weight},
+		limit: q.Limit,
+	}
+	if q.Bin != nil {
+		ec.res.Bins = make(map[int]float64)
+	}
+	candidates, err := ec.access(positions)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	if q.Join == nil {
+		ec.emitAll(candidates)
+	} else {
+		if err := ec.join(candidates, join); err != nil {
+			return nil, ExecStats{}, err
+		}
+	}
+	ec.stats.RowsOutput = len(ec.res.RowIDs)
+	ec.stats.SimMs = db.Profile.Cost.simMs(ec.stats, t.ScaleFactor)
+	ec.stats.SimMs *= db.Profile.noiseFactor(db.Seed, planFingerprint(q, positions, join))
+	return ec.res, ec.stats, nil
+}
+
+// resolveTable maps the query to its base table or sample table.
+func (db *DB) resolveTable(q *Query) (*Table, error) {
+	t, ok := db.Tables[q.Table]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", q.Table)
+	}
+	if q.SamplePercent > 0 {
+		s, ok := t.Samples[q.SamplePercent]
+		if !ok {
+			return nil, fmt.Errorf("engine: table %q has no %d%% sample (call BuildSample first)", q.Table, q.SamplePercent)
+		}
+		return s, nil
+	}
+	return t, nil
+}
+
+// access returns the main-table candidate rows that satisfy all predicates,
+// using index scans on the given positions. With a LIMIT and no join, it
+// stops early once enough rows qualify.
+func (ec *execContext) access(positions []int) ([]uint32, error) {
+	q, t := ec.q, ec.t
+	earlyLimit := ec.limit
+	if q.Join != nil {
+		earlyLimit = 0 // join may reject rows; cannot stop early here
+	}
+	if len(positions) == 0 {
+		return ec.seqScan(earlyLimit), nil
+	}
+	// Index scans.
+	lists := make([][]uint32, 0, len(positions))
+	used := make(map[int]bool, len(positions))
+	for _, pos := range positions {
+		ix := t.Index(q.Preds[pos].Col)
+		rows, entries, err := ix.Lookup(q.Preds[pos])
+		if err != nil {
+			return nil, err
+		}
+		ec.stats.IndexEntries += entries
+		lists = append(lists, rows)
+		used[pos] = true
+	}
+	// Intersect smallest-first.
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	acc := lists[0]
+	for _, l := range lists[1:] {
+		var work int
+		acc, work = IntersectSorted(acc, l)
+		ec.stats.IntersectOps += work
+	}
+	// Fetch candidates, evaluate residual predicates.
+	var out []uint32
+	for _, r := range acc {
+		ec.stats.RowsFetched++
+		ok := true
+		for i, p := range q.Preds {
+			if used[i] {
+				continue
+			}
+			ec.stats.PredEvals++
+			if !p.Eval(t, r) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, r)
+			if earlyLimit > 0 && len(out) >= earlyLimit {
+				ec.res.Truncated = true
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// seqScan scans the whole table, evaluating all predicates per row.
+func (ec *execContext) seqScan(earlyLimit int) []uint32 {
+	q, t := ec.q, ec.t
+	var out []uint32
+	for r := 0; r < t.Rows; r++ {
+		ec.stats.RowsScanned++
+		ok := true
+		for _, p := range q.Preds {
+			if !p.Eval(t, uint32(r)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, uint32(r))
+			if earlyLimit > 0 && len(out) >= earlyLimit {
+				ec.res.Truncated = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// join matches candidate left rows against the inner table and emits
+// qualifying rows, honoring the LIMIT.
+func (ec *execContext) join(candidates []uint32, method JoinMethod) error {
+	q, t := ec.q, ec.t
+	inner, ok := ec.db.Tables[q.Join.Table]
+	if !ok {
+		return fmt.Errorf("engine: unknown join table %q", q.Join.Table)
+	}
+	leftKeys := t.Col(q.Join.LeftCol)
+	if method == JoinAuto {
+		method = NestLoopJoin
+	}
+	switch method {
+	case NestLoopJoin:
+		ix := inner.Index(q.Join.RightCol)
+		if ix == nil || ix.Kind != IndexBTree {
+			return fmt.Errorf("engine: nest-loop join needs a btree index on %s.%s", inner.Name, q.Join.RightCol)
+		}
+		for _, lr := range candidates {
+			ec.stats.NestProbes++
+			key := leftKeys.NumericAt(lr)
+			matches, entries := ix.btree.Range(key, key)
+			ec.stats.IndexEntries += entries
+			if ec.matchInner(inner, matches, lr) {
+				if ec.limitReached() {
+					return nil
+				}
+			}
+		}
+	case HashJoin:
+		// Build side: scan inner, filter, hash on key.
+		ht := make(map[float64][]uint32)
+		innerKeys := inner.Col(q.Join.RightCol)
+		for r := 0; r < inner.Rows; r++ {
+			ec.stats.RowsScanned++
+			pass := true
+			for _, p := range q.Join.Preds {
+				if !p.Eval(inner, uint32(r)) {
+					pass = false
+					break
+				}
+			}
+			if pass {
+				ec.stats.HashBuilds++
+				k := innerKeys.NumericAt(uint32(r))
+				ht[k] = append(ht[k], uint32(r))
+			}
+		}
+		for _, lr := range candidates {
+			ec.stats.HashProbes++
+			if rows := ht[leftKeys.NumericAt(lr)]; len(rows) > 0 {
+				ec.emit(lr)
+				if ec.limitReached() {
+					return nil
+				}
+			}
+		}
+	case MergeJoin:
+		// Left side sorted by key; inner side read in key order via index.
+		type kv struct {
+			key float64
+			row uint32
+		}
+		left := make([]kv, len(candidates))
+		for i, lr := range candidates {
+			left[i] = kv{leftKeys.NumericAt(lr), lr}
+		}
+		sort.Slice(left, func(i, j int) bool { return left[i].key < left[j].key })
+		n := float64(len(left))
+		if n > 1 {
+			ec.stats.SortUnits += int(n * log2(n))
+		}
+		ix := inner.Index(q.Join.RightCol)
+		if ix == nil || ix.Kind != IndexBTree {
+			return fmt.Errorf("engine: merge join needs a btree index on %s.%s", inner.Name, q.Join.RightCol)
+		}
+		for _, l := range left {
+			matches, entries := ix.btree.Range(l.key, l.key)
+			ec.stats.IndexEntries += entries
+			if ec.matchInner(inner, matches, l.row) {
+				if ec.limitReached() {
+					return nil
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("engine: unsupported join method %v", method)
+	}
+	return nil
+}
+
+// matchInner applies inner predicates to matched inner rows; emits the left
+// row if any inner row qualifies. Returns whether the left row was emitted.
+func (ec *execContext) matchInner(inner *Table, matches []uint32, leftRow uint32) bool {
+	for _, ir := range matches {
+		pass := true
+		for _, p := range ec.q.Join.Preds {
+			ec.stats.PredEvals++
+			if !p.Eval(inner, ir) {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			ec.emit(leftRow)
+			return true
+		}
+	}
+	return false
+}
+
+// emitAll emits every candidate row (no join), honoring the LIMIT.
+func (ec *execContext) emitAll(candidates []uint32) {
+	for _, r := range candidates {
+		ec.emit(r)
+		if ec.limitReached() {
+			return
+		}
+	}
+}
+
+// emit adds one output row: translates sample ids to base ids, projects the
+// point column, and updates bins.
+func (ec *execContext) emit(row uint32) {
+	baseID := row
+	if ec.t.SampleOf != nil {
+		baseID = uint32(ec.t.Col("__base_row").Ints[row])
+	}
+	ec.res.RowIDs = append(ec.res.RowIDs, baseID)
+	var pointCol string
+	if ec.q.Bin != nil {
+		pointCol = ec.q.Bin.Col
+	} else {
+		for _, oc := range ec.q.OutputCols {
+			if ec.t.HasColumn(oc) && ec.t.Col(oc).Type == ColPoint {
+				pointCol = oc
+				break
+			}
+		}
+	}
+	if pointCol != "" {
+		p := ec.t.Col(pointCol).Points[row]
+		ec.res.Points = append(ec.res.Points, p)
+		if ec.q.Bin != nil {
+			ec.res.Bins[binID(ec.q.Bin, p)] += ec.res.Weight
+		}
+	}
+}
+
+// limitReached reports whether the LIMIT has been hit, marking truncation.
+func (ec *execContext) limitReached() bool {
+	if ec.limit > 0 && len(ec.res.RowIDs) >= ec.limit {
+		ec.res.Truncated = true
+		return true
+	}
+	return false
+}
+
+// binID maps a point to its grid cell id (-1 when outside the extent).
+func binID(b *BinSpec, p Point) int {
+	w := b.Extent.MaxLon - b.Extent.MinLon
+	h := b.Extent.MaxLat - b.Extent.MinLat
+	if w <= 0 || h <= 0 || !b.Extent.Contains(p) {
+		return -1
+	}
+	x := int(float64(b.W) * (p.Lon - b.Extent.MinLon) / w)
+	y := int(float64(b.H) * (p.Lat - b.Extent.MinLat) / h)
+	if x >= b.W {
+		x = b.W - 1
+	}
+	if y >= b.H {
+		y = b.H - 1
+	}
+	return y*b.W + x
+}
+
+// log2 avoids importing math in this file for one call site.
+func log2(x float64) float64 {
+	// x > 1 guaranteed by callers.
+	n := 0.0
+	for x >= 2 {
+		x /= 2
+		n++
+	}
+	return n + x - 1 // linear interpolation, adequate for cost accounting
+}
+
+// planFingerprint hashes the plan identity for deterministic noise.
+func planFingerprint(q *Query, positions []int, join JoinMethod) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for _, c := range q.Table {
+		mix(uint64(c))
+	}
+	for _, p := range positions {
+		mix(uint64(p) + 101)
+	}
+	mix(uint64(join) + 7)
+	mix(uint64(q.Limit) + 13)
+	mix(uint64(q.SamplePercent) + 17)
+	for _, p := range q.Preds {
+		mix(uint64(p.Kind))
+		mix(uint64(p.Word))
+		mix(uint64(int64(p.Lo*1e3)) + 31)
+		mix(uint64(int64(p.Hi*1e3)) + 37)
+		mix(uint64(int64(p.Box.MinLon*1e3)) + 41)
+		mix(uint64(int64(p.Box.MaxLat*1e3)) + 43)
+	}
+	return h
+}

@@ -1,0 +1,68 @@
+package engine
+
+// InvertedIndex maps word ids to sorted posting lists of row ids, the access
+// path behind "Content contains <keyword>" predicates.
+type InvertedIndex struct {
+	postings map[uint32][]uint32
+	entries  int // total number of postings
+}
+
+// NewInvertedIndex builds the index from a tokenized text column.
+func NewInvertedIndex(texts [][]uint32) *InvertedIndex {
+	idx := &InvertedIndex{postings: make(map[uint32][]uint32)}
+	for row, tokens := range texts {
+		for _, w := range tokens {
+			idx.postings[w] = append(idx.postings[w], uint32(row))
+		}
+		idx.entries += len(tokens)
+	}
+	return idx
+}
+
+// Lookup returns the sorted posting list for word (shared, do not mutate)
+// and the number of entries scanned. Rows are appended in row order during
+// construction, so lists are already sorted.
+func (idx *InvertedIndex) Lookup(word uint32) (rows []uint32, entries int) {
+	p := idx.postings[word]
+	return p, len(p) + 1
+}
+
+// PostingLen returns the length of word's posting list.
+func (idx *InvertedIndex) PostingLen(word uint32) int {
+	return len(idx.postings[word])
+}
+
+// Len returns the total number of postings across all words.
+func (idx *InvertedIndex) Len() int { return idx.entries }
+
+// DistinctWords returns the number of distinct indexed words.
+func (idx *InvertedIndex) DistinctWords() int { return len(idx.postings) }
+
+// AvgPostingLen returns the average posting-list length — the (deliberately
+// crude) statistic the optimizer uses to estimate keyword selectivity.
+func (idx *InvertedIndex) AvgPostingLen() float64 {
+	if len(idx.postings) == 0 {
+		return 0
+	}
+	return float64(idx.entries) / float64(len(idx.postings))
+}
+
+// IntersectSorted intersects two sorted uint32 slices, returning the result
+// and the number of comparisons performed (for costing).
+func IntersectSorted(a, b []uint32) (out []uint32, work int) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		work++
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out, work
+}

@@ -1,0 +1,585 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSQL parses the paper's SQL dialect (Figures 1–3) into a Query and
+// Hint, resolving table, column and keyword names against the database:
+//
+//	/*+ Index-Scan(tweets created_at), Nest-Loop-Join(tweets users) */
+//	SELECT id, coordinates FROM tweets
+//	JOIN users ON tweets.user_id = users.id
+//	WHERE text contains "covid"
+//	  AND created_at BETWEEN 1446336000000 AND 1446940800000
+//	  AND coordinates IN ((-124.4, 32.5), (-114.1, 42.0))
+//	  AND users.tweet_cnt BETWEEN 100 AND 5000
+//	GROUP BY BIN_ID(coordinates) LIMIT 100;
+//
+// Sample-table names (tweets_sample20) resolve to the base table with
+// SamplePercent set. Keywords are case-insensitive; identifiers are not.
+func ParseSQL(db *DB, sql string) (*Query, Hint, error) {
+	p := &sqlParser{db: db, toks: lexSQL(sql)}
+	q, h, err := p.parse()
+	if err != nil {
+		return nil, Hint{}, fmt.Errorf("engine: parse SQL: %w", err)
+	}
+	return q, h, nil
+}
+
+// sqlToken is one lexical token.
+type sqlToken struct {
+	kind string // "ident", "num", "str", "punct"
+	text string
+}
+
+// lexSQL tokenizes the dialect: identifiers, numbers (incl. signed and
+// scientific), quoted strings, and single-character punctuation. The hint
+// comment is surfaced as ident("/*+") ... ident("*/") tokens.
+func lexSQL(s string) []sqlToken {
+	var toks []sqlToken
+	i := 0
+	emit := func(kind, text string) { toks = append(toks, sqlToken{kind, text}) }
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case strings.HasPrefix(s[i:], "/*+"):
+			emit("punct", "/*+")
+			i += 3
+		case strings.HasPrefix(s[i:], "*/"):
+			emit("punct", "*/")
+			i += 2
+		case c == '(' || c == ')' || c == ',' || c == ';' || c == '=' || c == '.' || c == '*':
+			emit("punct", string(c))
+			i++
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			for j < len(s) && s[j] != quote {
+				j++
+			}
+			if j >= len(s) {
+				emit("str", s[i+1:])
+				i = len(s)
+			} else {
+				emit("str", s[i+1:j])
+				i = j + 1
+			}
+		case c == '-' || c == '+' || (c >= '0' && c <= '9'):
+			j := i
+			if c == '-' || c == '+' {
+				j++
+			}
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.' || s[j] == 'e' || s[j] == 'E' ||
+				((s[j] == '-' || s[j] == '+') && j > i && (s[j-1] == 'e' || s[j-1] == 'E'))) {
+				j++
+			}
+			emit("num", s[i:j])
+			i = j
+		default:
+			j := i
+			for j < len(s) && (isIdentChar(s[j])) {
+				j++
+			}
+			if j == i { // unknown byte; treat as punctuation
+				emit("punct", string(c))
+				i++
+			} else {
+				emit("ident", s[i:j])
+				i = j
+			}
+		}
+	}
+	return toks
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+// sqlParser is a recursive-descent parser over the token stream.
+type sqlParser struct {
+	db   *DB
+	toks []sqlToken
+	pos  int
+
+	// raw hint text, resolved after the query is known.
+	hintParts [][]string
+}
+
+func (p *sqlParser) peek() sqlToken {
+	if p.pos >= len(p.toks) {
+		return sqlToken{kind: "eof"}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *sqlParser) next() sqlToken {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+// acceptKeyword consumes the next token if it is the given case-insensitive
+// keyword.
+func (p *sqlParser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == "ident" && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("expected %q, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectPunct(text string) error {
+	t := p.next()
+	if t.kind != "punct" || t.text != text {
+		return fmt.Errorf("expected %q, got %q", text, t.text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != "ident" {
+		return "", fmt.Errorf("expected identifier, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *sqlParser) expectNum() (float64, error) {
+	t := p.next()
+	if t.kind != "num" {
+		return 0, fmt.Errorf("expected number, got %q", t.text)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q: %w", t.text, err)
+	}
+	return v, nil
+}
+
+// parse handles the full statement.
+func (p *sqlParser) parse() (*Query, Hint, error) {
+	if p.peek().kind == "punct" && p.peek().text == "/*+" {
+		if err := p.parseHintComment(); err != nil {
+			return nil, Hint{}, err
+		}
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, Hint{}, err
+	}
+	q := &Query{}
+	binCol, err := p.parseSelectList(q)
+	if err != nil {
+		return nil, Hint{}, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, Hint{}, err
+	}
+	tableName, err := p.expectIdent()
+	if err != nil {
+		return nil, Hint{}, err
+	}
+	base, samplePct, err := p.resolveTable(tableName)
+	if err != nil {
+		return nil, Hint{}, err
+	}
+	q.Table = base.Name
+	q.SamplePercent = samplePct
+
+	if p.acceptKeyword("JOIN") {
+		if err := p.parseJoin(q); err != nil {
+			return nil, Hint{}, err
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		if err := p.parseConditions(q, base, tableName); err != nil {
+			return nil, Hint{}, err
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.parseGroupBy(q, binCol); err != nil {
+			return nil, Hint{}, err
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.expectNum()
+		if err != nil {
+			return nil, Hint{}, err
+		}
+		if n < 1 {
+			return nil, Hint{}, fmt.Errorf("LIMIT must be ≥ 1, got %v", n)
+		}
+		q.Limit = int(n)
+	}
+	// Optional trailing semicolon.
+	if p.peek().kind == "punct" && p.peek().text == ";" {
+		p.pos++
+	}
+	if p.peek().kind != "eof" {
+		return nil, Hint{}, fmt.Errorf("trailing input at %q", p.peek().text)
+	}
+	h, err := p.resolveHints(q, tableName)
+	if err != nil {
+		return nil, Hint{}, err
+	}
+	return q, h, nil
+}
+
+// parseHintComment collects hint invocations like Index-Scan(t col).
+func (p *sqlParser) parseHintComment() error {
+	p.pos++ // consume /*+
+	for {
+		t := p.peek()
+		if t.kind == "eof" {
+			return fmt.Errorf("unterminated hint comment")
+		}
+		if t.kind == "punct" && t.text == "*/" {
+			p.pos++
+			return nil
+		}
+		if t.kind == "punct" && t.text == "," {
+			p.pos++
+			continue
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		var args []string
+		for p.peek().kind == "ident" {
+			args = append(args, p.next().text)
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		p.hintParts = append(p.hintParts, append([]string{name}, args...))
+	}
+}
+
+// parseSelectList parses the projection; returns a BIN_ID column if present.
+func (p *sqlParser) parseSelectList(q *Query) (string, error) {
+	binCol := ""
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == "punct" && t.text == "*":
+			p.pos++
+		case t.kind == "ident" && strings.EqualFold(t.text, "BIN_ID"):
+			p.pos++
+			if err := p.expectPunct("("); err != nil {
+				return "", err
+			}
+			col, err := p.expectIdent()
+			if err != nil {
+				return "", err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return "", err
+			}
+			binCol = col
+		case t.kind == "ident" && strings.EqualFold(t.text, "COUNT"):
+			p.pos++
+			if err := p.expectPunct("("); err != nil {
+				return "", err
+			}
+			if err := p.expectPunct("*"); err != nil {
+				return "", err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return "", err
+			}
+		case t.kind == "ident":
+			p.pos++
+			q.OutputCols = append(q.OutputCols, t.text)
+		default:
+			return "", fmt.Errorf("bad select list at %q", t.text)
+		}
+		if p.peek().kind == "punct" && p.peek().text == "," {
+			p.pos++
+			continue
+		}
+		return binCol, nil
+	}
+}
+
+// resolveTable maps a (possibly sample-suffixed) table name to its base.
+func (p *sqlParser) resolveTable(name string) (*Table, int, error) {
+	if t := p.db.Table(name); t != nil {
+		return t, 0, nil
+	}
+	if idx := strings.LastIndex(name, "_sample"); idx > 0 {
+		pct, err := strconv.Atoi(name[idx+len("_sample"):])
+		if err == nil {
+			if t := p.db.Table(name[:idx]); t != nil {
+				if _, ok := t.Samples[pct]; !ok {
+					return nil, 0, fmt.Errorf("table %q has no %d%% sample", name[:idx], pct)
+				}
+				return t, pct, nil
+			}
+		}
+	}
+	return nil, 0, fmt.Errorf("unknown table %q", name)
+}
+
+// parseJoin parses "JOIN t2 ON a.x = b.y".
+func (p *sqlParser) parseJoin(q *Query) error {
+	inner, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if p.db.Table(inner) == nil {
+		return fmt.Errorf("unknown join table %q", inner)
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return err
+	}
+	lt, lc, err := p.qualifiedIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	rt, rc, err := p.qualifiedIdent()
+	if err != nil {
+		return err
+	}
+	// Normalize sides: left refers to the main table.
+	if rt != inner && lt == inner {
+		lt, lc, rt, rc = rt, rc, lt, lc
+	}
+	if rt != inner {
+		return fmt.Errorf("join condition does not mention %q", inner)
+	}
+	_ = lt
+	q.Join = &JoinClause{Table: inner, LeftCol: lc, RightCol: rc}
+	return nil
+}
+
+// qualifiedIdent parses "table.col" or "col" (returns empty table).
+func (p *sqlParser) qualifiedIdent() (string, string, error) {
+	a, err := p.expectIdent()
+	if err != nil {
+		return "", "", err
+	}
+	if p.peek().kind == "punct" && p.peek().text == "." {
+		p.pos++
+		b, err := p.expectIdent()
+		if err != nil {
+			return "", "", err
+		}
+		return a, b, nil
+	}
+	return "", a, nil
+}
+
+// parseConditions parses the conjunctive WHERE clause.
+func (p *sqlParser) parseConditions(q *Query, base *Table, mainName string) error {
+	for {
+		tbl, col, err := p.qualifiedIdent()
+		if err != nil {
+			return err
+		}
+		onJoin := q.Join != nil && tbl == q.Join.Table
+		if tbl != "" && tbl != mainName && tbl != base.Name && !onJoin {
+			return fmt.Errorf("condition on unknown table %q", tbl)
+		}
+		var pred Predicate
+		switch {
+		case p.acceptKeyword("contains"):
+			t := p.next()
+			if t.kind != "str" && t.kind != "ident" {
+				return fmt.Errorf("contains needs a keyword, got %q", t.text)
+			}
+			id := base.Vocab.ID(t.text)
+			if id == 0 {
+				return fmt.Errorf("unknown keyword %q", t.text)
+			}
+			pred = Predicate{Col: col, Kind: PredKeyword, Word: id, WordText: t.text}
+		case p.acceptKeyword("BETWEEN"):
+			lo, err := p.expectNum()
+			if err != nil {
+				return err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return err
+			}
+			hi, err := p.expectNum()
+			if err != nil {
+				return err
+			}
+			if hi < lo {
+				return fmt.Errorf("BETWEEN bounds inverted (%v > %v)", lo, hi)
+			}
+			pred = Predicate{Col: col, Kind: PredRange, Lo: lo, Hi: hi}
+		case p.acceptKeyword("IN"):
+			box, err := p.parseBox()
+			if err != nil {
+				return err
+			}
+			pred = Predicate{Col: col, Kind: PredGeo, Box: box}
+		default:
+			return fmt.Errorf("unsupported condition on %q at %q", col, p.peek().text)
+		}
+		if onJoin {
+			q.Join.Preds = append(q.Join.Preds, pred)
+		} else {
+			q.Preds = append(q.Preds, pred)
+		}
+		if !p.acceptKeyword("AND") {
+			return nil
+		}
+	}
+}
+
+// parseBox parses ((lon, lat), (lon, lat)).
+func (p *sqlParser) parseBox() (Rect, error) {
+	var r Rect
+	if err := p.expectPunct("("); err != nil {
+		return r, err
+	}
+	read := func() (float64, float64, error) {
+		if err := p.expectPunct("("); err != nil {
+			return 0, 0, err
+		}
+		a, err := p.expectNum()
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return 0, 0, err
+		}
+		b, err := p.expectNum()
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return 0, 0, err
+		}
+		return a, b, nil
+	}
+	lon1, lat1, err := read()
+	if err != nil {
+		return r, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return r, err
+	}
+	lon2, lat2, err := read()
+	if err != nil {
+		return r, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return r, err
+	}
+	r = Rect{
+		MinLon: min2(lon1, lon2), MaxLon: max2(lon1, lon2),
+		MinLat: min2(lat1, lat2), MaxLat: max2(lat1, lat2),
+	}
+	return r, nil
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// parseGroupBy parses "GROUP BY BIN_ID(col)" and attaches a BinSpec sized by
+// the query's spatial condition.
+func (p *sqlParser) parseGroupBy(q *Query, selectBinCol string) error {
+	if err := p.expectKeyword("BY"); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("BIN_ID"); err != nil {
+		return err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	col, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	if selectBinCol != "" && selectBinCol != col {
+		return fmt.Errorf("GROUP BY BIN_ID(%s) does not match SELECT BIN_ID(%s)", col, selectBinCol)
+	}
+	// The bin extent comes from the query's geo condition (the frontend's
+	// viewport); BIN_ID without a spatial condition is ambiguous.
+	for _, pred := range q.Preds {
+		if pred.Kind == PredGeo && pred.Col == col {
+			q.Bin = &BinSpec{Col: col, Extent: pred.Box, W: 64, H: 64}
+			return nil
+		}
+	}
+	return fmt.Errorf("GROUP BY BIN_ID(%s) requires a spatial condition on %s", col, col)
+}
+
+// resolveHints converts collected hint invocations into an engine Hint.
+func (p *sqlParser) resolveHints(q *Query, mainName string) (Hint, error) {
+	if len(p.hintParts) == 0 {
+		return Hint{}, nil
+	}
+	h := Hint{}
+	for _, part := range p.hintParts {
+		name := strings.ToLower(part[0])
+		args := part[1:]
+		switch name {
+		case "index-scan":
+			if len(args) != 2 {
+				return h, fmt.Errorf("Index-Scan needs (table col), got %v", args)
+			}
+			pos := -1
+			for i, pred := range q.Preds {
+				if pred.Col == args[1] {
+					pos = i
+					break
+				}
+			}
+			if pos < 0 {
+				return h, fmt.Errorf("Index-Scan on %q: no such condition", args[1])
+			}
+			h.Forced = true
+			h.UseIndex = append(h.UseIndex, pos)
+		case "seq-scan":
+			h.Forced = true
+		case "nest-loop-join":
+			h.Join = NestLoopJoin
+		case "hash-join":
+			h.Join = HashJoin
+		case "merge-join":
+			h.Join = MergeJoin
+		default:
+			return h, fmt.Errorf("unknown hint %q", part[0])
+		}
+	}
+	_ = mainName
+	return h, nil
+}

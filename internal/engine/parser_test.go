@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// parserDB extends the standard test DB with a sample table for the
+// sample-substitution cases.
+func parserDB(t testing.TB) *DB {
+	db := buildTestDB(t, 2000, 51)
+	if _, err := db.Table("events").BuildSample(20, 3); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestParseSQLBasic(t *testing.T) {
+	db := parserDB(t)
+	q, h, err := ParseSQL(db, `SELECT loc FROM events
+		WHERE text contains "c"
+		  AND ts BETWEEN 2000 AND 7000
+		  AND loc IN ((20, 10), (80, 40));`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Table != "events" || len(q.Preds) != 3 || h.Forced {
+		t.Fatalf("q=%+v h=%+v", q, h)
+	}
+	if q.Preds[0].Kind != PredKeyword || q.Preds[0].WordText != "c" || q.Preds[0].Word == 0 {
+		t.Errorf("keyword pred = %+v", q.Preds[0])
+	}
+	if q.Preds[1].Kind != PredRange || q.Preds[1].Lo != 2000 || q.Preds[1].Hi != 7000 {
+		t.Errorf("range pred = %+v", q.Preds[1])
+	}
+	if q.Preds[2].Kind != PredGeo || q.Preds[2].Box.MinLon != 20 || q.Preds[2].Box.MaxLat != 40 {
+		t.Errorf("geo pred = %+v", q.Preds[2])
+	}
+	// The parsed query must execute and agree with the hand-built one.
+	parsed, _, err := db.Run(q, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, _, err := db.Run(testQuery(db), Hint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalRows(parsed.RowIDs, manual.RowIDs) {
+		t.Errorf("parsed query returned %d rows, manual %d", len(parsed.RowIDs), len(manual.RowIDs))
+	}
+}
+
+func TestParseSQLHints(t *testing.T) {
+	db := parserDB(t)
+	q, h, err := ParseSQL(db, `/*+ Index-Scan(events ts), Index-Scan(events loc) */
+		SELECT loc FROM events WHERE ts BETWEEN 0 AND 100 AND loc IN ((0,0),(10,10))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Forced || len(h.UseIndex) != 2 || h.UseIndex[0] != 0 || h.UseIndex[1] != 1 {
+		t.Fatalf("hint = %+v", h)
+	}
+	if q.SamplePercent != 0 {
+		t.Error("unexpected sample")
+	}
+	// Seq-scan hint.
+	_, h2, err := ParseSQL(db, `/*+ Seq-Scan(events) */ SELECT loc FROM events WHERE ts BETWEEN 0 AND 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h2.Forced || len(h2.UseIndex) != 0 {
+		t.Fatalf("seq hint = %+v", h2)
+	}
+}
+
+func TestParseSQLJoin(t *testing.T) {
+	db := parserDB(t)
+	q, h, err := ParseSQL(db, `/*+ Hash-Join(events dims) */
+		SELECT loc FROM events JOIN dims ON events.fk = dims.id
+		WHERE ts BETWEEN 0 AND 5000 AND dims.weight BETWEEN 2 AND 9`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Join == nil || q.Join.Table != "dims" || q.Join.LeftCol != "fk" || q.Join.RightCol != "id" {
+		t.Fatalf("join = %+v", q.Join)
+	}
+	if len(q.Join.Preds) != 1 || q.Join.Preds[0].Col != "weight" {
+		t.Fatalf("join preds = %+v", q.Join.Preds)
+	}
+	if len(q.Preds) != 1 {
+		t.Fatalf("main preds = %+v", q.Preds)
+	}
+	if h.Join != HashJoin {
+		t.Errorf("join hint = %v", h.Join)
+	}
+	// Reversed ON order normalizes.
+	q2, _, err := ParseSQL(db, `SELECT loc FROM events JOIN dims ON dims.id = events.fk WHERE ts BETWEEN 0 AND 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Join.LeftCol != "fk" || q2.Join.RightCol != "id" {
+		t.Errorf("normalized join = %+v", q2.Join)
+	}
+}
+
+func TestParseSQLSampleAndLimit(t *testing.T) {
+	db := parserDB(t)
+	q, _, err := ParseSQL(db, `SELECT loc FROM events_sample20 WHERE ts BETWEEN 0 AND 9000 LIMIT 25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Table != "events" || q.SamplePercent != 20 || q.Limit != 25 {
+		t.Fatalf("q = %+v", q)
+	}
+	res, _, err := db.Run(q, Hint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RowIDs) > 25 {
+		t.Errorf("limit not applied: %d rows", len(res.RowIDs))
+	}
+}
+
+func TestParseSQLBinning(t *testing.T) {
+	db := parserDB(t)
+	q, _, err := ParseSQL(db, `SELECT BIN_ID(loc), COUNT(*) FROM events
+		WHERE loc IN ((0, 0), (100, 50)) GROUP BY BIN_ID(loc)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Bin == nil || q.Bin.Col != "loc" || q.Bin.Extent.MaxLon != 100 {
+		t.Fatalf("bin = %+v", q.Bin)
+	}
+	res, _, err := db.Run(q, Hint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bins) == 0 {
+		t.Error("no bins produced")
+	}
+}
+
+func TestParseSQLRoundTripsRendering(t *testing.T) {
+	db := parserDB(t)
+	orig := testQuery(db)
+	hint := ForcedHint([]int{0, 1}, JoinAuto)
+	sql := orig.SQL(hint)
+	q, h, err := ParseSQL(db, sql)
+	if err != nil {
+		t.Fatalf("re-parsing rendered SQL %q: %v", sql, err)
+	}
+	if len(q.Preds) != len(orig.Preds) || !h.Forced || len(h.UseIndex) != 2 {
+		t.Errorf("round trip lost structure: %+v %+v", q, h)
+	}
+	a, _, err := db.Run(orig, hint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := db.Run(q, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalRows(a.RowIDs, b.RowIDs) {
+		t.Error("round-tripped query returns different rows")
+	}
+}
+
+func TestParseSQLErrors(t *testing.T) {
+	db := parserDB(t)
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{`SELECT loc FROM nope WHERE ts BETWEEN 0 AND 1`, "unknown table"},
+		{`SELECT loc FROM events WHERE text contains "zzzznot"`, "unknown keyword"},
+		{`SELECT loc FROM events WHERE ts BETWEEN 5 AND 1`, "inverted"},
+		{`SELECT loc FROM events WHERE ts LIKE 5`, "unsupported condition"},
+		{`/*+ Index-Scan(events ghost) */ SELECT loc FROM events WHERE ts BETWEEN 0 AND 1`, "no such condition"},
+		{`/*+ Magic-Hint(events) */ SELECT loc FROM events WHERE ts BETWEEN 0 AND 1`, "unknown hint"},
+		{`SELECT loc FROM events GROUP BY BIN_ID(loc)`, "requires a spatial condition"},
+		{`SELECT loc FROM events WHERE ts BETWEEN 0 AND 1 LIMIT 0`, "LIMIT"},
+		{`SELECT loc FROM events WHERE ts BETWEEN 0 AND 1 garbage here`, "trailing input"},
+		{`SELECT loc FROM events_sample33 WHERE ts BETWEEN 0 AND 1`, "no 33% sample"},
+		{`/*+ Index-Scan(events ts`, "expected"},
+		{`/*+`, "unterminated"},
+		{`SELECT loc FROM events JOIN nope ON events.fk = nope.id WHERE ts BETWEEN 0 AND 1`, "unknown join table"},
+	}
+	for _, tc := range cases {
+		_, _, err := ParseSQL(db, tc.sql)
+		if err == nil {
+			t.Errorf("expected error containing %q for %q", tc.want, tc.sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("error %q does not contain %q", err.Error(), tc.want)
+		}
+	}
+}
+
+func TestLexSQL(t *testing.T) {
+	toks := lexSQL(`SELECT a, b FROM t WHERE x BETWEEN -1.5e3 AND 2 AND s contains "hi";`)
+	var kinds []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	joined := strings.Join(kinds, " ")
+	if !strings.Contains(joined, "num") || !strings.Contains(joined, "str") {
+		t.Errorf("lexer kinds: %v", joined)
+	}
+	// The negative scientific number survives as one token.
+	found := false
+	for _, tk := range toks {
+		if tk.kind == "num" && tk.text == "-1.5e3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("scientific literal split: %v", toks)
+	}
+}

@@ -1,0 +1,74 @@
+package engine
+
+import "fmt"
+
+// PredKind enumerates the predicate kinds the engine supports, matching the
+// three condition types in the paper's workloads (keyword, range, box).
+type PredKind uint8
+
+const (
+	// PredKeyword matches rows whose text column contains a word.
+	PredKeyword PredKind = iota
+	// PredRange matches rows whose numeric/time column is in [Lo, Hi].
+	PredRange
+	// PredGeo matches rows whose point column falls inside Box.
+	PredGeo
+)
+
+// String returns a short name for the predicate kind.
+func (k PredKind) String() string {
+	switch k {
+	case PredKeyword:
+		return "keyword"
+	case PredRange:
+		return "range"
+	case PredGeo:
+		return "geo"
+	}
+	return fmt.Sprintf("PredKind(%d)", uint8(k))
+}
+
+// Predicate is one conjunct of a query's WHERE clause.
+type Predicate struct {
+	Col  string
+	Kind PredKind
+
+	// PredKeyword
+	Word     uint32
+	WordText string // for SQL rendering
+
+	// PredRange: inclusive bounds, as float64 (times are unix ms).
+	Lo, Hi float64
+
+	// PredGeo
+	Box Rect
+}
+
+// Eval evaluates the predicate against one row of t.
+func (p Predicate) Eval(t *Table, row uint32) bool {
+	c := t.Col(p.Col)
+	switch p.Kind {
+	case PredKeyword:
+		return HasToken(c.Texts[row], p.Word)
+	case PredRange:
+		v := c.NumericAt(row)
+		return v >= p.Lo && v <= p.Hi
+	case PredGeo:
+		return p.Box.Contains(c.Points[row])
+	}
+	return false
+}
+
+// String renders the predicate as a SQL condition fragment.
+func (p Predicate) String() string {
+	switch p.Kind {
+	case PredKeyword:
+		return fmt.Sprintf("%s contains %q", p.Col, p.WordText)
+	case PredRange:
+		return fmt.Sprintf("%s BETWEEN %g AND %g", p.Col, p.Lo, p.Hi)
+	case PredGeo:
+		return fmt.Sprintf("%s IN ((%.4f, %.4f), (%.4f, %.4f))",
+			p.Col, p.Box.MinLon, p.Box.MinLat, p.Box.MaxLon, p.Box.MaxLat)
+	}
+	return "?"
+}

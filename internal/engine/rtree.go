@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"math"
+	"sort"
+)
+
+// rtreeFanout is the maximum number of entries per R-tree node.
+const rtreeFanout = 64
+
+// RTree is a spatial index over points, bulk-loaded with the
+// Sort-Tile-Recursive (STR) algorithm. It answers box queries and reports the
+// amount of work done so the executor can cost index scans.
+type RTree struct {
+	root *rtreeNode
+	size int
+}
+
+type rtreeNode struct {
+	leaf     bool
+	box      Rect
+	children []*rtreeNode // internal
+	points   []Point      // leaf, parallel to rows
+	rows     []uint32     // leaf
+}
+
+// NewRTree bulk-loads an R-tree from points; rows[i] is the row id of
+// points[i].
+func NewRTree(points []Point, rows []uint32) *RTree {
+	if len(points) != len(rows) {
+		panic("engine: NewRTree points/rows length mismatch")
+	}
+	t := &RTree{size: len(points)}
+	if len(points) == 0 {
+		t.root = &rtreeNode{leaf: true, box: Rect{}}
+		return t
+	}
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	leaves := strPack(points, rows, idx)
+	level := leaves
+	for len(level) > 1 {
+		level = strPackNodes(level)
+	}
+	t.root = level[0]
+	return t
+}
+
+// strPack tiles points into leaf nodes: sort by lon, slice into vertical
+// strips, sort each strip by lat, pack runs of rtreeFanout.
+func strPack(points []Point, rows []uint32, idx []int) []*rtreeNode {
+	sort.Slice(idx, func(a, b int) bool { return points[idx[a]].Lon < points[idx[b]].Lon })
+	n := len(idx)
+	leafCount := (n + rtreeFanout - 1) / rtreeFanout
+	stripCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	stripSize := ((n + stripCount - 1) / stripCount)
+	var leaves []*rtreeNode
+	for s := 0; s < n; s += stripSize {
+		e := s + stripSize
+		if e > n {
+			e = n
+		}
+		strip := idx[s:e]
+		sort.Slice(strip, func(a, b int) bool { return points[strip[a]].Lat < points[strip[b]].Lat })
+		for ls := 0; ls < len(strip); ls += rtreeFanout {
+			le := ls + rtreeFanout
+			if le > len(strip) {
+				le = len(strip)
+			}
+			leaf := &rtreeNode{leaf: true}
+			leaf.box = PointRect(points[strip[ls]])
+			for _, i := range strip[ls:le] {
+				leaf.points = append(leaf.points, points[i])
+				leaf.rows = append(leaf.rows, rows[i])
+				leaf.box = leaf.box.Extend(PointRect(points[i]))
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// strPackNodes packs child nodes into parents using the same STR tiling over
+// child box centers.
+func strPackNodes(nodes []*rtreeNode) []*rtreeNode {
+	idx := make([]int, len(nodes))
+	for i := range idx {
+		idx[i] = i
+	}
+	center := func(i int) Point {
+		b := nodes[i].box
+		return Point{Lon: (b.MinLon + b.MaxLon) / 2, Lat: (b.MinLat + b.MaxLat) / 2}
+	}
+	sort.Slice(idx, func(a, b int) bool { return center(idx[a]).Lon < center(idx[b]).Lon })
+	n := len(idx)
+	parentCount := (n + rtreeFanout - 1) / rtreeFanout
+	stripCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
+	stripSize := ((n + stripCount - 1) / stripCount)
+	var parents []*rtreeNode
+	for s := 0; s < n; s += stripSize {
+		e := s + stripSize
+		if e > n {
+			e = n
+		}
+		strip := idx[s:e]
+		sort.Slice(strip, func(a, b int) bool { return center(strip[a]).Lat < center(strip[b]).Lat })
+		for ps := 0; ps < len(strip); ps += rtreeFanout {
+			pe := ps + rtreeFanout
+			if pe > len(strip) {
+				pe = len(strip)
+			}
+			p := &rtreeNode{box: nodes[strip[ps]].box}
+			for _, i := range strip[ps:pe] {
+				p.children = append(p.children, nodes[i])
+				p.box = p.box.Extend(nodes[i].box)
+			}
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+// Len returns the number of indexed points.
+func (t *RTree) Len() int { return t.size }
+
+// Search returns row ids of points inside box, plus the number of node
+// entries examined (for costing).
+func (t *RTree) Search(box Rect) (rows []uint32, entries int) {
+	var walk func(n *rtreeNode)
+	walk = func(n *rtreeNode) {
+		entries++
+		if !n.box.Intersects(box) {
+			return
+		}
+		if n.leaf {
+			for i, p := range n.points {
+				entries++
+				if box.Contains(p) {
+					rows = append(rows, n.rows[i])
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows, entries
+}

@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramUniformAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 50000
+	c := &Column{Name: "v", Type: ColFloat64, Floats: make([]float64, n)}
+	for i := range c.Floats {
+		c.Floats[i] = rng.Float64() * 1000
+	}
+	h := BuildHistogram(c)
+	if h.Total != n {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	for _, tc := range []struct{ lo, hi, want float64 }{
+		{0, 1000, 1.0},
+		{0, 500, 0.5},
+		{250, 350, 0.1},
+		{-100, -1, 0},
+		{1001, 2000, 0},
+	} {
+		got := h.EstimateRange(tc.lo, tc.hi)
+		if math.Abs(got-tc.want) > 0.02 {
+			t.Errorf("EstimateRange(%v,%v) = %.3f, want ≈%.2f", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramEstimateBounds: estimates are always in [0,1] and monotone in
+// the range width.
+func TestHistogramEstimateBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := &Column{Name: "v", Type: ColFloat64, Floats: make([]float64, 5000)}
+	for i := range c.Floats {
+		c.Floats[i] = math.Exp(rng.NormFloat64() * 2)
+	}
+	h := BuildHistogram(c)
+	prop := func(a, b, w float64) bool {
+		lo := math.Mod(math.Abs(a), 100)
+		width := math.Mod(math.Abs(b), 50)
+		s1 := h.EstimateRange(lo, lo+width)
+		s2 := h.EstimateRange(lo, lo+width+math.Mod(math.Abs(w), 20))
+		return s1 >= 0 && s1 <= 1 && s2 >= s1-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	// All-equal column.
+	c := &Column{Name: "v", Type: ColInt64, Ints: []int64{7, 7, 7}}
+	h := BuildHistogram(c)
+	if got := h.EstimateRange(7, 7); got != 1 {
+		t.Errorf("point range on constant column = %v, want 1", got)
+	}
+	if got := h.EstimateRange(8, 9); got != 0 {
+		t.Errorf("off range on constant column = %v, want 0", got)
+	}
+	// Empty column.
+	he := BuildHistogram(&Column{Name: "e", Type: ColFloat64})
+	if got := he.EstimateRange(0, 1); got != 0 {
+		t.Errorf("empty histogram estimate = %v", got)
+	}
+}
+
+func TestGeoGridEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 40000
+	c := &Column{Name: "p", Type: ColPoint, Points: make([]Point, n)}
+	for i := range c.Points {
+		c.Points[i] = Point{Lon: rng.Float64() * 10, Lat: rng.Float64() * 10}
+	}
+	g := BuildGeoGrid(c)
+	full := g.EstimateBox(Rect{MinLon: 0, MinLat: 0, MaxLon: 10, MaxLat: 10})
+	if math.Abs(full-1) > 0.01 {
+		t.Errorf("full-extent estimate = %v", full)
+	}
+	quarter := g.EstimateBox(Rect{MinLon: 0, MinLat: 0, MaxLon: 5, MaxLat: 5})
+	if math.Abs(quarter-0.25) > 0.03 {
+		t.Errorf("quarter estimate = %v, want ≈0.25", quarter)
+	}
+	outside := g.EstimateBox(Rect{MinLon: 50, MinLat: 50, MaxLon: 60, MaxLat: 60})
+	if outside != 0 {
+		t.Errorf("outside estimate = %v", outside)
+	}
+}
+
+// TestKeywordEstimateIgnoresFrequency is the deliberate optimizer flaw: the
+// estimate for a frequent word equals the estimate for a rare word, so
+// frequent keywords are badly underestimated (DESIGN.md §3).
+func TestKeywordEstimateIgnoresFrequency(t *testing.T) {
+	texts := make([][]uint32, 1000)
+	for i := range texts {
+		if i < 900 {
+			texts[i] = []uint32{1} // word 1 in 90% of rows
+		} else {
+			texts[i] = []uint32{2}
+		}
+	}
+	tb := NewTable("t", 1)
+	if err := tb.AddColumn(&Column{Name: "tx", Type: ColText, Texts: texts}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.BuildIndex("tx", IndexInverted); err != nil {
+		t.Fatal(err)
+	}
+	st := BuildTableStats(tb)
+	freq := st.EstimateSelectivity(Predicate{Col: "tx", Kind: PredKeyword, Word: 1})
+	rare := st.EstimateSelectivity(Predicate{Col: "tx", Kind: PredKeyword, Word: 2})
+	if freq != rare {
+		t.Errorf("keyword estimates should be frequency-blind: %v vs %v", freq, rare)
+	}
+	trueFreq := TrueSelectivity(tb, Predicate{Col: "tx", Kind: PredKeyword, Word: 1})
+	if trueFreq < 0.89 || freq >= trueFreq/10 {
+		t.Errorf("frequent keyword should be underestimated ≥10×: est %v, true %v", freq, trueFreq)
+	}
+}
+
+// TestGeoSelFloor: tiny boxes are clamped up to the floor.
+func TestGeoSelFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := &Column{Name: "p", Type: ColPoint, Points: make([]Point, 10000)}
+	for i := range c.Points {
+		c.Points[i] = Point{Lon: rng.Float64(), Lat: rng.Float64()}
+	}
+	tb := NewTable("t", 1)
+	if err := tb.AddColumn(c); err != nil {
+		t.Fatal(err)
+	}
+	st := BuildTableStats(tb)
+	tiny := st.EstimateSelectivity(Predicate{Col: "p", Kind: PredGeo,
+		Box: Rect{MinLon: 0.5, MinLat: 0.5, MaxLon: 0.5001, MaxLat: 0.5001}})
+	if tiny < GeoSelFloor {
+		t.Errorf("tiny box estimate %v below floor %v", tiny, GeoSelFloor)
+	}
+}
+
+func TestTrueSelectivityWithAndWithoutIndex(t *testing.T) {
+	db := buildTestDB(t, 2000, 12)
+	tb := db.Table("events")
+	p := Predicate{Col: "ts", Kind: PredRange, Lo: 1000, Hi: 4000}
+	withIdx := TrueSelectivity(tb, p)
+	// Recompute by scan on a copy without the index.
+	manual := 0
+	for r := 0; r < tb.Rows; r++ {
+		if p.Eval(tb, uint32(r)) {
+			manual++
+		}
+	}
+	want := float64(manual) / float64(tb.Rows)
+	if math.Abs(withIdx-want) > 1e-12 {
+		t.Errorf("TrueSelectivity = %v, scan says %v", withIdx, want)
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	for _, tc := range []struct {
+		p    Predicate
+		want string
+	}{
+		{Predicate{Col: "t", Kind: PredKeyword, WordText: "covid"}, `t contains "covid"`},
+		{Predicate{Col: "x", Kind: PredRange, Lo: 1, Hi: 2}, "x BETWEEN 1 AND 2"},
+	} {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package engine implements the database substrate used by Maliva: an
+// in-memory columnar store with B+-tree, R-tree and inverted indexes, a
+// cost-based optimizer with realistic estimation errors, query hints,
+// sample tables, and a deterministic virtual-time cost model.
+//
+// The engine executes queries for real on (scaled-down) data, while the
+// reported execution time is a deterministic function of the work performed,
+// converted to paper-scale milliseconds. See DESIGN.md §3.
+package engine
+
+import "fmt"
+
+// ColType enumerates the column types supported by the engine.
+type ColType uint8
+
+const (
+	// ColInt64 holds 64-bit integers (ids, counts).
+	ColInt64 ColType = iota
+	// ColFloat64 holds 64-bit floats (prices, distances).
+	ColFloat64
+	// ColTime holds timestamps as Unix milliseconds.
+	ColTime
+	// ColPoint holds 2-D geo coordinates.
+	ColPoint
+	// ColText holds tokenized text (word-id slices per row).
+	ColText
+)
+
+// String returns the SQL-ish name of the column type.
+func (t ColType) String() string {
+	switch t {
+	case ColInt64:
+		return "BIGINT"
+	case ColFloat64:
+		return "DOUBLE"
+	case ColTime:
+		return "TIMESTAMP"
+	case ColPoint:
+		return "POINT"
+	case ColText:
+		return "TEXT"
+	}
+	return fmt.Sprintf("ColType(%d)", uint8(t))
+}
+
+// Point is a geographic coordinate (longitude, latitude).
+type Point struct {
+	Lon float64
+	Lat float64
+}
+
+// Rect is an axis-aligned bounding box in (lon, lat) space.
+type Rect struct {
+	MinLon, MinLat float64
+	MaxLon, MaxLat float64
+}
+
+// Contains reports whether p lies inside the rectangle (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.Lon >= r.MinLon && p.Lon <= r.MaxLon &&
+		p.Lat >= r.MinLat && p.Lat <= r.MaxLat
+}
+
+// Intersects reports whether the two rectangles overlap.
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinLon <= o.MaxLon && o.MinLon <= r.MaxLon &&
+		r.MinLat <= o.MaxLat && o.MinLat <= r.MaxLat
+}
+
+// ContainsRect reports whether r fully contains o.
+func (r Rect) ContainsRect(o Rect) bool {
+	return r.MinLon <= o.MinLon && r.MaxLon >= o.MaxLon &&
+		r.MinLat <= o.MinLat && r.MaxLat >= o.MaxLat
+}
+
+// Extend grows r to include o and returns the result.
+func (r Rect) Extend(o Rect) Rect {
+	if o.MinLon < r.MinLon {
+		r.MinLon = o.MinLon
+	}
+	if o.MinLat < r.MinLat {
+		r.MinLat = o.MinLat
+	}
+	if o.MaxLon > r.MaxLon {
+		r.MaxLon = o.MaxLon
+	}
+	if o.MaxLat > r.MaxLat {
+		r.MaxLat = o.MaxLat
+	}
+	return r
+}
+
+// Area returns the rectangle's area (degrees squared).
+func (r Rect) Area() float64 {
+	w := r.MaxLon - r.MinLon
+	h := r.MaxLat - r.MinLat
+	if w < 0 || h < 0 {
+		return 0
+	}
+	return w * h
+}
+
+// PointRect returns the degenerate rectangle covering a single point.
+func PointRect(p Point) Rect {
+	return Rect{MinLon: p.Lon, MinLat: p.Lat, MaxLon: p.Lon, MaxLat: p.Lat}
+}
+
+// Column is a typed column of values. Exactly one of the value slices is
+// populated, selected by Type. Text columns store word ids; the owning
+// table's Vocab maps ids back to strings.
+type Column struct {
+	Name   string
+	Type   ColType
+	Ints   []int64    // ColInt64 and ColTime (unix ms)
+	Floats []float64  // ColFloat64
+	Points []Point    // ColPoint
+	Texts  [][]uint32 // ColText: sorted unique word ids per row
+}
+
+// Len returns the number of rows stored in the column.
+func (c *Column) Len() int {
+	switch c.Type {
+	case ColInt64, ColTime:
+		return len(c.Ints)
+	case ColFloat64:
+		return len(c.Floats)
+	case ColPoint:
+		return len(c.Points)
+	case ColText:
+		return len(c.Texts)
+	}
+	return 0
+}
+
+// NumericAt returns the row's value as float64 for ordered column types.
+// It panics for point/text columns, which have no scalar ordering.
+func (c *Column) NumericAt(row uint32) float64 {
+	switch c.Type {
+	case ColInt64, ColTime:
+		return float64(c.Ints[row])
+	case ColFloat64:
+		return c.Floats[row]
+	}
+	panic("engine: NumericAt on non-numeric column " + c.Name)
+}

@@ -1,0 +1,74 @@
+package engine
+
+import "sort"
+
+// Vocab maps between words and compact word ids for text columns. Word id 0
+// is reserved as "unknown" so that a zero value never matches a real word.
+type Vocab struct {
+	words []string
+	ids   map[string]uint32
+}
+
+// NewVocab returns an empty vocabulary with the reserved unknown word.
+func NewVocab() *Vocab {
+	v := &Vocab{ids: make(map[string]uint32)}
+	v.words = append(v.words, "") // id 0 = unknown
+	return v
+}
+
+// Intern returns the id for word, adding it to the vocabulary if needed.
+func (v *Vocab) Intern(word string) uint32 {
+	if id, ok := v.ids[word]; ok {
+		return id
+	}
+	id := uint32(len(v.words))
+	v.words = append(v.words, word)
+	v.ids[word] = id
+	return id
+}
+
+// ID returns the id for word, or 0 if the word is unknown.
+func (v *Vocab) ID(word string) uint32 {
+	return v.ids[word]
+}
+
+// Word returns the word for id, or "" for unknown ids.
+func (v *Vocab) Word(id uint32) string {
+	if int(id) >= len(v.words) {
+		return ""
+	}
+	return v.words[id]
+}
+
+// Len returns the number of interned words, excluding the unknown sentinel.
+func (v *Vocab) Len() int { return len(v.words) - 1 }
+
+// SortTokens sorts a token slice and removes duplicates in place, the
+// canonical representation for text-column rows.
+func SortTokens(tokens []uint32) []uint32 {
+	if len(tokens) < 2 {
+		return tokens
+	}
+	sort.Slice(tokens, func(i, j int) bool { return tokens[i] < tokens[j] })
+	out := tokens[:1]
+	for _, t := range tokens[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// HasToken reports whether a sorted token slice contains the word id.
+func HasToken(tokens []uint32, id uint32) bool {
+	lo, hi := 0, len(tokens)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tokens[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(tokens) && tokens[lo] == id
+}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// TestCalibrationTaxiTPCH prints the difficulty profile of the NYC Taxi and
+// TPC-H workloads (run with -v); it asserts the same loose invariants as the
+// Twitter calibration.
+func TestCalibrationTaxiTPCH(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	cases := []struct {
+		name   string
+		build  func() (*workload.Dataset, error)
+		budget float64
+	}{
+		{"taxi", func() (*workload.Dataset, error) {
+			cfg := workload.TaxiConfig()
+			cfg.Rows = 60_000
+			cfg.Scale = 500e6 / float64(cfg.Rows)
+			return workload.Taxi(cfg)
+		}, 1000},
+		{"tpch", func() (*workload.Dataset, error) {
+			cfg := workload.TPCHConfig()
+			cfg.Rows = 60_000
+			cfg.Scale = 300e6 / float64(cfg.Rows)
+			return workload.TPCH(cfg)
+		}, 500},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ds, err := tc.build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			queries := workload.GenerateQueries(ds, 200, workload.QuerySpec{NumPreds: 3, Seed: 5})
+			ctxCfg := core.DefaultContextConfig(core.HintOnlySpec())
+			hist := map[int]int{}
+			baselineViable := map[int]int{}
+			failWithViable, haveViable := 0, 0
+			for _, q := range queries {
+				ctx, err := core.BuildContext(ds.DB, q, ctxCfg)
+				if err != nil {
+					t.Fatalf("BuildContext: %v", err)
+				}
+				nv := ctx.NumViable(tc.budget)
+				hist[nv]++
+				if ctx.BaselineMs <= tc.budget {
+					baselineViable[nv]++
+				}
+				if nv >= 1 {
+					haveViable++
+					if ctx.BaselineMs > tc.budget {
+						failWithViable++
+					}
+				}
+			}
+			for _, k := range SortedKeys(hist) {
+				t.Logf("viable=%d: queries=%d baselineViable=%d", k, hist[k], baselineViable[k])
+			}
+			if haveViable > 0 {
+				t.Logf("optimizer failure stat: %d/%d (%.0f%%)",
+					failWithViable, haveViable, 100*float64(failWithViable)/float64(haveViable))
+			}
+			if hist[0] == len(queries) {
+				t.Fatal("every query has 0 viable plans")
+			}
+			spread := 0
+			for k, v := range hist {
+				if k >= 1 && v > 0 {
+					spread++
+				}
+			}
+			if spread < 3 {
+				t.Errorf("viable-plan histogram too narrow: %v", hist)
+			}
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// TestCalibrationTwitter prints the difficulty profile of the Twitter
+// workload: the viable-plan histogram, baseline failure rate, and plan-time
+// spread. It asserts only loose invariants; its log output is the
+// calibration instrument for the engine cost model (run with -v).
+func TestCalibrationTwitter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	cfg := workload.TwitterConfig()
+	cfg.Rows = 60_000
+	cfg.Scale = 100e6 / float64(cfg.Rows)
+	ds, err := workload.Twitter(cfg)
+	if err != nil {
+		t.Fatalf("Twitter: %v", err)
+	}
+	queries := workload.GenerateQueries(ds, 200, workload.QuerySpec{NumPreds: 3, Seed: 5})
+	ctxCfg := core.DefaultContextConfig(core.HintOnlySpec())
+	const budget = 500.0
+
+	hist := map[int]int{}
+	baselineViable := map[int]int{}
+	var allTimes []float64
+	failWithViable, haveViable := 0, 0
+	for _, q := range queries {
+		ctx, err := core.BuildContext(ds.DB, q, ctxCfg)
+		if err != nil {
+			t.Fatalf("BuildContext: %v", err)
+		}
+		nv := ctx.NumViable(budget)
+		hist[nv]++
+		if ctx.BaselineMs <= budget {
+			baselineViable[nv]++
+		}
+		if nv >= 1 {
+			haveViable++
+			if ctx.BaselineMs > budget {
+				failWithViable++
+			}
+		}
+		allTimes = append(allTimes, ctx.TrueMs...)
+	}
+	sort.Float64s(allTimes)
+	pct := func(p float64) float64 { return allTimes[int(p*float64(len(allTimes)-1))] }
+	t.Logf("plan-time spread ms: p5=%.0f p25=%.0f p50=%.0f p75=%.0f p95=%.0f max=%.0f",
+		pct(0.05), pct(0.25), pct(0.50), pct(0.75), pct(0.95), pct(1.0))
+	for _, k := range SortedKeys(hist) {
+		t.Logf("viable=%d: queries=%d baselineViable=%d", k, hist[k], baselineViable[k])
+	}
+	if haveViable > 0 {
+		t.Logf("optimizer failure stat: %d/%d (%.0f%%) queries with ≥1 viable plan had a non-viable baseline",
+			failWithViable, haveViable, 100*float64(failWithViable)/float64(haveViable))
+	}
+
+	// Loose calibration invariants: difficulty must be spread out, and the
+	// optimizer must fail on a meaningful fraction (the paper's 269/602).
+	if hist[0] == len(queries) {
+		t.Fatalf("every query has 0 viable plans — cost model too slow")
+	}
+	spread := 0
+	for k, v := range hist {
+		if k >= 1 && v > 0 {
+			spread++
+		}
+	}
+	if spread < 3 {
+		t.Errorf("viable-plan histogram too narrow: %v", hist)
+	}
+	if haveViable > 0 {
+		frac := float64(failWithViable) / float64(haveViable)
+		if frac < 0.15 || frac > 0.9 {
+			t.Errorf("optimizer failure fraction %.2f outside the plausible band [0.15, 0.9]", frac)
+		}
+	}
+	if math.IsNaN(pct(0.5)) {
+		t.Fatal("NaN plan time")
+	}
+	fmt.Println() // keep fmt imported for quick experiments
+}

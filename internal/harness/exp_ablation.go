@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/qte"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// RunAblation evaluates the design choices DESIGN.md calls out, none of
+// which appear as figures in the paper but all of which justify the design:
+//
+//	(a) the learned policy versus a random exploration order and versus the
+//	    brute-force naive strategy (value of the Q-network);
+//	(b) the Fig. 7 shared-selectivity cost updates on/off (value of the
+//	    transition function's cost sharing);
+//	(c) robustness to the backend ignoring hints (challenge C2), sweeping
+//	    the engine's HintDropProb.
+func RunAblation(cfg RunConfig) (*Report, error) {
+	const budget = 500.0
+	r := &Report{ID: "abl", Title: "Ablations: policy, cost sharing, hint compliance"}
+
+	lab, err := labFor(cfg, labKey{
+		dataset: "twitter", numPreds: 3, space: "hint",
+		small: cfg.Small, numQueries: defaultQueries(cfg),
+	}, budget)
+	if err != nil {
+		return nil, err
+	}
+	acc := qte.NewAccurateQTE()
+	agent, _ := lab.TrainAgent(TrainAgentConfig{Agent: stdAgentConfig(cfg), QTE: acc, Seeds: agentSeeds(cfg)})
+	buckets := Bucketize(lab.Eval, budget, StandardBuckets())
+
+	// (a) policy value.
+	res := evalAll([]core.Rewriter{
+		&core.MDPRewriter{Agent: agent, QTE: acc, Tag: "Accurate-QTE"},
+		&randomOrderRewriter{QTE: acc},
+		core.NaiveRewriter{QTE: acc, ExactOnly: true},
+		core.OracleRewriter{},
+	}, buckets, budget)
+	r.Sections = append(r.Sections, ComparisonSection("(a) learned policy vs random order vs brute force — VQP", "vqp", res))
+
+	// (b) cost sharing off: the QTE always pays the full per-option cost.
+	noShare := &noSharingQTE{inner: acc}
+	agentNoShare, _ := lab.TrainAgent(TrainAgentConfig{Agent: stdAgentConfig(cfg), QTE: noShare, Seeds: agentSeeds(cfg)})
+	res = evalAll([]core.Rewriter{
+		&core.MDPRewriter{Agent: agent, QTE: acc, Tag: "cost sharing on"},
+		&core.MDPRewriter{Agent: agentNoShare, QTE: noShare, Tag: "cost sharing off"},
+	}, buckets, budget)
+	r.Sections = append(r.Sections, ComparisonSection("(b) Fig. 7 shared-selectivity cost updates — VQP", "vqp", res))
+
+	// (c) hint compliance sweep: rebuild ground truth on engines that drop
+	// forced hints with increasing probability.
+	var rows [][]string
+	for _, drop := range []float64{0, 0.1, 0.3} {
+		vqp, baseVQP, err := hintDropRun(cfg, drop, budget)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", drop*100),
+			FormatPct(vqp),
+			FormatPct(baseVQP),
+		})
+	}
+	r.AddSection("(c) VQP under hint non-compliance (challenge C2)",
+		[]string{"hint drop prob", "MDP (Accurate-QTE)", "Baseline"}, rows)
+	r.AddNote("expected: (a) learned ≥ random ≥ naive; (b) sharing on ≥ off; (c) MDP degrades gracefully as hints are ignored")
+	return r, nil
+}
+
+// hintDropRun builds a small lab on an engine that drops hints and returns
+// the MDP and baseline overall VQP.
+func hintDropRun(cfg RunConfig, drop, budget float64) (float64, float64, error) {
+	c := workload.TwitterConfig()
+	c.Rows = 40_000
+	c.Scale = 100e6 / float64(c.Rows)
+	ds, err := workload.Twitter(c)
+	if err != nil {
+		return 0, 0, err
+	}
+	ds.DB.Profile.HintDropProb = drop
+	nq := 240
+	if !cfg.Small {
+		nq = 600
+	}
+	lab, err := BuildLab(ds, LabConfig{
+		NumQueries: nq,
+		QuerySpec:  workload.QuerySpec{NumPreds: 3, Seed: 5},
+		Space:      core.HintOnlySpec(),
+		Budget:     budget,
+		Seed:       9,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	acc := qte.NewAccurateQTE()
+	acfg := stdAgentConfig(cfg)
+	acfg.MaxEpochs = 10
+	agent, _ := lab.TrainAgent(TrainAgentConfig{Agent: acfg, QTE: acc, Seeds: []int64{7}})
+	rw := &core.MDPRewriter{Agent: agent, QTE: acc, Tag: "Accurate-QTE"}
+	var m, b Metrics
+	for _, ctx := range lab.Eval {
+		m.Observe(rw.Rewrite(ctx, budget))
+		b.Observe(core.BaselineRewriter{}.Rewrite(ctx, budget))
+	}
+	return m.VQP(), b.VQP(), nil
+}
+
+// randomOrderRewriter explores options in a deterministic per-query random
+// order with the same termination rule as the MDP — the "no learning"
+// control.
+type randomOrderRewriter struct {
+	QTE core.Estimator
+}
+
+func (r *randomOrderRewriter) Name() string { return "Random order" }
+
+func (r *randomOrderRewriter) Rewrite(ctx *core.QueryContext, budget float64) core.Outcome {
+	env := core.NewEnv(core.EnvConfig{Budget: budget, QTE: r.QTE, Beta: 1}, ctx)
+	rng := rand.New(rand.NewSource(int64(ctx.Fingerprint)))
+	order := rng.Perm(ctx.N())
+	for _, a := range order {
+		if env.Done() {
+			break
+		}
+		env.Step(a)
+	}
+	return env.Outcome()
+}
+
+// noSharingQTE wraps an estimator but never lets collected selectivities
+// reduce later estimation costs (Fig. 7 disabled).
+type noSharingQTE struct {
+	inner core.Estimator
+}
+
+func (n *noSharingQTE) Name() string { return n.inner.Name() + ", no sharing" }
+
+func (n *noSharingQTE) InitialCost(ctx *core.QueryContext, i int) float64 {
+	return n.inner.InitialCost(ctx, i)
+}
+
+func (n *noSharingQTE) CostNow(ctx *core.QueryContext, i int, _ *core.SelCache) float64 {
+	return n.inner.CostNow(ctx, i, core.NewSelCache())
+}
+
+func (n *noSharingQTE) Estimate(ctx *core.QueryContext, i int, _ *core.SelCache) (float64, float64) {
+	return n.inner.Estimate(ctx, i, core.NewSelCache())
+}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"sync"
+
+	"github.com/maliva/maliva/internal/core"
+)
+
+// fig12Memo caches the Fig. 12/13 evaluation runs (the two figures share
+// one experiment: VQP and AQRT views of the same comparison).
+var (
+	fig12Mu   sync.Mutex
+	fig12Memo = map[string][]EvalResult{}
+)
+
+// fig12Datasets defines the three dataset runs of Figures 12/13.
+var fig12Datasets = []struct {
+	dataset string
+	budget  float64
+	label   string
+}{
+	{"twitter", 500, "Twitter (τ=500ms)"},
+	{"taxi", 1000, "NYC Taxi (τ=1s)"},
+	{"tpch", 500, "TPC-H (τ=500ms)"},
+}
+
+// fig12Eval runs (or reuses) the standard four-way comparison on a dataset.
+func fig12Eval(cfg RunConfig, dataset string, budget float64) ([]EvalResult, error) {
+	key := dataset
+	if cfg.Small {
+		key += "-small"
+	}
+	fig12Mu.Lock()
+	defer fig12Mu.Unlock()
+	if res, ok := fig12Memo[key]; ok {
+		return res, nil
+	}
+	lab, err := labFor(cfg, labKey{
+		dataset: dataset, numPreds: 3, space: "hint",
+		small: cfg.Small, numQueries: defaultQueries(cfg),
+	}, budget)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := buildComparators(cfg, lab)
+	if err != nil {
+		return nil, err
+	}
+	buckets := Bucketize(lab.Eval, budget, StandardBuckets())
+	res := evalAll([]core.Rewriter{comp.MDPAcc, comp.MDPAppr, comp.Bao, comp.Baseline}, buckets, budget)
+	fig12Memo[key] = res
+	return res, nil
+}
+
+// RunFig12 reproduces Figure 12: viable query percentage versus number of
+// viable plans on all three datasets, for MDP (Accurate-QTE),
+// MDP (Approximate-QTE), Bao and the baseline.
+func RunFig12(cfg RunConfig) (*Report, error) {
+	r := &Report{ID: "fig12", Title: "Viable query percentage (paper Figure 12)"}
+	for _, d := range fig12Datasets {
+		res, err := fig12Eval(cfg, d.dataset, d.budget)
+		if err != nil {
+			return nil, err
+		}
+		r.Sections = append(r.Sections, ComparisonSection(d.label, "vqp", res))
+	}
+	r.AddNote("expected shape: MDP(Accurate) ≥ MDP(Approximate) > Bao ≫ Baseline on Twitter/Taxi; Bao competitive on TPC-H")
+	return r, nil
+}
+
+// RunFig13 reproduces Figure 13: average query response time versus number
+// of viable plans, including the planning/execution split for MDP and Bao.
+func RunFig13(cfg RunConfig) (*Report, error) {
+	r := &Report{ID: "fig13", Title: "Average query response time (paper Figure 13)"}
+	for _, d := range fig12Datasets {
+		res, err := fig12Eval(cfg, d.dataset, d.budget)
+		if err != nil {
+			return nil, err
+		}
+		r.Sections = append(r.Sections, ComparisonSection(d.label+" — total", "aqrt", res))
+		r.Sections = append(r.Sections, ComparisonSection(d.label+" — plan/query split", "aqrt-split", res))
+	}
+	r.AddNote("paper example: Twitter 1-viable — baseline 1.11s, Bao 1.01s, MDP(Appr) 0.40s")
+	return r, nil
+}

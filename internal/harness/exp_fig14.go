@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"sync"
+
+	"github.com/maliva/maliva/internal/core"
+)
+
+// fig14Memo caches the 16/32-rewrite-option runs shared by Figures 14/15.
+var (
+	fig14Mu   sync.Mutex
+	fig14Memo = map[string][]EvalResult{}
+)
+
+// fig14Cases defines the two option-count workloads of §7.3.
+var fig14Cases = []struct {
+	numPreds int
+	options  int
+	buckets  [][2]int
+	label    string
+}{
+	{4, 16, [][2]int{{1, 2}, {3, 4}, {5, 6}, {7, 8}}, "16 rewrite options"},
+	{5, 32, [][2]int{{1, 4}, {5, 8}, {9, 12}, {13, 16}}, "32 rewrite options"},
+}
+
+// fig14Eval runs (or reuses) the comparison for one option count. The naive
+// brute-force comparator is included only for 16 options, as in the paper's
+// Fig. 14(a)/15(a).
+func fig14Eval(cfg RunConfig, caseIdx int) ([]EvalResult, error) {
+	c := fig14Cases[caseIdx]
+	key := c.label
+	if cfg.Small {
+		key += "-small"
+	}
+	fig14Mu.Lock()
+	defer fig14Mu.Unlock()
+	if res, ok := fig14Memo[key]; ok {
+		return res, nil
+	}
+	const budget = 500.0
+	lab, err := labFor(cfg, labKey{
+		dataset: "twitter", numPreds: c.numPreds, space: "hint",
+		small: cfg.Small, numQueries: defaultQueries(cfg),
+	}, budget)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := buildComparators(cfg, lab)
+	if err != nil {
+		return nil, err
+	}
+	buckets := Bucketize(lab.Eval, budget, c.buckets)
+	rewriters := []core.Rewriter{comp.MDPAcc, comp.MDPAppr}
+	if c.options == 16 {
+		rewriters = append(rewriters, comp.Naive)
+	}
+	rewriters = append(rewriters, comp.Bao, comp.Baseline)
+	res := evalAll(rewriters, buckets, budget)
+	fig14Memo[key] = res
+	return res, nil
+}
+
+// RunFig14 reproduces Figure 14: VQP for workloads with 16 and 32 rewrite
+// options on Twitter (τ = 500 ms).
+func RunFig14(cfg RunConfig) (*Report, error) {
+	r := &Report{ID: "fig14", Title: "VQP for 16/32 rewrite options (paper Figure 14)"}
+	for i, c := range fig14Cases {
+		res, err := fig14Eval(cfg, i)
+		if err != nil {
+			return nil, err
+		}
+		r.Sections = append(r.Sections, ComparisonSection(c.label, "vqp", res))
+	}
+	r.AddNote("expected shape: MDP ≫ Bao/Baseline on hard queries; advantage shrinks at 32 options (planning gets pricier)")
+	return r, nil
+}
+
+// RunFig15 reproduces Figure 15: AQRT for the same workloads.
+func RunFig15(cfg RunConfig) (*Report, error) {
+	r := &Report{ID: "fig15", Title: "AQRT for 16/32 rewrite options (paper Figure 15)"}
+	for i, c := range fig14Cases {
+		res, err := fig14Eval(cfg, i)
+		if err != nil {
+			return nil, err
+		}
+		r.Sections = append(r.Sections, ComparisonSection(c.label+" — total", "aqrt", res))
+		r.Sections = append(r.Sections, ComparisonSection(c.label+" — plan/query split", "aqrt-split", res))
+	}
+	r.AddNote("paper example: 16 RO, 1-2 viable — baseline 1.13s, Bao 1.05s, MDP(Appr) 0.66s")
+	return r, nil
+}

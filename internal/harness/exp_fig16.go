@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/maliva/maliva/internal/core"
+)
+
+// fig16Memo caches per-budget runs shared by Figures 16/17.
+var (
+	fig16Mu   sync.Mutex
+	fig16Memo = map[string][]EvalResult{}
+)
+
+// fig16Budgets are the §7.4 time budgets in milliseconds.
+var fig16Budgets = []float64{250, 750, 1000}
+
+// fig16Eval runs (or reuses) the comparison for one budget. Contexts are
+// shared across budgets (ground truth is budget-independent); agents are
+// retrained per budget since the policy depends on τ.
+func fig16Eval(cfg RunConfig, budget float64) ([]EvalResult, error) {
+	key := fmt.Sprintf("%v-%v", budget, cfg.Small)
+	fig16Mu.Lock()
+	defer fig16Mu.Unlock()
+	if res, ok := fig16Memo[key]; ok {
+		return res, nil
+	}
+	lab, err := labFor(cfg, labKey{
+		dataset: "twitter", numPreds: 3, space: "hint",
+		small: cfg.Small, numQueries: defaultQueries(cfg),
+	}, budget)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := buildComparators(cfg, lab)
+	if err != nil {
+		return nil, err
+	}
+	buckets := Bucketize(lab.Eval, budget, StandardBuckets())
+	res := evalAll([]core.Rewriter{comp.MDPAcc, comp.MDPAppr, comp.Bao, comp.Baseline}, buckets, budget)
+	fig16Memo[key] = res
+	return res, nil
+}
+
+// RunFig16 reproduces Figure 16: VQP on Twitter for τ ∈ {0.25, 0.75, 1.0}s.
+func RunFig16(cfg RunConfig) (*Report, error) {
+	r := &Report{ID: "fig16", Title: "VQP for different time budgets (paper Figure 16)"}
+	for _, b := range fig16Budgets {
+		res, err := fig16Eval(cfg, b)
+		if err != nil {
+			return nil, err
+		}
+		r.Sections = append(r.Sections, ComparisonSection(fmt.Sprintf("τ = %.2gs", b/1000), "vqp", res))
+	}
+	r.AddNote("expected crossover: MDP(Approximate) wins at τ=0.25s (accurate QTE too expensive); MDP(Accurate) wins at τ=1s")
+	return r, nil
+}
+
+// RunFig17 reproduces Figure 17: AQRT for the same budgets.
+func RunFig17(cfg RunConfig) (*Report, error) {
+	r := &Report{ID: "fig17", Title: "AQRT for different time budgets (paper Figure 17)"}
+	for _, b := range fig16Budgets {
+		res, err := fig16Eval(cfg, b)
+		if err != nil {
+			return nil, err
+		}
+		r.Sections = append(r.Sections, ComparisonSection(fmt.Sprintf("τ = %.2gs — total", b/1000), "aqrt", res))
+	}
+	return r, nil
+}

@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"github.com/maliva/maliva/internal/core"
+)
+
+// RunFig18 reproduces Figure 18: performance on join queries. The rewrite
+// options are 7 index combinations × 3 join methods = 21 hint sets (§7.5),
+// with τ = 500 ms on the Twitter dataset.
+func RunFig18(cfg RunConfig) (*Report, error) {
+	const budget = 500.0
+	lab, err := labFor(cfg, labKey{
+		dataset: "twitter", numPreds: 3, join: true, space: "join",
+		small: cfg.Small, numQueries: defaultQueries(cfg) * 2 / 3,
+	}, budget)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := buildComparators(cfg, lab)
+	if err != nil {
+		return nil, err
+	}
+	groups := [][2]int{{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}}
+	buckets := Bucketize(lab.Eval, budget, groups)
+	res := evalAll([]core.Rewriter{comp.MDPAcc, comp.MDPAppr, comp.Bao, comp.Baseline}, buckets, budget)
+
+	r := &Report{ID: "fig18", Title: "Join queries: 21 rewrite options (paper Figure 18)"}
+	r.Sections = append(r.Sections, ComparisonSection("VQP", "vqp", res))
+	r.Sections = append(r.Sections, ComparisonSection("AQRT — total", "aqrt", res))
+	r.Sections = append(r.Sections, ComparisonSection("AQRT — plan/query split", "aqrt-split", res))
+	r.AddNote("paper: MDP(Appr) > 2× Bao's viable plans at 1-2 viable; AQRT 0.34s vs Bao's 0.87s")
+	return r, nil
+}

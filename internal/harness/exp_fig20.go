@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/qte"
+)
+
+// RunFig20 reproduces Figure 20: quality-aware rewriting on Twitter with the
+// accurate QTE. The option space is the 8 index-hint sets plus five LIMIT
+// approximation rules (0.032%–20% of the estimated cardinality). Compared:
+// the baseline, the hint-only MDP, and the one-stage and two-stage
+// quality-aware MDP rewriters (§6), with β = 0.7.
+func RunFig20(cfg RunConfig) (*Report, error) {
+	const budget = 500.0
+	const beta = 0.7
+	lab, err := labFor(cfg, labKey{
+		dataset: "twitter", numPreds: 3, space: "quality",
+		small: cfg.Small, numQueries: defaultQueries(cfg),
+	}, budget)
+	if err != nil {
+		return nil, err
+	}
+	acc := qte.NewAccurateQTE()
+
+	// Hint-only agent over the exact sub-space (also stage 1 of two-stage).
+	exactTrain := subContexts(lab.Train, core.ExactOptionIndexes)
+	exactVal := subContexts(lab.Val, core.ExactOptionIndexes)
+	cfg.logf("fig20: training hint-only agent")
+	hintAgent, _ := lab.TrainAgent(TrainAgentConfig{
+		Agent: stdAgentConfig(cfg), QTE: acc, Seeds: agentSeeds(cfg),
+		Contexts: exactTrain, ValContexts: exactVal,
+	})
+
+	// One-stage agent over the full space with the quality-aware reward.
+	cfg.logf("fig20: training one-stage quality-aware agent")
+	oneAgent, _ := lab.TrainAgent(TrainAgentConfig{
+		Agent: stdAgentConfig(cfg), QTE: acc, Beta: beta, Seeds: agentSeeds(cfg),
+	})
+
+	// Stage-2 agent over the approximation sub-space.
+	approxTrain := subContexts(lab.Train, core.ApproxOptionIndexes)
+	approxVal := subContexts(lab.Val, core.ApproxOptionIndexes)
+	cfg.logf("fig20: training stage-2 (approximation) agent")
+	stage2Agent, _ := lab.TrainAgent(TrainAgentConfig{
+		Agent: stdAgentConfig(cfg), QTE: acc, Beta: beta, Seeds: agentSeeds(cfg),
+		Contexts: approxTrain, ValContexts: approxVal,
+	})
+
+	rewriters := []core.Rewriter{
+		&core.OneStageRewriter{Agent: oneAgent, QTE: acc, Beta: beta},
+		&core.TwoStageRewriter{StageOne: hintAgent, StageTwo: stage2Agent, QTE: acc, Beta: beta},
+		&hintOnlyAdapter{agent: hintAgent, qte: acc},
+		core.BaselineRewriter{},
+	}
+	groups := [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	buckets := Bucketize(lab.Eval, budget, groups)
+	res := evalAll(rewriters, buckets, budget)
+
+	r := &Report{ID: "fig20", Title: "Quality-aware rewriting (paper Figure 20)"}
+	r.Sections = append(r.Sections, ComparisonSection("(a) VQP", "vqp", res))
+	r.Sections = append(r.Sections, ComparisonSection("(b) AQRT", "aqrt", res))
+	r.Sections = append(r.Sections, ComparisonSection("(c) average Jaccard quality", "quality", res))
+	r.AddNote("paper: 0-viable VQP — two-stage 24%%, one-stage 31%%; quality — two-stage 0.79, one-stage 0.43")
+	return r, nil
+}
+
+// subContexts maps a context list through an option-index selector.
+func subContexts(ctxs []*core.QueryContext, sel func(*core.QueryContext) []int) []*core.QueryContext {
+	out := make([]*core.QueryContext, 0, len(ctxs))
+	for _, ctx := range ctxs {
+		idx := sel(ctx)
+		if len(idx) == 0 {
+			continue
+		}
+		out = append(out, core.SubContext(ctx, idx))
+	}
+	return out
+}
+
+// hintOnlyAdapter evaluates the hint-only agent inside the quality-aware
+// space (the paper's "MDP (Accu.-QTE)" line in Fig. 20): it only ever
+// explores the exact options.
+type hintOnlyAdapter struct {
+	agent *core.Agent
+	qte   core.Estimator
+}
+
+func (h *hintOnlyAdapter) Name() string { return "MDP (Accu.-QTE)" }
+
+func (h *hintOnlyAdapter) Rewrite(ctx *core.QueryContext, budget float64) core.Outcome {
+	exact := core.ExactOptionIndexes(ctx)
+	sub := core.SubContext(ctx, exact)
+	env := core.NewEnv(core.EnvConfig{Budget: budget, QTE: h.qte, Beta: 1}, sub)
+	out := h.agent.Rewrite(env)
+	out.Option = exact[out.Option]
+	return out
+}

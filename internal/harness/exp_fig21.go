@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/qte"
+)
+
+// RunFig21 reproduces Figure 21: learning curves (training and validation
+// VQP versus number of training queries) and training-time curves for 8, 16
+// and 32 rewrite options. Per the paper, the accurate QTE is used with unit
+// costs of 100/60/50 ms respectively and τ = 500 ms; each point is repeated
+// with several samples of the training set and reported as mean ± stddev.
+func RunFig21(cfg RunConfig) (*Report, error) {
+	const budget = 500.0
+	r := &Report{ID: "fig21", Title: "Learning and training-time curves (paper Figure 21)"}
+
+	sizes := []int{25, 50, 100, 150, 200}
+	repeats := 3
+	if cfg.Small {
+		sizes = []int{25, 50, 100}
+		repeats = 2
+	}
+	cases := []struct {
+		numPreds int
+		options  int
+		unitCost float64
+	}{
+		{3, 8, 100},
+		{4, 16, 60},
+		{5, 32, 50},
+	}
+	for _, c := range cases {
+		lab, err := labFor(cfg, labKey{
+			dataset: "twitter", numPreds: c.numPreds, space: "hint",
+			small: cfg.Small, numQueries: defaultQueries(cfg),
+		}, budget)
+		if err != nil {
+			return nil, err
+		}
+		est := &qte.AccurateQTE{UnitCostMs: c.unitCost, BaseMs: 5}
+		var rows [][]string
+		for _, size := range sizes {
+			if size > len(lab.Train) {
+				continue
+			}
+			var trainVQPs, valVQPs, secs []float64
+			for rep := 0; rep < repeats; rep++ {
+				subset := sampleContexts(lab.Train, size, int64(1000*c.options+rep))
+				acfg := stdAgentConfig(cfg)
+				acfg.Seed = int64(100 + rep)
+				acfg.MaxEpochs = 20
+				agent := core.NewAgent(acfg, subset[0].N())
+				start := time.Now()
+				agent.Train(subset, core.EnvConfig{Budget: budget, QTE: est, Beta: 1})
+				secs = append(secs, time.Since(start).Seconds())
+				trainVQPs = append(trainVQPs, vqpOf(agent, est, subset, budget))
+				valVQPs = append(valVQPs, vqpOf(agent, est, lab.Val, budget))
+			}
+			tm, ts := meanStd(trainVQPs)
+			vm, vs := meanStd(valVQPs)
+			sm, _ := meanStd(secs)
+			rows = append(rows, []string{
+				fmt.Sprint(size),
+				fmt.Sprintf("%.1f±%.1f%%", tm, ts),
+				fmt.Sprintf("%.1f±%.1f%%", vm, vs),
+				fmt.Sprintf("%.1fs", sm),
+			})
+		}
+		r.AddSection(
+			fmt.Sprintf("%d rewrite options (unit cost %.0fms)", c.options, c.unitCost),
+			[]string{"# training queries", "training VQP", "validation VQP", "training time"},
+			rows,
+		)
+	}
+	r.AddNote("paper: validation converges to training VQP at ~50/80/150 queries for 8/16/32 options; 32 options ≈ 150s for 150 queries on their hardware")
+	return r, nil
+}
+
+// vqpOf evaluates an agent's VQP over contexts.
+func vqpOf(agent *core.Agent, est core.Estimator, ctxs []*core.QueryContext, budget float64) float64 {
+	if len(ctxs) == 0 {
+		return 0
+	}
+	viable := 0
+	for _, ctx := range ctxs {
+		env := core.NewEnv(core.EnvConfig{Budget: budget, QTE: est, Beta: 1}, ctx)
+		if agent.Rewrite(env).Viable {
+			viable++
+		}
+	}
+	return 100 * float64(viable) / float64(len(ctxs))
+}
+
+// sampleContexts draws size contexts without replacement, deterministically.
+func sampleContexts(ctxs []*core.QueryContext, size int, seed int64) []*core.QueryContext {
+	idx := make([]int, len(ctxs))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Fisher-Yates with a simple LCG to avoid importing rand here.
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	for i := len(idx) - 1; i > 0; i-- {
+		j := next(i + 1)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	if size > len(idx) {
+		size = len(idx)
+	}
+	out := make([]*core.QueryContext, size)
+	for i := 0; i < size; i++ {
+		out[i] = ctxs[idx[i]]
+	}
+	return out
+}
+
+// meanStd returns the mean and standard deviation.
+func meanStd(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		sq += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(sq / float64(len(xs)))
+}

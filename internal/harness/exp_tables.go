@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RunTable1 reproduces Table 1: the three datasets, their (simulated) record
+// counts, and the filtering/output attributes.
+func RunTable1(cfg RunConfig) (*Report, error) {
+	r := &Report{ID: "t1", Title: "Datasets (paper Table 1)"}
+	rows := [][]string{}
+	for _, name := range []string{"twitter", "taxi", "tpch"} {
+		key := labKey{dataset: name, small: cfg.Small}
+		ds, err := buildDataset(key)
+		if err != nil {
+			return nil, err
+		}
+		main := ds.DB.Table(ds.Main)
+		rows = append(rows, []string{
+			ds.Name,
+			fmt.Sprintf("%.0fM", main.RealRows()/1e6),
+			fmt.Sprint(main.Rows),
+			fmt.Sprintf("%.0f×", main.ScaleFactor),
+			strings.Join(ds.FilterCols, ", "),
+			strings.Join(ds.OutputCols, ", "),
+		})
+	}
+	r.AddSection("", []string{"Dataset", "Simulated records", "Stored rows", "Scale", "Filtering attributes", "Output attributes"}, rows)
+	r.AddNote("paper: Twitter 100M / NYC Taxi 500M / TPC-H 300M records")
+	return r, nil
+}
+
+// RunTable2 reproduces Table 2: evaluation-workload sizes by number of
+// viable plans for the three datasets (8 rewrite options, τ = 500 ms /
+// 1 s / 500 ms).
+func RunTable2(cfg RunConfig) (*Report, error) {
+	r := &Report{ID: "t2", Title: "Evaluation workloads by # viable plans (paper Table 2)"}
+	groups := [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, -1}}
+	cols := []string{"# viable plans", "0", "1", "2", "3", "4", "≥5"}
+	var rows [][]string
+	for _, tc := range []struct {
+		dataset string
+		budget  float64
+	}{{"twitter", 500}, {"taxi", 1000}, {"tpch", 500}} {
+		lab, err := labFor(cfg, labKey{
+			dataset: tc.dataset, numPreds: 3, space: "hint",
+			small: cfg.Small, numQueries: defaultQueries(cfg),
+		}, tc.budget)
+		if err != nil {
+			return nil, err
+		}
+		hist := ViablePlanHistogram(lab.Eval, tc.budget)
+		row := []string{lab.DS.Name}
+		for _, g := range groups {
+			n := 0
+			for k, v := range hist {
+				if k >= g[0] && (g[1] < 0 || k <= g[1]) {
+					n += v
+				}
+			}
+			row = append(row, fmt.Sprint(n))
+		}
+		rows = append(rows, row)
+	}
+	r.AddSection("", cols, rows)
+	r.AddNote("paper Table 2: Twitter 518/97/234/118/153/69; Taxi 408/91/146/13/181/3; TPC-H 381/107/310/66/47/0")
+	return r, nil
+}
+
+// RunTable3 reproduces Table 3: Twitter workloads with 16 and 32 rewrite
+// options (4 and 5 filtering attributes).
+func RunTable3(cfg RunConfig) (*Report, error) {
+	r := &Report{ID: "t3", Title: "Workloads with 16 and 32 rewrite options (paper Table 3)"}
+	for _, tc := range []struct {
+		numPreds int
+		groups   [][2]int
+		title    string
+	}{
+		{4, [][2]int{{0, 0}, {1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, -1}}, "16 rewrite options"},
+		{5, [][2]int{{0, 0}, {1, 4}, {5, 8}, {9, 12}, {13, 16}, {17, -1}}, "32 rewrite options"},
+	} {
+		lab, err := labFor(cfg, labKey{
+			dataset: "twitter", numPreds: tc.numPreds, space: "hint",
+			small: cfg.Small, numQueries: defaultQueries(cfg),
+		}, 500)
+		if err != nil {
+			return nil, err
+		}
+		hist := ViablePlanHistogram(lab.Eval, 500)
+		r.AddSection(tc.title, []string{"# viable plans", "# queries"}, histogramRows(hist, tc.groups))
+	}
+	r.AddNote("paper Table 3: 16 RO → 485/150/241/90/132/93; 32 RO → 412/141/197/159/151/145")
+	return r, nil
+}
+
+// RunStatOptimizer reproduces the §1 statistic: of the evaluation queries
+// with at least one viable plan, how many did the backend optimizer plan
+// non-viably (paper: 269 of 602 on PostgreSQL).
+func RunStatOptimizer(cfg RunConfig) (*Report, error) {
+	lab, err := labFor(cfg, labKey{
+		dataset: "twitter", numPreds: 3, space: "hint",
+		small: cfg.Small, numQueries: defaultQueries(cfg),
+	}, 500)
+	if err != nil {
+		return nil, err
+	}
+	have, fail := 0, 0
+	for _, ctx := range lab.Eval {
+		if ctx.NumViable(500) >= 1 {
+			have++
+			if ctx.BaselineMs > 500 {
+				fail++
+			}
+		}
+	}
+	r := &Report{ID: "s1", Title: "Optimizer failures on queries with ≥1 viable plan (§1)"}
+	r.AddSection("", []string{"queries w/ viable plan", "optimizer non-viable", "failure %"},
+		[][]string{{fmt.Sprint(have), fmt.Sprint(fail), FormatPct(100 * float64(fail) / float64(max(1, have)))}})
+	r.AddNote("paper: 269 of 602 (45%%) on PostgreSQL with τ = 500 ms")
+	return r, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

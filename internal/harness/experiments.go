@@ -1,0 +1,279 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/maliva/maliva/internal/bao"
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/engine"
+	"github.com/maliva/maliva/internal/qte"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// RunConfig controls experiment execution.
+type RunConfig struct {
+	// Small reduces dataset/workload/training sizes so the whole suite runs
+	// in benchmark time; the full configuration matches the paper's scale.
+	Small bool
+	// Out receives progress lines (nil = silent).
+	Out io.Writer
+}
+
+func (c RunConfig) logf(format string, args ...any) {
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, format+"\n", args...)
+	}
+}
+
+// Experiment reproduces one of the paper's tables or figures.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg RunConfig) (*Report, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"t1", "Table 1: datasets", RunTable1},
+		{"t2", "Table 2: evaluation workloads by number of viable plans", RunTable2},
+		{"t3", "Table 3: workloads with 16 and 32 rewrite options", RunTable3},
+		{"s1", "§1 statistic: optimizer failures on queries with viable plans", RunStatOptimizer},
+		{"fig12", "Figure 12: viable query percentage (3 datasets)", RunFig12},
+		{"fig13", "Figure 13: average query response time (3 datasets)", RunFig13},
+		{"fig14", "Figure 14: VQP for 16 and 32 rewrite options", RunFig14},
+		{"fig15", "Figure 15: AQRT for 16 and 32 rewrite options", RunFig15},
+		{"fig16", "Figure 16: VQP for different time budgets", RunFig16},
+		{"fig17", "Figure 17: AQRT for different time budgets", RunFig17},
+		{"fig18", "Figure 18: performance on join queries", RunFig18},
+		{"fig19", "Figure 19: unseen queries and a commercial database", RunFig19},
+		{"fig20", "Figure 20: quality-aware rewriting", RunFig20},
+		{"fig21", "Figure 21: learning curves and training time", RunFig21},
+		{"abl", "Ablations: policy value, cost sharing, hint compliance", RunAblation},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Shared lab construction with memoization (figures reuse workloads).
+
+type labKey struct {
+	dataset    string // "twitter", "taxi", "tpch", "twitter-commercial"
+	numPreds   int
+	join       bool
+	space      string // "hint", "join", "quality"
+	small      bool
+	numQueries int
+}
+
+var (
+	labMu   sync.Mutex
+	labMemo = map[labKey]*Lab{}
+)
+
+// labFor builds (or reuses) the lab for a key.
+func labFor(cfg RunConfig, key labKey, budget float64) (*Lab, error) {
+	labMu.Lock()
+	defer labMu.Unlock()
+	if lab, ok := labMemo[key]; ok {
+		cp := *lab
+		cp.Budget = budget
+		return &cp, nil
+	}
+	ds, err := buildDataset(key)
+	if err != nil {
+		return nil, err
+	}
+	space := spaceFor(key.space)
+	nq := key.numQueries
+	cfg.logf("building %s lab: %d queries, %d preds, space=%s", key.dataset, nq, key.numPreds, key.space)
+	lab, err := BuildLab(ds, LabConfig{
+		NumQueries: nq,
+		QuerySpec:  workload.QuerySpec{NumPreds: key.numPreds, Join: key.join, Seed: 5},
+		Space:      space,
+		Budget:     budget,
+		Seed:       9,
+		Progress:   cfg.Out,
+	})
+	if err != nil {
+		return nil, err
+	}
+	labMemo[key] = lab
+	cp := *lab
+	cp.Budget = budget
+	return &cp, nil
+}
+
+// ResetLabCache clears memoized labs (tests use it to bound memory).
+func ResetLabCache() {
+	labMu.Lock()
+	defer labMu.Unlock()
+	labMemo = map[labKey]*Lab{}
+}
+
+func spaceFor(name string) core.SpaceSpec {
+	switch name {
+	case "join":
+		return core.JoinSpec()
+	case "quality":
+		return core.QualityAwareSpec()
+	default:
+		return core.HintOnlySpec()
+	}
+}
+
+func buildDataset(key labKey) (*workload.Dataset, error) {
+	switch key.dataset {
+	case "twitter":
+		c := workload.TwitterConfig()
+		if key.small {
+			c.Rows = 60_000
+			c.Scale = 100e6 / float64(c.Rows)
+		}
+		return workload.Twitter(c)
+	case "twitter-commercial":
+		// §7.6: a smaller 10M-record table on the commercial profile.
+		c := workload.TwitterConfig()
+		c.Rows = 60_000
+		c.Scale = 10e6 / float64(c.Rows)
+		ds, err := workload.Twitter(c)
+		if err != nil {
+			return nil, err
+		}
+		ds.DB.Profile = engine.ProfileCommercial()
+		return ds, nil
+	case "taxi":
+		c := workload.TaxiConfig()
+		if key.small {
+			c.Rows = 60_000
+			c.Scale = 500e6 / float64(c.Rows)
+		}
+		return workload.Taxi(c)
+	case "tpch":
+		c := workload.TPCHConfig()
+		if key.small {
+			c.Rows = 60_000
+			c.Scale = 300e6 / float64(c.Rows)
+		}
+		return workload.TPCH(c)
+	}
+	return nil, fmt.Errorf("harness: unknown dataset %q", key.dataset)
+}
+
+// defaultQueries returns the workload size for a configuration.
+func defaultQueries(cfg RunConfig) int {
+	if cfg.Small {
+		return 360
+	}
+	return 1100
+}
+
+func agentSeeds(cfg RunConfig) []int64 {
+	if cfg.Small {
+		return []int64{7}
+	}
+	return []int64{7, 17, 27}
+}
+
+// stdAgentConfig returns the agent hyperparameters for experiments.
+func stdAgentConfig(cfg RunConfig) core.AgentConfig {
+	a := core.DefaultAgentConfig()
+	if cfg.Small {
+		a.MaxEpochs = 14
+	}
+	return a
+}
+
+// comparatorSet holds the trained rewriters shared by Figures 12–18.
+type comparatorSet struct {
+	Baseline core.Rewriter
+	MDPAcc   core.Rewriter
+	MDPAppr  core.Rewriter
+	Bao      core.Rewriter
+	Naive    core.Rewriter
+	SampQTE  *qte.SamplingQTE
+	BaoImpl  *bao.Rewriter
+}
+
+// buildComparators trains everything the standard comparison needs.
+func buildComparators(cfg RunConfig, lab *Lab) (*comparatorSet, error) {
+	acc := qte.NewAccurateQTE()
+	samp, err := lab.NewSamplingQTE()
+	if err != nil {
+		return nil, err
+	}
+	cfg.logf("training MDP (Accurate-QTE) agent")
+	accAgent, accVal := lab.TrainAgent(TrainAgentConfig{
+		Agent: stdAgentConfig(cfg), QTE: acc, Seeds: agentSeeds(cfg),
+	})
+	cfg.logf("  validation score %.3f", accVal)
+	cfg.logf("training MDP (Approximate-QTE) agent")
+	sampAgent, sampVal := lab.TrainAgent(TrainAgentConfig{
+		Agent: stdAgentConfig(cfg), QTE: samp, Seeds: agentSeeds(cfg),
+	})
+	cfg.logf("  validation score %.3f", sampVal)
+	cfg.logf("training Bao")
+	b := bao.New(bao.DefaultConfig())
+	b.Train(lab.Train)
+	return &comparatorSet{
+		Baseline: core.BaselineRewriter{},
+		MDPAcc:   &core.MDPRewriter{Agent: accAgent, QTE: acc, Tag: "Accurate-QTE"},
+		MDPAppr:  &core.MDPRewriter{Agent: sampAgent, QTE: samp, Tag: "Approximate-QTE"},
+		Bao:      b,
+		Naive:    core.NaiveRewriter{QTE: samp, ExactOnly: true},
+		SampQTE:  samp,
+		BaoImpl:  b,
+	}, nil
+}
+
+// evalAll evaluates a list of rewriters over buckets.
+func evalAll(rewriters []core.Rewriter, buckets []*Bucket, budget float64) []EvalResult {
+	out := make([]EvalResult, 0, len(rewriters))
+	for _, rw := range rewriters {
+		out = append(out, Evaluate(rw, buckets, budget))
+	}
+	return out
+}
+
+// histogramRows renders a viable-plan histogram as grouped table rows.
+func histogramRows(hist map[int]int, groups [][2]int) [][]string {
+	rows := make([][]string, 0, len(groups))
+	for _, g := range groups {
+		label := fmt.Sprint(g[0])
+		if g[1] < 0 {
+			label = fmt.Sprintf("≥%d", g[0])
+		} else if g[1] != g[0] {
+			label = fmt.Sprintf("%d-%d", g[0], g[1])
+		}
+		n := 0
+		for k, v := range hist {
+			if k >= g[0] && (g[1] < 0 || k <= g[1]) {
+				n += v
+			}
+		}
+		rows = append(rows, []string{label, fmt.Sprint(n)})
+	}
+	return rows
+}
+
+// sortedHistKeys is a convenience wrapper for deterministic iteration.
+func sortedHistKeys(hist map[int]int) []int {
+	keys := make([]int, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/maliva/maliva/internal/core"
+)
+
+func TestMetricsArithmetic(t *testing.T) {
+	var m Metrics
+	m.Observe(core.Outcome{Viable: true, PlanMs: 100, ExecMs: 200, TotalMs: 300, Quality: 1})
+	m.Observe(core.Outcome{Viable: false, PlanMs: 300, ExecMs: 500, TotalMs: 800, Quality: 0.5})
+	if m.Count != 2 || m.Viable != 1 {
+		t.Fatalf("counts: %+v", m)
+	}
+	if got := m.VQP(); got != 50 {
+		t.Errorf("VQP = %v", got)
+	}
+	if got := m.AQRT(); got != 0.55 {
+		t.Errorf("AQRT = %v", got)
+	}
+	if got := m.AvgPlanSec(); got != 0.2 {
+		t.Errorf("AvgPlanSec = %v", got)
+	}
+	if got := m.AvgExecSec(); got != 0.35 {
+		t.Errorf("AvgExecSec = %v", got)
+	}
+	if got := m.AvgQuality(); got != 0.75 {
+		t.Errorf("AvgQuality = %v", got)
+	}
+	var empty Metrics
+	if empty.VQP() != 0 || empty.AQRT() != 0 || empty.AvgQuality() != 0 {
+		t.Error("empty metrics should be zero")
+	}
+}
+
+func TestBucketize(t *testing.T) {
+	mk := func(viableTimes int) *core.QueryContext {
+		times := make([]float64, 4)
+		needs := make([][]int, 4)
+		var ctx core.QueryContext
+		for i := range times {
+			if i < viableTimes {
+				times[i] = 100
+			} else {
+				times[i] = 9999
+			}
+			needs[i] = []int{i}
+			ctx.Options = append(ctx.Options, core.Option{Mask: uint32(i), HasHint: true})
+		}
+		ctx.TrueMs = times
+		ctx.Quality = []float64{1, 1, 1, 1}
+		ctx.NeedSels = needs
+		return &ctx
+	}
+	ctxs := []*core.QueryContext{mk(0), mk(1), mk(1), mk(2), mk(4)}
+	buckets := Bucketize(ctxs, 500, [][2]int{{0, 0}, {1, 1}, {2, 3}, {4, -1}})
+	wantSizes := []int{1, 2, 1, 1}
+	wantLabels := []string{"0", "1", "2-3", "≥4"}
+	for i, b := range buckets {
+		if len(b.Contexts) != wantSizes[i] {
+			t.Errorf("bucket %s: %d contexts, want %d", b.Label, len(b.Contexts), wantSizes[i])
+		}
+		if b.Label != wantLabels[i] {
+			t.Errorf("bucket label %q, want %q", b.Label, wantLabels[i])
+		}
+	}
+}
+
+func TestViablePlanHistogram(t *testing.T) {
+	ctx := &core.QueryContext{
+		Options:  []core.Option{{HasHint: true}, {HasHint: true, Mask: 1}},
+		TrueMs:   []float64{100, 600},
+		Quality:  []float64{1, 1},
+		NeedSels: [][]int{{0}, {1}},
+	}
+	hist := ViablePlanHistogram([]*core.QueryContext{ctx, ctx}, 500)
+	if hist[1] != 2 {
+		t.Errorf("hist = %v", hist)
+	}
+	keys := SortedKeys(hist)
+	if len(keys) != 1 || keys[0] != 1 {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "x", Title: "demo"}
+	r.AddSection("sec", []string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	r.AddNote("hello %d", 42)
+	var sb strings.Builder
+	r.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{"== x: demo ==", "-- sec --", "333", "note: hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComparisonSection(t *testing.T) {
+	res := []EvalResult{
+		{Rewriter: "A", Buckets: []string{"1", "2"}, Metrics: []Metrics{
+			{Count: 2, Viable: 1, TotalMs: 1000},
+			{Count: 4, Viable: 4, TotalMs: 2000},
+		}},
+	}
+	sec := ComparisonSection("t", "vqp", res)
+	if sec.Rows[0][1] != "50.0%" || sec.Rows[1][1] != "100.0%" {
+		t.Errorf("vqp rows = %v", sec.Rows)
+	}
+	sec = ComparisonSection("t", "aqrt", res)
+	if sec.Rows[0][1] != "0.500s" {
+		t.Errorf("aqrt rows = %v", sec.Rows)
+	}
+	sec = ComparisonSection("t", "quality", res)
+	if sec.Rows[0][1] != "0.00" {
+		t.Errorf("quality rows = %v", sec.Rows)
+	}
+	split := ComparisonSection("t", "aqrt-split", res)
+	if len(split.Columns) != 3 {
+		t.Errorf("split columns = %v", split.Columns)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Errorf("expected 15 experiments, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("malformed experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if _, ok := ByID(e.ID); !ok {
+			t.Errorf("ByID(%s) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID should reject unknown ids")
+	}
+}
+
+func TestHistogramRows(t *testing.T) {
+	hist := map[int]int{0: 5, 1: 3, 2: 2, 7: 1}
+	rows := histogramRows(hist, [][2]int{{0, 0}, {1, 2}, {3, -1}})
+	want := [][2]string{{"0", "5"}, {"1-2", "5"}, {"≥3", "1"}}
+	for i, w := range want {
+		if rows[i][0] != w[0] || rows[i][1] != w[1] {
+			t.Errorf("row %d = %v, want %v", i, rows[i], w)
+		}
+	}
+}
+
+func TestSampleContextsDeterministic(t *testing.T) {
+	ctxs := make([]*core.QueryContext, 30)
+	for i := range ctxs {
+		ctxs[i] = &core.QueryContext{Fingerprint: uint64(i)}
+	}
+	a := sampleContexts(ctxs, 10, 5)
+	b := sampleContexts(ctxs, 10, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampleContexts not deterministic")
+		}
+	}
+	seen := map[*core.QueryContext]bool{}
+	for _, c := range a {
+		if seen[c] {
+			t.Fatal("sampleContexts drew with replacement")
+		}
+		seen[c] = true
+	}
+	if got := sampleContexts(ctxs, 100, 5); len(got) != 30 {
+		t.Errorf("oversized sample = %d", len(got))
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 || s != 2 {
+		t.Errorf("meanStd = %v ± %v, want 5 ± 2", m, s)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Error("empty meanStd should be zero")
+	}
+}

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/maliva/maliva/internal/core"
+)
+
+// Metrics accumulates the paper's two headline measurements over a set of
+// queries: Viable Query Percentage (VQP) and Average Query Response Time
+// (AQRT), plus the planning/execution breakdown and average quality.
+type Metrics struct {
+	Count   int
+	Viable  int
+	PlanMs  float64
+	ExecMs  float64
+	TotalMs float64
+	Quality float64
+}
+
+// Observe adds one rewriting outcome.
+func (m *Metrics) Observe(o core.Outcome) {
+	m.Count++
+	if o.Viable {
+		m.Viable++
+	}
+	m.PlanMs += o.PlanMs
+	m.ExecMs += o.ExecMs
+	m.TotalMs += o.TotalMs
+	m.Quality += o.Quality
+}
+
+// VQP returns the viable-query percentage in [0,100].
+func (m Metrics) VQP() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return 100 * float64(m.Viable) / float64(m.Count)
+}
+
+// AQRT returns the average total response time in seconds.
+func (m Metrics) AQRT() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.TotalMs / float64(m.Count) / 1000
+}
+
+// AvgPlanSec returns the average planning time in seconds.
+func (m Metrics) AvgPlanSec() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.PlanMs / float64(m.Count) / 1000
+}
+
+// AvgExecSec returns the average query-execution time in seconds.
+func (m Metrics) AvgExecSec() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.ExecMs / float64(m.Count) / 1000
+}
+
+// AvgQuality returns the mean result quality in [0,1].
+func (m Metrics) AvgQuality() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.Quality / float64(m.Count)
+}
+
+// EvalResult holds one rewriter's metrics per bucket, in bucket order.
+type EvalResult struct {
+	Rewriter string
+	Buckets  []string
+	Metrics  []Metrics
+	Overall  Metrics
+}
+
+// Evaluate runs a rewriter over bucketed evaluation contexts.
+func Evaluate(rw core.Rewriter, buckets []*Bucket, budget float64) EvalResult {
+	res := EvalResult{Rewriter: rw.Name()}
+	for _, b := range buckets {
+		var m Metrics
+		for _, ctx := range b.Contexts {
+			o := rw.Rewrite(ctx, budget)
+			m.Observe(o)
+			res.Overall.Observe(o)
+		}
+		res.Buckets = append(res.Buckets, b.Label)
+		res.Metrics = append(res.Metrics, m)
+	}
+	return res
+}
+
+// FormatPct renders a percentage cell.
+func FormatPct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// FormatSec renders a seconds cell.
+func FormatSec(v float64) string { return fmt.Sprintf("%.3fs", v) }

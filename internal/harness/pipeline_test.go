@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/qte"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// smallTwitterLab builds a reduced Twitter lab shared by pipeline tests.
+func smallTwitterLab(t testing.TB, numQueries int) *Lab {
+	t.Helper()
+	cfg := workload.TwitterConfig()
+	cfg.Rows = 60_000
+	cfg.Scale = 100e6 / float64(cfg.Rows)
+	ds, err := workload.Twitter(cfg)
+	if err != nil {
+		t.Fatalf("Twitter: %v", err)
+	}
+	lab, err := BuildLab(ds, LabConfig{
+		NumQueries: numQueries,
+		QuerySpec:  workload.QuerySpec{NumPreds: 3, Seed: 5},
+		Space:      core.HintOnlySpec(),
+		Budget:     500,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatalf("BuildLab: %v", err)
+	}
+	return lab
+}
+
+// TestPipelineMDPBeatsBaseline trains the MDP agent with the accurate QTE
+// and checks the paper's headline shape: MDP ≫ baseline on hard queries.
+func TestPipelineMDPBeatsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline training is slow")
+	}
+	lab := smallTwitterLab(t, 400)
+
+	acc := qte.NewAccurateQTE()
+	agent, valVQP := lab.TrainAgent(TrainAgentConfig{
+		Agent: core.DefaultAgentConfig(),
+		QTE:   acc,
+		Seeds: []int64{7},
+	})
+	t.Logf("validation score: %.3f", valVQP)
+
+	buckets := Bucketize(lab.Eval, lab.Budget, StandardBuckets())
+	mdp := Evaluate(&core.MDPRewriter{Agent: agent, QTE: acc, Tag: "Accurate-QTE"}, buckets, lab.Budget)
+	base := Evaluate(core.BaselineRewriter{}, buckets, lab.Budget)
+	oracle := Evaluate(core.OracleRewriter{}, buckets, lab.Budget)
+
+	for bi, label := range mdp.Buckets {
+		t.Logf("bucket %s (n=%d): baseline=%.1f%% mdp=%.1f%% oracle=%.1f%% | AQRT base=%.2fs mdp=%.2fs",
+			label, mdp.Metrics[bi].Count,
+			base.Metrics[bi].VQP(), mdp.Metrics[bi].VQP(), oracle.Metrics[bi].VQP(),
+			base.Metrics[bi].AQRT(), mdp.Metrics[bi].AQRT())
+	}
+
+	// Shape assertions on the hard buckets (1 and 2 viable plans).
+	for bi, label := range mdp.Buckets {
+		if label != "1" && label != "2" {
+			continue
+		}
+		if mdp.Metrics[bi].Count < 5 {
+			continue
+		}
+		if mdp.Metrics[bi].VQP() < base.Metrics[bi].VQP()+20 {
+			t.Errorf("bucket %s: MDP VQP %.1f%% should beat baseline %.1f%% by ≥20 points",
+				label, mdp.Metrics[bi].VQP(), base.Metrics[bi].VQP())
+		}
+	}
+	if mdp.Overall.AQRT() >= base.Overall.AQRT() {
+		t.Errorf("MDP overall AQRT %.2fs should beat baseline %.2fs",
+			mdp.Overall.AQRT(), base.Overall.AQRT())
+	}
+}

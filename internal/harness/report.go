@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is a rendered experiment: one or more titled tables.
+type Report struct {
+	ID       string
+	Title    string
+	Sections []Section
+	Notes    []string
+}
+
+// Section is one table of the report.
+type Section struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddSection appends a table.
+func (r *Report) AddSection(title string, columns []string, rows [][]string) {
+	r.Sections = append(r.Sections, Section{Title: title, Columns: columns, Rows: rows})
+}
+
+// AddNote appends a free-text observation.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Write renders the report as aligned text tables.
+func (r *Report) Write(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for _, s := range r.Sections {
+		if s.Title != "" {
+			fmt.Fprintf(w, "\n-- %s --\n", s.Title)
+		}
+		writeTable(w, s.Columns, s.Rows)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// writeTable prints an aligned text table.
+func writeTable(w io.Writer, columns []string, rows [][]string) {
+	widths := make([]int, len(columns))
+	for i, c := range columns {
+		widths[i] = displayWidth(c)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && displayWidth(cell) > widths[i] {
+				widths[i] = displayWidth(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-displayWidth(cell)))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(columns)
+	sep := make([]string, len(columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// displayWidth counts runes (good enough for the report's symbols).
+func displayWidth(s string) int { return len([]rune(s)) }
+
+// ComparisonSection renders the standard per-bucket VQP or AQRT table for a
+// set of rewriter results.
+func ComparisonSection(title, metric string, results []EvalResult) Section {
+	if len(results) == 0 {
+		return Section{Title: title}
+	}
+	cols := append([]string{"# viable plans"}, metricHeader(metric, results)...)
+	var rows [][]string
+	for bi, label := range results[0].Buckets {
+		row := []string{label}
+		for _, res := range results {
+			m := res.Metrics[bi]
+			switch metric {
+			case "vqp":
+				row = append(row, FormatPct(m.VQP()))
+			case "aqrt":
+				row = append(row, FormatSec(m.AQRT()))
+			case "aqrt-split":
+				row = append(row, FormatSec(m.AvgPlanSec()), FormatSec(m.AvgExecSec()))
+			case "quality":
+				row = append(row, fmt.Sprintf("%.2f", m.AvgQuality()))
+			default:
+				row = append(row, fmt.Sprint(m.Count))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return Section{Title: title, Columns: cols, Rows: rows}
+}
+
+func metricHeader(metric string, results []EvalResult) []string {
+	var cols []string
+	for _, res := range results {
+		if metric == "aqrt-split" {
+			cols = append(cols, res.Rewriter+" plan", res.Rewriter+" query")
+		} else {
+			cols = append(cols, res.Rewriter)
+		}
+	}
+	return cols
+}

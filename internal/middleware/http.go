@@ -1,0 +1,82 @@
+package middleware
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// httpRequest is the JSON wire format of a visualization request.
+type httpRequest struct {
+	Keyword  string  `json:"keyword"`
+	From     string  `json:"from"` // RFC 3339
+	To       string  `json:"to"`
+	MinLon   float64 `json:"min_lon"`
+	MinLat   float64 `json:"min_lat"`
+	MaxLon   float64 `json:"max_lon"`
+	MaxLat   float64 `json:"max_lat"`
+	Kind     string  `json:"kind"`
+	GridW    int     `json:"grid_w"`
+	GridH    int     `json:"grid_h"`
+	BudgetMs float64 `json:"budget_ms"`
+}
+
+// Handler returns an http.Handler serving visualization requests at POST /viz
+// and a health probe at GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	})
+	mux.HandleFunc("POST /viz", func(w http.ResponseWriter, r *http.Request) {
+		var hreq httpRequest
+		if err := json.NewDecoder(r.Body).Decode(&hreq); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, err := hreq.toRequest()
+		if err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := s.Handle(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			// Headers already sent; nothing more to do.
+			return
+		}
+	})
+	return mux
+}
+
+func (h httpRequest) toRequest() (Request, error) {
+	req := Request{
+		Keyword:  h.Keyword,
+		Kind:     VizKind(h.Kind),
+		GridW:    h.GridW,
+		GridH:    h.GridH,
+		BudgetMs: h.BudgetMs,
+	}
+	if h.From != "" {
+		t, err := time.Parse(time.RFC3339, h.From)
+		if err != nil {
+			return req, err
+		}
+		req.From = t
+	}
+	if h.To != "" {
+		t, err := time.Parse(time.RFC3339, h.To)
+		if err != nil {
+			return req, err
+		}
+		req.To = t
+	}
+	req.Region.MinLon, req.Region.MinLat = h.MinLon, h.MinLat
+	req.Region.MaxLon, req.Region.MaxLat = h.MaxLon, h.MaxLat
+	return req, nil
+}

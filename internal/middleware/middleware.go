@@ -1,0 +1,200 @@
+// Package middleware implements the paper's Fig. 5 architecture: a
+// visualization middleware that translates frontend requests into SQL
+// queries, rewrites them with the MDP-based Query Rewriter so the total
+// response time stays within a budget, executes them on the backend engine,
+// and returns binned visualization results.
+package middleware
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/engine"
+	"github.com/maliva/maliva/internal/viz"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// VizKind selects the visualization type of a request.
+type VizKind string
+
+const (
+	// VizHeatmap returns per-cell counts.
+	VizHeatmap VizKind = "heatmap"
+	// VizScatter returns raw points.
+	VizScatter VizKind = "scatter"
+)
+
+// Request is a frontend visualization request (the running example of §1:
+// "tweets containing <keyword> in <region> during <time range>").
+type Request struct {
+	Keyword  string      `json:"keyword"`
+	From     time.Time   `json:"from"`
+	To       time.Time   `json:"to"`
+	Region   engine.Rect `json:"region"`
+	Kind     VizKind     `json:"kind"`
+	GridW    int         `json:"grid_w"`
+	GridH    int         `json:"grid_h"`
+	BudgetMs float64     `json:"budget_ms"`
+}
+
+// Response is the visualization result plus a trace of what the middleware
+// did — useful for demos and debugging.
+type Response struct {
+	Kind   VizKind         `json:"kind"`
+	Bins   map[int]float64 `json:"bins,omitempty"`
+	Points []engine.Point  `json:"points,omitempty"`
+	GridW  int             `json:"grid_w"`
+	GridH  int             `json:"grid_h"`
+	Trace  Trace           `json:"trace"`
+}
+
+// Trace records the rewriting decision for a request.
+type Trace struct {
+	SQL          string  `json:"sql"`
+	RewrittenSQL string  `json:"rewritten_sql"`
+	Option       string  `json:"option"`
+	PlanMs       float64 `json:"plan_ms"`
+	ExecMs       float64 `json:"exec_ms"`
+	TotalMs      float64 `json:"total_ms"`
+	Viable       bool    `json:"viable"`
+	Quality      float64 `json:"quality"`
+	NumExplored  int     `json:"num_explored"`
+}
+
+// Server is the Maliva middleware bound to one dataset and one rewriter.
+type Server struct {
+	DS       *workload.Dataset
+	Rewriter core.Rewriter
+	Space    core.SpaceSpec
+	// DefaultBudgetMs applies when a request has no budget.
+	DefaultBudgetMs float64
+}
+
+// NewServer creates a middleware over a dataset using the given rewriter.
+func NewServer(ds *workload.Dataset, rw core.Rewriter, space core.SpaceSpec, defaultBudgetMs float64) *Server {
+	return &Server{DS: ds, Rewriter: rw, Space: space, DefaultBudgetMs: defaultBudgetMs}
+}
+
+// BuildQuery translates a request into the engine query.
+func (s *Server) BuildQuery(req Request) (*engine.Query, error) {
+	t := s.DS.DB.Table(s.DS.Main)
+	if t == nil {
+		return nil, fmt.Errorf("middleware: dataset has no table %q", s.DS.Main)
+	}
+	q := &engine.Query{Table: s.DS.Main, OutputCols: append([]string(nil), s.DS.OutputCols...)}
+	var preds []engine.Predicate
+	if req.Keyword != "" {
+		id := t.Vocab.ID(req.Keyword)
+		if id == 0 {
+			return nil, fmt.Errorf("middleware: unknown keyword %q", req.Keyword)
+		}
+		preds = append(preds, engine.Predicate{
+			Col: s.DS.FilterCols[0], Kind: engine.PredKeyword, Word: id, WordText: req.Keyword,
+		})
+	}
+	if !req.From.IsZero() || !req.To.IsZero() {
+		timeCol := ""
+		for _, col := range s.DS.FilterCols {
+			if t.HasColumn(col) && t.Col(col).Type == engine.ColTime {
+				timeCol = col
+				break
+			}
+		}
+		if timeCol == "" {
+			return nil, fmt.Errorf("middleware: dataset has no time column")
+		}
+		preds = append(preds, engine.Predicate{
+			Col: timeCol, Kind: engine.PredRange,
+			Lo: float64(req.From.UnixMilli()), Hi: float64(req.To.UnixMilli()),
+		})
+	}
+	if req.Region.Area() > 0 {
+		geoCol := ""
+		for _, col := range s.DS.FilterCols {
+			if t.HasColumn(col) && t.Col(col).Type == engine.ColPoint {
+				geoCol = col
+				break
+			}
+		}
+		if geoCol == "" {
+			return nil, fmt.Errorf("middleware: dataset has no point column")
+		}
+		preds = append(preds, engine.Predicate{Col: geoCol, Kind: engine.PredGeo, Box: req.Region})
+	}
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("middleware: request has no conditions")
+	}
+	q.Preds = preds
+	return q, nil
+}
+
+// Handle serves one request end to end: build SQL, rewrite under the
+// budget, execute the chosen rewritten query, bin the result.
+func (s *Server) Handle(req Request) (*Response, error) {
+	budget := req.BudgetMs
+	if budget <= 0 {
+		budget = s.DefaultBudgetMs
+	}
+	q, err := s.BuildQuery(req)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := core.BuildContext(s.DS.DB, q, core.DefaultContextConfig(s.Space))
+	if err != nil {
+		return nil, err
+	}
+	out := s.Rewriter.Rewrite(ctx, budget)
+
+	// Execute the chosen rewritten query for the actual visual result.
+	rq, hint := q, engine.Hint{}
+	optLabel := "original"
+	if out.Option >= 0 {
+		rq, hint = core.BuildRQ(q, ctx.Options[out.Option], ctx.EstRows, ctx.Scale)
+		optLabel = ctx.Options[out.Option].Label(len(q.Preds))
+	}
+	res, _, err := s.DS.DB.Run(rq, hint)
+	if err != nil {
+		return nil, err
+	}
+
+	gw, gh := req.GridW, req.GridH
+	if gw <= 0 {
+		gw = 64
+	}
+	if gh <= 0 {
+		gh = 64
+	}
+	resp := &Response{
+		Kind:  req.Kind,
+		GridW: gw,
+		GridH: gh,
+		Trace: Trace{
+			SQL:          q.SQL(engine.Hint{}),
+			RewrittenSQL: rq.SQL(hint),
+			Option:       optLabel,
+			PlanMs:       out.PlanMs,
+			ExecMs:       out.ExecMs,
+			TotalMs:      out.TotalMs,
+			Viable:       out.Viable,
+			Quality:      out.Quality,
+			NumExplored:  out.Explored,
+		},
+	}
+	switch req.Kind {
+	case VizScatter:
+		resp.Points = res.Points
+	default:
+		resp.Kind = VizHeatmap
+		grid := viz.NewGrid(s.regionOrExtent(req), gw, gh)
+		resp.Bins = grid.Counts(res.Points, res.Weight)
+	}
+	return resp, nil
+}
+
+func (s *Server) regionOrExtent(req Request) engine.Rect {
+	if req.Region.Area() > 0 {
+		return req.Region
+	}
+	return s.DS.Extent
+}

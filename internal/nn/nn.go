@@ -1,0 +1,291 @@
+// Package nn is a small, dependency-free neural-network library sufficient
+// for Maliva's Q-network and Bao's query-time estimator: fully-connected
+// layers with ReLU activations, mean-squared-error training, SGD and Adam
+// optimizers, and JSON serialization. Gradients are verified against
+// numerical differentiation in the package tests.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is one fully-connected layer: y = W·x + b, with W stored row-major
+// (out×in).
+type Dense struct {
+	In, Out int
+	W       []float64
+	B       []float64
+
+	// Gradient accumulators.
+	gw, gb []float64
+	// Adam moments.
+	mw, vw, mb, vb []float64
+}
+
+// newDense creates a layer with Xavier/Glorot-uniform initialization.
+func newDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W:  make([]float64, in*out),
+		B:  make([]float64, out),
+		gw: make([]float64, in*out),
+		gb: make([]float64, out),
+		mw: make([]float64, in*out),
+		vw: make([]float64, in*out),
+		mb: make([]float64, out),
+		vb: make([]float64, out),
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range d.W {
+		d.W[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return d
+}
+
+// forward computes the affine output for input x.
+func (d *Dense) forward(x, out []float64) {
+	for o := 0; o < d.Out; o++ {
+		s := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xv := range x {
+			s += row[i] * xv
+		}
+		out[o] = s
+	}
+}
+
+// backward accumulates gradients given input x and upstream gradient dOut,
+// and writes the gradient w.r.t. x into dIn.
+func (d *Dense) backward(x, dOut, dIn []float64) {
+	for i := range dIn {
+		dIn[i] = 0
+	}
+	for o := 0; o < d.Out; o++ {
+		g := dOut[o]
+		if g == 0 {
+			continue
+		}
+		d.gb[o] += g
+		row := d.W[o*d.In : (o+1)*d.In]
+		grow := d.gw[o*d.In : (o+1)*d.In]
+		for i, xv := range x {
+			grow[i] += g * xv
+			dIn[i] += g * row[i]
+		}
+	}
+}
+
+// MLP is a multi-layer perceptron with ReLU activations on all hidden
+// layers and a linear output layer — the paper's Q-network architecture
+// (Fig. 8).
+type MLP struct {
+	Sizes  []int
+	Layers []*Dense
+
+	// scratch buffers, reused across calls (MLP is not goroutine-safe).
+	acts  [][]float64 // post-activation per layer (acts[0] = input copy)
+	pre   [][]float64 // pre-activation per layer
+	grads [][]float64
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. [17, 17, 17, 8].
+func NewMLP(sizes []int, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least input and output sizes")
+	}
+	m := &MLP{Sizes: append([]int(nil), sizes...)}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, newDense(sizes[i], sizes[i+1], rng))
+	}
+	m.initScratch()
+	return m
+}
+
+func (m *MLP) initScratch() {
+	m.acts = make([][]float64, len(m.Sizes))
+	m.pre = make([][]float64, len(m.Sizes))
+	m.grads = make([][]float64, len(m.Sizes))
+	for i, s := range m.Sizes {
+		m.acts[i] = make([]float64, s)
+		m.pre[i] = make([]float64, s)
+		m.grads[i] = make([]float64, s)
+	}
+}
+
+// Forward runs the network and returns the output layer values. The returned
+// slice is reused across calls; copy it if you need to keep it.
+func (m *MLP) Forward(x []float64) []float64 {
+	if len(x) != m.Sizes[0] {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), m.Sizes[0]))
+	}
+	copy(m.acts[0], x)
+	for li, layer := range m.Layers {
+		layer.forward(m.acts[li], m.pre[li+1])
+		last := li == len(m.Layers)-1
+		for i, v := range m.pre[li+1] {
+			if !last && v < 0 {
+				m.acts[li+1][i] = 0 // ReLU
+			} else {
+				m.acts[li+1][i] = v
+			}
+		}
+	}
+	return m.acts[len(m.acts)-1]
+}
+
+// Backward accumulates parameter gradients for the most recent Forward call,
+// given the gradient of the loss w.r.t. the network output.
+func (m *MLP) Backward(dOut []float64) {
+	last := len(m.Layers)
+	copy(m.grads[last], dOut)
+	for li := last - 1; li >= 0; li-- {
+		// ReLU derivative on hidden layers.
+		if li != last-1 {
+			for i := range m.grads[li+1] {
+				if m.pre[li+1][i] < 0 {
+					m.grads[li+1][i] = 0
+				}
+			}
+		}
+		m.Layers[li].backward(m.acts[li], m.grads[li+1], m.grads[li])
+	}
+}
+
+// ZeroGrad clears accumulated gradients.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		for i := range l.gw {
+			l.gw[i] = 0
+		}
+		for i := range l.gb {
+			l.gb[i] = 0
+		}
+	}
+}
+
+// ClipGrad scales gradients so their global L2 norm is at most maxNorm.
+func (m *MLP) ClipGrad(maxNorm float64) {
+	var sum float64
+	for _, l := range m.Layers {
+		for _, g := range l.gw {
+			sum += g * g
+		}
+		for _, g := range l.gb {
+			sum += g * g
+		}
+	}
+	norm := math.Sqrt(sum)
+	if norm <= maxNorm || norm == 0 {
+		return
+	}
+	scale := maxNorm / norm
+	for _, l := range m.Layers {
+		for i := range l.gw {
+			l.gw[i] *= scale
+		}
+		for i := range l.gb {
+			l.gb[i] *= scale
+		}
+	}
+}
+
+// StepSGD applies one plain gradient-descent step with the given learning
+// rate and clears the gradients.
+func (m *MLP) StepSGD(lr float64) {
+	for _, l := range m.Layers {
+		for i := range l.W {
+			l.W[i] -= lr * l.gw[i]
+			l.gw[i] = 0
+		}
+		for i := range l.B {
+			l.B[i] -= lr * l.gb[i]
+			l.gb[i] = 0
+		}
+	}
+}
+
+// Adam is the Adam optimizer state shared across steps.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+	t       int
+}
+
+// NewAdam returns Adam with standard defaults and the given learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step applies one Adam update to the network and clears gradients.
+func (a *Adam) Step(m *MLP) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, l := range m.Layers {
+		adamUpdate(l.W, l.gw, l.mw, l.vw, a, c1, c2)
+		adamUpdate(l.B, l.gb, l.mb, l.vb, a, c1, c2)
+	}
+}
+
+func adamUpdate(w, g, mm, vv []float64, a *Adam, c1, c2 float64) {
+	for i := range w {
+		mm[i] = a.Beta1*mm[i] + (1-a.Beta1)*g[i]
+		vv[i] = a.Beta2*vv[i] + (1-a.Beta2)*g[i]*g[i]
+		mHat := mm[i] / c1
+		vHat := vv[i] / c2
+		w[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+		g[i] = 0
+	}
+}
+
+// Clone returns a deep copy with fresh optimizer state (used for target
+// networks).
+func (m *MLP) Clone() *MLP {
+	cp := &MLP{Sizes: append([]int(nil), m.Sizes...)}
+	for _, l := range m.Layers {
+		nl := &Dense{
+			In: l.In, Out: l.Out,
+			W:  append([]float64(nil), l.W...),
+			B:  append([]float64(nil), l.B...),
+			gw: make([]float64, len(l.W)),
+			gb: make([]float64, len(l.B)),
+			mw: make([]float64, len(l.W)),
+			vw: make([]float64, len(l.W)),
+			mb: make([]float64, len(l.B)),
+			vb: make([]float64, len(l.B)),
+		}
+		cp.Layers = append(cp.Layers, nl)
+	}
+	cp.initScratch()
+	return cp
+}
+
+// CopyWeightsFrom copies weights from src (sizes must match).
+func (m *MLP) CopyWeightsFrom(src *MLP) error {
+	if len(m.Layers) != len(src.Layers) {
+		return errors.New("nn: layer count mismatch")
+	}
+	for i, l := range m.Layers {
+		sl := src.Layers[i]
+		if l.In != sl.In || l.Out != sl.Out {
+			return fmt.Errorf("nn: layer %d shape mismatch", i)
+		}
+		copy(l.W, sl.W)
+		copy(l.B, sl.B)
+	}
+	return nil
+}
+
+// NumParams returns the total number of trainable parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += len(l.W) + len(l.B)
+	}
+	return n
+}

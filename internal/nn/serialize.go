@@ -1,0 +1,48 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+)
+
+// mlpJSON is the serialized network form: architecture plus flat weights.
+type mlpJSON struct {
+	Sizes  []int       `json:"sizes"`
+	Layers []denseJSON `json:"layers"`
+}
+
+type denseJSON struct {
+	W []float64 `json:"w"`
+	B []float64 `json:"b"`
+}
+
+// MarshalJSON serializes the network weights (optimizer state is not saved).
+func (m *MLP) MarshalJSON() ([]byte, error) {
+	out := mlpJSON{Sizes: m.Sizes}
+	for _, l := range m.Layers {
+		out.Layers = append(out.Layers, denseJSON{W: l.W, B: l.B})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a network saved with MarshalJSON.
+func (m *MLP) UnmarshalJSON(data []byte) error {
+	var in mlpJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if len(in.Sizes) < 2 || len(in.Layers) != len(in.Sizes)-1 {
+		return fmt.Errorf("nn: malformed serialized network (%d sizes, %d layers)", len(in.Sizes), len(in.Layers))
+	}
+	fresh := NewMLP(in.Sizes, rand.New(rand.NewSource(0)))
+	for i, l := range fresh.Layers {
+		if len(in.Layers[i].W) != len(l.W) || len(in.Layers[i].B) != len(l.B) {
+			return fmt.Errorf("nn: layer %d weight shape mismatch", i)
+		}
+		copy(l.W, in.Layers[i].W)
+		copy(l.B, in.Layers[i].B)
+	}
+	*m = *fresh
+	return nil
+}

@@ -1,0 +1,238 @@
+package qte
+
+import (
+	"math"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/engine"
+)
+
+// AccurateQTE is the paper's Accurate-QTE: its estimate equals the actual
+// execution time of the hinted query, isolating the effect of estimation
+// cost from estimation error. Collecting each uncached predicate selectivity
+// costs UnitCostMs (40 ms by default, §7.1).
+type AccurateQTE struct {
+	// UnitCostMs is the cost of collecting one selectivity value.
+	UnitCostMs float64
+	// BaseMs is the fixed per-estimate overhead (model inference etc.).
+	BaseMs float64
+}
+
+// NewAccurateQTE returns the Accurate-QTE with the paper's defaults.
+func NewAccurateQTE() *AccurateQTE { return &AccurateQTE{UnitCostMs: 40, BaseMs: 5} }
+
+// Name implements core.Estimator.
+func (q *AccurateQTE) Name() string { return "Accurate-QTE" }
+
+// InitialCost implements core.Estimator.
+func (q *AccurateQTE) InitialCost(ctx *core.QueryContext, i int) float64 {
+	return q.BaseMs + q.UnitCostMs*float64(len(ctx.NeedSels[i]))
+}
+
+// CostNow implements core.Estimator.
+func (q *AccurateQTE) CostNow(ctx *core.QueryContext, i int, cache *core.SelCache) float64 {
+	return q.BaseMs + q.UnitCostMs*float64(cache.Missing(ctx.NeedSels[i]))
+}
+
+// Estimate implements core.Estimator.
+func (q *AccurateQTE) Estimate(ctx *core.QueryContext, i int, cache *core.SelCache) (float64, float64) {
+	cost := q.CostNow(ctx, i, cache)
+	for _, p := range ctx.NeedSels[i] {
+		cache.Add(p)
+	}
+	return ctx.TrueMs[i], cost
+}
+
+// SamplingQTE is the approximate QTE: it estimates predicate selectivities
+// by counting over a sample table (cheaper than the accurate QTE but noisy),
+// and predicts execution time with a ridge-regression cost model trained
+// offline on a workload. Its errors are what the MDP model must tolerate
+// (§5.1 "Accommodating estimation inaccuracy").
+type SamplingQTE struct {
+	UnitCostMs float64
+	BaseMs     float64
+	Model      *Ridge
+	// AccuracyPenalty degrades estimates multiplicatively for backends the
+	// model cannot capture (the §7.6 commercial profile). 0 disables it.
+	AccuracyPenalty float64
+}
+
+// NewSamplingQTE returns an untrained sampling QTE with default costs
+// (15 ms/selectivity: counting over a small sample is cheaper than the
+// accurate QTE's full statistics collection).
+func NewSamplingQTE() *SamplingQTE { return &SamplingQTE{UnitCostMs: 15, BaseMs: 2} }
+
+// Name implements core.Estimator.
+func (q *SamplingQTE) Name() string { return "Approximate-QTE" }
+
+// InitialCost implements core.Estimator.
+func (q *SamplingQTE) InitialCost(ctx *core.QueryContext, i int) float64 {
+	return q.BaseMs + q.UnitCostMs*float64(len(ctx.NeedSels[i]))
+}
+
+// CostNow implements core.Estimator.
+func (q *SamplingQTE) CostNow(ctx *core.QueryContext, i int, cache *core.SelCache) float64 {
+	return q.BaseMs + q.UnitCostMs*float64(cache.Missing(ctx.NeedSels[i]))
+}
+
+// Estimate implements core.Estimator.
+func (q *SamplingQTE) Estimate(ctx *core.QueryContext, i int, cache *core.SelCache) (float64, float64) {
+	cost := q.CostNow(ctx, i, cache)
+	for _, p := range ctx.NeedSels[i] {
+		cache.Add(p)
+	}
+	est := q.Predict(ctx, i)
+	return est, cost
+}
+
+// Predict returns the model's time estimate for option i, using sampled
+// selectivities.
+func (q *SamplingQTE) Predict(ctx *core.QueryContext, i int) float64 {
+	f := Features(ctx, i, true)
+	if q.Model == nil {
+		// Untrained: fall back to a crude proportional guess.
+		return f[1]*50 + f[2]*800 + 10
+	}
+	est := q.Model.Predict(f)
+	if est < 1 {
+		est = 1
+	}
+	if q.AccuracyPenalty > 0 {
+		// Deterministic multiplicative distortion per (query, option).
+		u := float64((ctx.Fingerprint^uint64(i+1)*0x9E3779B97F4A7C15)%1000) / 1000
+		est *= math.Exp(q.AccuracyPenalty * (2*u - 1))
+	}
+	return est
+}
+
+// Train fits the ridge cost model on the training contexts, using sampled
+// selectivities as inputs and true times as targets — exactly the data a
+// sampling QTE could gather offline.
+func (q *SamplingQTE) Train(contexts []*core.QueryContext, lambda float64) error {
+	var x [][]float64
+	var y []float64
+	for _, ctx := range contexts {
+		for i := range ctx.Options {
+			x = append(x, Features(ctx, i, true))
+			y = append(y, ctx.TrueMs[i])
+		}
+	}
+	m, err := FitRidge(x, y, lambda)
+	if err != nil {
+		return err
+	}
+	q.Model = m
+	return nil
+}
+
+// MeanRelError reports the model's mean relative estimation error over
+// contexts — the accuracy number the paper quotes when comparing QTEs.
+func (q *SamplingQTE) MeanRelError(contexts []*core.QueryContext) float64 {
+	var sum float64
+	var n int
+	for _, ctx := range contexts {
+		for i := range ctx.Options {
+			est := q.Predict(ctx, i)
+			sum += math.Abs(est-ctx.TrueMs[i]) / math.Max(ctx.TrueMs[i], 1)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Features builds the cost-model feature vector for option i. With sampled
+// == true it uses the noisy sampled selectivities (what the QTE can see);
+// with false it uses true selectivities (for diagnostics). Work-proportional
+// features are expressed in millions of rows so weights stay well-scaled.
+func Features(ctx *core.QueryContext, i int, sampled bool) []float64 {
+	sels := ctx.SelTrue
+	if sampled {
+		sels = ctx.SelSampled
+	}
+	opt := ctx.Options[i]
+	positions := optionPositions(ctx, i)
+	n := ctx.NReal
+	entries := 0.0
+	cand := n
+	used := make(map[int]bool)
+	for _, p := range positions {
+		entries += sels[p] * n
+		cand *= sels[p]
+		used[p] = true
+	}
+	if len(positions) == 0 {
+		// Sequential scan: candidates = all rows.
+		cand = n
+	}
+	residual := 0.0
+	out := cand
+	for p, s := range sels {
+		if !used[p] {
+			residual++
+			out *= s
+		}
+	}
+	scan := 0.0
+	if len(positions) == 0 {
+		scan = n
+	}
+	const m = 1e6
+	f := []float64{
+		1,
+		entries / m,
+		cand / m,
+		cand * residual / m,
+		out / m,
+		scan / m,
+		0, 0, 0, // join method one-hot
+		0, // inner rows involved
+		0, // limit fraction
+		0, // sample fraction
+	}
+	switch opt.Join {
+	case engine.NestLoopJoin:
+		f[6] = out / m
+	case engine.HashJoin:
+		f[7] = ctx.InnerNReal / m
+	case engine.MergeJoin:
+		f[8] = ctx.InnerNReal / m
+	}
+	if ctx.Query.Join != nil {
+		f[9] = ctx.InnerNReal / m
+	}
+	if opt.Approx.Kind == core.ApproxLimit && out > 0 {
+		limit := ctx.EstRows * opt.Approx.Percent / 100
+		frac := limit / out
+		if frac > 1 {
+			frac = 1
+		}
+		f[10] = frac
+		// Early termination scales fetch-dominated work.
+		f[2] *= frac
+		f[3] *= frac
+		f[4] *= frac
+	}
+	if opt.Approx.Kind == core.ApproxSample {
+		frac := opt.Approx.Percent / 100
+		f[11] = frac
+		f[1] *= frac
+		f[2] *= frac
+		f[3] *= frac
+		f[4] *= frac
+		f[5] *= frac
+	}
+	return f
+}
+
+// optionPositions returns the index positions option i's plan uses: the
+// forced mask for hint options, or the optimizer's choice for unhinted ones.
+func optionPositions(ctx *core.QueryContext, i int) []int {
+	o := ctx.Options[i]
+	if o.HasHint {
+		return engine.PositionsFromMask(o.Mask, len(ctx.Query.Preds))
+	}
+	return ctx.PlanEst[i].Positions
+}

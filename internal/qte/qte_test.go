@@ -1,0 +1,236 @@
+package qte
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/engine"
+)
+
+// synthContexts fabricates contexts whose true times follow a known linear
+// cost law over the (sampled) selectivities, so the ridge model can be
+// validated quantitatively.
+func synthContexts(n int, seed int64, noise float64) []*core.QueryContext {
+	rng := rand.New(rand.NewSource(seed))
+	var out []*core.QueryContext
+	for qi := 0; qi < n; qi++ {
+		preds := 3
+		q := &engine.Query{Table: "synthetic", Preds: make([]engine.Predicate, preds)}
+		ctx := &core.QueryContext{
+			Query:       q,
+			NReal:       100e6,
+			Scale:       500,
+			Fingerprint: uint64(rng.Int63()),
+			EstRows:     1e5,
+		}
+		sels := make([]float64, preds)
+		for i := range sels {
+			sels[i] = math.Pow(10, -rng.Float64()*3) // 0.001 .. 1
+		}
+		ctx.SelTrue = sels
+		ctx.SelSampled = make([]float64, preds)
+		for i, s := range sels {
+			ctx.SelSampled[i] = s * (1 + noise*(rng.Float64()-0.5))
+		}
+		for mask := uint32(0); mask < 8; mask++ {
+			o := core.Option{Mask: mask, HasHint: true}
+			ctx.Options = append(ctx.Options, o)
+			ctx.NeedSels = append(ctx.NeedSels, core.NeededSels(q, o))
+			ctx.PlanEst = append(ctx.PlanEst, engine.PlanEstimate{
+				Positions: engine.PositionsFromMask(mask, preds),
+			})
+			// True cost law mirrors the engine's: entries + candidates.
+			entries, cand := 0.0, ctx.NReal
+			for _, p := range engine.PositionsFromMask(mask, preds) {
+				entries += sels[p] * ctx.NReal
+				cand *= sels[p]
+			}
+			if mask == 0 {
+				cand = ctx.NReal
+			}
+			ms := 2 + entries*0.07/1000 + cand*1.5/1000
+			ctx.TrueMs = append(ctx.TrueMs, ms)
+			ctx.Quality = append(ctx.Quality, 1)
+		}
+		out = append(out, ctx)
+	}
+	return out
+}
+
+func TestRidgeRecoversLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	w := []float64{3, -2, 0.5}
+	for i := 0; i < 200; i++ {
+		row := []float64{1, rng.NormFloat64(), rng.NormFloat64()}
+		x = append(x, row)
+		y = append(y, w[0]*row[0]+w[1]*row[1]+w[2]*row[2])
+	}
+	m, err := FitRidge(x, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		if math.Abs(m.Weights[i]-w[i]) > 1e-3 {
+			t.Errorf("weight %d = %v, want %v", i, m.Weights[i], w[i])
+		}
+	}
+}
+
+func TestRidgeErrors(t *testing.T) {
+	if _, err := FitRidge(nil, nil, 1); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := FitRidge([][]float64{{1, 2}}, []float64{1, 2}, 1); err == nil {
+		t.Error("row/target mismatch should fail")
+	}
+	if _, err := FitRidge([][]float64{{1, 2}, {1}}, []float64{1, 2}, 1); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	// Perfectly collinear columns with λ=0 are singular.
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	if _, err := FitRidge(x, []float64{1, 2, 3}, 0); err == nil {
+		t.Error("singular system should fail without regularization")
+	}
+	// With regularization it solves.
+	if _, err := FitRidge(x, []float64{1, 2, 3}, 0.1); err != nil {
+		t.Errorf("ridge with λ should solve: %v", err)
+	}
+}
+
+// TestRidgePredictLinearity: prediction is linear in the inputs (property).
+func TestRidgePredictLinearity(t *testing.T) {
+	m := &Ridge{Weights: []float64{1, 2, -3}}
+	prop := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) ||
+			math.Abs(a) > 1e100 || math.Abs(b) > 1e100 {
+			return true // avoid float overflow, not a linearity failure
+		}
+		x := []float64{1, a, b}
+		y := []float64{1, 2 * a, 2 * b}
+		p1 := m.Predict(x)
+		p2 := m.Predict(y)
+		want := 1 + 2*(2*a) - 3*(2*b)
+		return math.Abs(p2-want) < 1e-6*(1+math.Abs(want)) && !math.IsNaN(p1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccurateQTECostCaching(t *testing.T) {
+	ctxs := synthContexts(1, 2, 0)
+	ctx := ctxs[0]
+	est := &AccurateQTE{UnitCostMs: 40, BaseMs: 5}
+	cache := core.NewSelCache()
+
+	// Option 0b011 needs sels {0,1} → cost 5 + 80.
+	i011 := 3
+	if got := est.CostNow(ctx, i011, cache); got != 85 {
+		t.Fatalf("CostNow = %v, want 85", got)
+	}
+	e, c := est.Estimate(ctx, i011, cache)
+	if e != ctx.TrueMs[i011] {
+		t.Errorf("accurate estimate %v != true %v", e, ctx.TrueMs[i011])
+	}
+	if c != 85 {
+		t.Errorf("cost = %v", c)
+	}
+	// Option 0b111 now only needs sel 2 → 5 + 40.
+	if got := est.CostNow(ctx, 7, cache); got != 45 {
+		t.Errorf("CostNow after caching = %v, want 45", got)
+	}
+	// InitialCost ignores the cache.
+	if got := est.InitialCost(ctx, 7); got != 125 {
+		t.Errorf("InitialCost = %v, want 125", got)
+	}
+}
+
+func TestSamplingQTELearnsTheCostLaw(t *testing.T) {
+	train := synthContexts(60, 3, 0.05)
+	test := synthContexts(20, 4, 0.05)
+	s := NewSamplingQTE()
+	if err := s.Train(train, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	relErr := s.MeanRelError(test)
+	if relErr > 0.6 {
+		t.Errorf("mean relative error %.2f too high for a linear world", relErr)
+	}
+	// Estimates must be positive and ordered sensibly: the full scan (mask
+	// 0) should look expensive.
+	ctx := test[0]
+	seq := s.Predict(ctx, 0)
+	best := math.Inf(1)
+	for i := 1; i < 8; i++ {
+		if p := s.Predict(ctx, i); p < best {
+			best = p
+		}
+	}
+	if seq <= best {
+		t.Errorf("sequential scan predicted cheaper (%v) than best index plan (%v)", seq, best)
+	}
+}
+
+func TestSamplingQTEUntrainedFallback(t *testing.T) {
+	ctxs := synthContexts(1, 5, 0)
+	s := NewSamplingQTE()
+	est, cost := s.Estimate(ctxs[0], 3, core.NewSelCache())
+	if est <= 0 || cost <= 0 {
+		t.Errorf("untrained estimate = %v cost = %v", est, cost)
+	}
+}
+
+func TestSamplingQTEAccuracyPenalty(t *testing.T) {
+	ctxs := synthContexts(10, 6, 0)
+	s := NewSamplingQTE()
+	if err := s.Train(ctxs, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	clean := s.MeanRelError(ctxs)
+	s.AccuracyPenalty = 3.0
+	noisy := s.MeanRelError(ctxs)
+	if noisy <= clean*2 {
+		t.Errorf("accuracy penalty should inflate error: %.3f → %.3f", clean, noisy)
+	}
+}
+
+func TestFeaturesScalingForApproxRules(t *testing.T) {
+	ctxs := synthContexts(1, 7, 0)
+	ctx := ctxs[0]
+	// Append a limit option and a sample option mirroring option 7.
+	base := ctx.Options[7]
+	ctx.Options = append(ctx.Options, core.Option{Mask: base.Mask, HasHint: true,
+		Approx: core.ApproxRule{Kind: core.ApproxSample, Percent: 20}})
+	ctx.NeedSels = append(ctx.NeedSels, []int{0, 1, 2})
+	ctx.PlanEst = append(ctx.PlanEst, ctx.PlanEst[7])
+	ctx.TrueMs = append(ctx.TrueMs, ctx.TrueMs[7]/5)
+	ctx.Quality = append(ctx.Quality, 0.8)
+
+	full := Features(ctx, 7, true)
+	samp := Features(ctx, 8, true)
+	if samp[11] != 0.2 {
+		t.Errorf("sample fraction feature = %v", samp[11])
+	}
+	if samp[1] >= full[1] || samp[2] >= full[2] {
+		t.Errorf("sample features should shrink work terms: %v vs %v", samp[1:3], full[1:3])
+	}
+}
+
+func TestFeaturesDeterministic(t *testing.T) {
+	ctxs := synthContexts(1, 8, 0)
+	a := Features(ctxs[0], 5, true)
+	b := Features(ctxs[0], 5, true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("features not deterministic")
+		}
+	}
+	if len(a) != 12 {
+		t.Errorf("feature dim = %d", len(a))
+	}
+}

@@ -1,0 +1,120 @@
+// Package qte implements Maliva's Query Time Estimators (§4.2): an oracle
+// Accurate-QTE whose estimates equal actual execution times, and a
+// sampling-based Approximate-QTE in the style of Wu et al. [67] — it
+// collects predicate selectivities by counting over a sample and feeds them
+// to a learned linear cost model. Both charge a per-selectivity unit cost
+// against the planning budget, which is the quantity the MDP agent learns to
+// spend wisely.
+package qte
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ridge is a ridge-regression model: y ≈ w·x with L2 regularization.
+type Ridge struct {
+	Weights []float64
+	Lambda  float64
+}
+
+// FitRidge solves (XᵀX + λI)w = Xᵀy for w. Each row of x must have the same
+// length; the caller includes the intercept feature explicitly.
+func FitRidge(x [][]float64, y []float64, lambda float64) (*Ridge, error) {
+	if len(x) == 0 {
+		return nil, errors.New("qte: FitRidge needs at least one sample")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("qte: FitRidge got %d rows but %d targets", len(x), len(y))
+	}
+	d := len(x[0])
+	// Normal equations.
+	a := make([][]float64, d) // XᵀX + λI
+	b := make([]float64, d)   // Xᵀy
+	for i := range a {
+		a[i] = make([]float64, d)
+		a[i][i] = lambda
+	}
+	for r, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("qte: FitRidge row %d has %d features, want %d", r, len(row), d)
+		}
+		for i := 0; i < d; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			b[i] += row[i] * y[r]
+			for j := i; j < d; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+	}
+	w, err := solveLinear(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Ridge{Weights: w, Lambda: lambda}, nil
+}
+
+// Predict returns w·x.
+func (r *Ridge) Predict(x []float64) float64 {
+	s := 0.0
+	for i, w := range r.Weights {
+		if i < len(x) {
+			s += w * x[i]
+		}
+	}
+	return s
+}
+
+// solveLinear solves a·w = b by Gaussian elimination with partial pivoting.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	d := len(a)
+	// Augment in place.
+	for col := 0; col < d; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < d; r++ {
+			if abs(a[r][col]) > abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(a[pivot][col]) < 1e-12 {
+			return nil, errors.New("qte: singular system in ridge solve")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < d; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < d; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	w := make([]float64, d)
+	for r := d - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < d; c++ {
+			s -= a[r][c] * w[c]
+		}
+		w[r] = s / a[r][r]
+	}
+	return w, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,130 @@
+// Package viz implements visualization binning and result-quality functions
+// used by Maliva's quality-aware rewriting (§6): grid binning for heatmaps,
+// pixel rasterization for scatterplots, Jaccard similarity on pixel sets, and
+// a Sample+Seek-style distribution-precision metric for count distributions.
+package viz
+
+import (
+	"math"
+
+	"github.com/maliva/maliva/internal/engine"
+)
+
+// Grid is a fixed-resolution raster over a geographic extent.
+type Grid struct {
+	Extent engine.Rect
+	W, H   int
+}
+
+// NewGrid creates a grid; width and height must be positive.
+func NewGrid(extent engine.Rect, w, h int) Grid {
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	return Grid{Extent: extent, W: w, H: h}
+}
+
+// Cell maps a point to its cell index, or -1 if outside the extent.
+func (g Grid) Cell(p engine.Point) int {
+	w := g.Extent.MaxLon - g.Extent.MinLon
+	h := g.Extent.MaxLat - g.Extent.MinLat
+	if w <= 0 || h <= 0 || !g.Extent.Contains(p) {
+		return -1
+	}
+	x := int(float64(g.W) * (p.Lon - g.Extent.MinLon) / w)
+	y := int(float64(g.H) * (p.Lat - g.Extent.MinLat) / h)
+	if x >= g.W {
+		x = g.W - 1
+	}
+	if y >= g.H {
+		y = g.H - 1
+	}
+	return y*g.W + x
+}
+
+// Rasterize returns the set of occupied cells for a point set — the
+// scatterplot visualization result at this resolution.
+func (g Grid) Rasterize(points []engine.Point) map[int]struct{} {
+	out := make(map[int]struct{})
+	for _, p := range points {
+		if c := g.Cell(p); c >= 0 {
+			out[c] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Counts returns per-cell weighted counts — the heatmap visualization result.
+func (g Grid) Counts(points []engine.Point, weight float64) map[int]float64 {
+	out := make(map[int]float64)
+	for _, p := range points {
+		if c := g.Cell(p); c >= 0 {
+			out[c] += weight
+		}
+	}
+	return out
+}
+
+// JaccardPixels computes the Jaccard similarity between two occupied-pixel
+// sets: |A∩B| / |A∪B|. Two empty sets have similarity 1.
+func JaccardPixels(a, b map[int]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for c := range a {
+		if _, ok := b[c]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// JaccardPoints rasterizes both point sets on the grid and returns the
+// Jaccard similarity of the resulting pixel sets — the paper's Fig. 9
+// quality function for scatterplots.
+func JaccardPoints(g Grid, orig, approx []engine.Point) float64 {
+	return JaccardPixels(g.Rasterize(orig), g.Rasterize(approx))
+}
+
+// DistributionPrecision compares two count distributions (heatmaps, pie
+// charts) as 1 − ½·Σ|p_i − q_i| over normalized distributions — the
+// Sample+Seek-style distribution precision in [0,1].
+func DistributionPrecision(orig, approx map[int]float64) float64 {
+	var sumO, sumA float64
+	for _, v := range orig {
+		sumO += v
+	}
+	for _, v := range approx {
+		sumA += v
+	}
+	if sumO == 0 && sumA == 0 {
+		return 1
+	}
+	if sumO == 0 || sumA == 0 {
+		return 0
+	}
+	keys := make(map[int]struct{}, len(orig)+len(approx))
+	for k := range orig {
+		keys[k] = struct{}{}
+	}
+	for k := range approx {
+		keys[k] = struct{}{}
+	}
+	var l1 float64
+	for k := range keys {
+		l1 += math.Abs(orig[k]/sumO - approx[k]/sumA)
+	}
+	p := 1 - l1/2
+	if p < 0 {
+		p = 0
+	}
+	return p
+}

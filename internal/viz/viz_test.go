@@ -1,0 +1,178 @@
+package viz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/maliva/maliva/internal/engine"
+)
+
+func testGrid() Grid {
+	return NewGrid(engine.Rect{MinLon: 0, MinLat: 0, MaxLon: 10, MaxLat: 10}, 10, 10)
+}
+
+func TestGridCell(t *testing.T) {
+	g := testGrid()
+	cases := []struct {
+		p    engine.Point
+		want int
+	}{
+		{engine.Point{Lon: 0.5, Lat: 0.5}, 0},
+		{engine.Point{Lon: 9.5, Lat: 0.5}, 9},
+		{engine.Point{Lon: 0.5, Lat: 9.5}, 90},
+		{engine.Point{Lon: 10, Lat: 10}, 99}, // boundary clamps into the last cell
+		{engine.Point{Lon: -1, Lat: 5}, -1},  // outside
+		{engine.Point{Lon: 5, Lat: 11}, -1},
+	}
+	for _, tc := range cases {
+		if got := g.Cell(tc.p); got != tc.want {
+			t.Errorf("Cell(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestGridCellInRange: any point inside the extent maps to a valid cell.
+func TestGridCellInRange(t *testing.T) {
+	g := testGrid()
+	prop := func(lonRaw, latRaw float64) bool {
+		lon := math.Mod(math.Abs(lonRaw), 10)
+		lat := math.Mod(math.Abs(latRaw), 10)
+		if math.IsNaN(lon) || math.IsNaN(lat) {
+			return true
+		}
+		c := g.Cell(engine.Point{Lon: lon, Lat: lat})
+		return c >= 0 && c < 100
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJaccardProperties: symmetry, identity, bounds — for random pixel sets.
+func TestJaccardProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen := func() map[int]struct{} {
+			s := make(map[int]struct{})
+			for i := 0; i < rng.Intn(50); i++ {
+				s[rng.Intn(100)] = struct{}{}
+			}
+			return s
+		}
+		a, b := gen(), gen()
+		jab := JaccardPixels(a, b)
+		jba := JaccardPixels(b, a)
+		if jab != jba {
+			return false
+		}
+		if jab < 0 || jab > 1 {
+			return false
+		}
+		if JaccardPixels(a, a) != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccardKnownValues(t *testing.T) {
+	a := map[int]struct{}{1: {}, 2: {}, 3: {}}
+	b := map[int]struct{}{2: {}, 3: {}, 4: {}}
+	if got := JaccardPixels(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Jaccard = %v, want 0.5", got)
+	}
+	if got := JaccardPixels(nil, nil); got != 1 {
+		t.Errorf("empty-empty = %v, want 1", got)
+	}
+	if got := JaccardPixels(a, nil); got != 0 {
+		t.Errorf("a-empty = %v, want 0", got)
+	}
+}
+
+func TestJaccardPointsSubsetSample(t *testing.T) {
+	g := testGrid()
+	rng := rand.New(rand.NewSource(9))
+	var orig []engine.Point
+	for i := 0; i < 2000; i++ {
+		orig = append(orig, engine.Point{Lon: rng.Float64() * 10, Lat: rng.Float64() * 10})
+	}
+	// A 50% subsample keeps a high pixel Jaccard (pixels collapse points).
+	var sample []engine.Point
+	for i, p := range orig {
+		if i%2 == 0 {
+			sample = append(sample, p)
+		}
+	}
+	j := JaccardPoints(g, orig, sample)
+	if j < 0.5 || j > 1 {
+		t.Errorf("subsample Jaccard = %v", j)
+	}
+	full := JaccardPoints(g, orig, orig)
+	if full != 1 {
+		t.Errorf("identical point sets Jaccard = %v", full)
+	}
+}
+
+func TestDistributionPrecision(t *testing.T) {
+	a := map[int]float64{0: 10, 1: 10}
+	if got := DistributionPrecision(a, a); got != 1 {
+		t.Errorf("identical distributions = %v", got)
+	}
+	// Scaling invariance.
+	b := map[int]float64{0: 100, 1: 100}
+	if got := DistributionPrecision(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("scaled distributions = %v", got)
+	}
+	// Disjoint support → 0.
+	c := map[int]float64{5: 20}
+	if got := DistributionPrecision(a, c); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+	// Half overlap.
+	d := map[int]float64{0: 20}
+	if got := DistributionPrecision(a, d); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("half overlap = %v, want 0.5", got)
+	}
+	if got := DistributionPrecision(nil, nil); got != 1 {
+		t.Errorf("empty-empty = %v", got)
+	}
+	if got := DistributionPrecision(a, nil); got != 0 {
+		t.Errorf("a-empty = %v", got)
+	}
+}
+
+func TestCountsWeighting(t *testing.T) {
+	g := testGrid()
+	pts := []engine.Point{{Lon: 1, Lat: 1}, {Lon: 1.2, Lat: 1.1}, {Lon: 9, Lat: 9}}
+	counts := g.Counts(pts, 5)
+	var sum float64
+	for _, v := range counts {
+		sum += v
+	}
+	if sum != 15 {
+		t.Errorf("weighted sum = %v, want 15", sum)
+	}
+	if counts[g.Cell(pts[0])] != 10 {
+		t.Errorf("co-located points should accumulate: %v", counts[g.Cell(pts[0])])
+	}
+}
+
+func TestNewGridClampsDimensions(t *testing.T) {
+	g := NewGrid(engine.Rect{MaxLon: 1, MaxLat: 1}, 0, -3)
+	if g.W != 1 || g.H != 1 {
+		t.Errorf("grid dims = %dx%d", g.W, g.H)
+	}
+}
+
+func TestRasterizeEmptyExtent(t *testing.T) {
+	g := NewGrid(engine.Rect{}, 4, 4)
+	px := g.Rasterize([]engine.Point{{Lon: 0, Lat: 0}})
+	if len(px) != 0 {
+		t.Errorf("degenerate extent should produce no pixels, got %v", px)
+	}
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/maliva/maliva/internal/engine"
+)
+
+// QuerySpec controls random query generation (§7.1).
+type QuerySpec struct {
+	// NumPreds is the number of filtering conditions (3 for the main
+	// workloads; 4 and 5 for the 16/32-rewrite-option workloads).
+	NumPreds int
+	// Join adds the users join with a tweet_cnt condition (Twitter only).
+	Join bool
+	// Seed drives generation.
+	Seed int64
+}
+
+// GenerateQueries creates n random queries following the paper's recipe:
+// sample a record, then derive one condition per filtering attribute —
+// a keyword from the record's text, and zoom-level-sized ranges/boxes
+// centered on the record's values (length = max(L/2^z, 1) for a uniform
+// zoom level z ∈ [0, ceil(log2 L)]).
+func GenerateQueries(ds *Dataset, n int, spec QuerySpec) []*engine.Query {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	t := ds.DB.Table(ds.Main)
+	numPreds := spec.NumPreds
+	if numPreds <= 0 {
+		numPreds = 3
+	}
+	if numPreds > len(ds.FilterCols) {
+		numPreds = len(ds.FilterCols)
+	}
+	queries := make([]*engine.Query, 0, n)
+	for len(queries) < n {
+		row := uint32(rng.Intn(t.Rows))
+		q := &engine.Query{
+			Table:      ds.Main,
+			OutputCols: append([]string(nil), ds.OutputCols...),
+		}
+		ok := true
+		for _, col := range ds.FilterCols[:numPreds] {
+			p, valid := ds.predicateFor(t, col, row, rng)
+			if !valid {
+				ok = false
+				break
+			}
+			q.Preds = append(q.Preds, p)
+		}
+		if !ok {
+			continue
+		}
+		if spec.Join && ds.JoinTable != "" {
+			inner := ds.DB.Table(ds.JoinTable)
+			irow := uint32(rng.Intn(inner.Rows))
+			p, valid := rangePredicate(inner, ds.JoinFilter, irow, rng, 4)
+			if !valid {
+				continue
+			}
+			q.Join = &engine.JoinClause{
+				Table:    ds.JoinTable,
+				LeftCol:  ds.JoinLeftCol,
+				RightCol: ds.JoinRightCol,
+				Preds:    []engine.Predicate{p},
+			}
+		}
+		queries = append(queries, q)
+	}
+	return queries
+}
+
+// predicateFor builds the condition for one filtering column from the
+// sampled row.
+func (ds *Dataset) predicateFor(t *engine.Table, col string, row uint32, rng *rand.Rand) (engine.Predicate, bool) {
+	c := t.Col(col)
+	switch c.Type {
+	case engine.ColText:
+		toks := c.Texts[row]
+		if len(toks) == 0 {
+			return engine.Predicate{}, false
+		}
+		w := toks[rng.Intn(len(toks))]
+		return engine.Predicate{
+			Col: col, Kind: engine.PredKeyword,
+			Word: w, WordText: t.Vocab.Word(w),
+		}, true
+	case engine.ColTime:
+		return timePredicate(ds, t, col, row, rng)
+	case engine.ColInt64, engine.ColFloat64:
+		return rangePredicate(t, col, row, rng, 0)
+	case engine.ColPoint:
+		return geoPredicate(ds, t, col, row, rng)
+	}
+	return engine.Predicate{}, false
+}
+
+// timePredicate implements the paper's temporal zoom levels: the sampled
+// value is the left boundary; the range length is max(L/2^z, 1) days for a
+// uniform z in [0, ceil(log2 L)].
+func timePredicate(ds *Dataset, t *engine.Table, col string, row uint32, rng *rand.Rand) (engine.Predicate, bool) {
+	c := t.Col(col)
+	lo := c.Ints[row]
+	l := float64(ds.TimeSpanDays)
+	if l < 1 {
+		l = 1
+	}
+	zMax := int(math.Ceil(math.Log2(l)))
+	z := rng.Intn(zMax + 1)
+	days := math.Max(l/math.Pow(2, float64(z)), 1)
+	hi := lo + int64(days*24*float64(time.Hour/time.Millisecond))
+	return engine.Predicate{
+		Col: col, Kind: engine.PredRange,
+		Lo: float64(lo), Hi: float64(hi),
+	}, true
+}
+
+// rangePredicate applies the zoom-level scheme to a numeric column's value
+// domain. minZoom skips the widest levels (used for join-filter conditions,
+// which the paper keeps selective enough to matter).
+func rangePredicate(t *engine.Table, col string, row uint32, rng *rand.Rand, minZoom int) (engine.Predicate, bool) {
+	c := t.Col(col)
+	v := c.NumericAt(row)
+	minV, maxV := v, v
+	for i := 0; i < t.Rows; i += 97 { // sampled domain scan is plenty
+		x := c.NumericAt(uint32(i))
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	l := maxV - minV
+	if l <= 0 {
+		return engine.Predicate{}, false
+	}
+	zMax := 10
+	z := minZoom
+	if zMax > minZoom {
+		z = minZoom + rng.Intn(zMax-minZoom+1)
+	}
+	length := l / math.Pow(2, float64(z))
+	lo := v - length/2
+	hi := v + length/2
+	return engine.Predicate{Col: col, Kind: engine.PredRange, Lo: lo, Hi: hi}, true
+}
+
+// geoPredicate centers a zoom-level-sized bounding box on the sampled
+// record's coordinates, clamped to the dataset extent.
+func geoPredicate(ds *Dataset, t *engine.Table, col string, row uint32, rng *rand.Rand) (engine.Predicate, bool) {
+	c := t.Col(col)
+	center := c.Points[row]
+	ext := ds.Extent
+	if ext.Area() == 0 {
+		return engine.Predicate{}, false
+	}
+	zMax := 9
+	z := rng.Intn(zMax + 1)
+	w := (ext.MaxLon - ext.MinLon) / math.Pow(2, float64(z))
+	h := (ext.MaxLat - ext.MinLat) / math.Pow(2, float64(z))
+	box := engine.Rect{
+		MinLon: clamp(center.Lon-w/2, ext.MinLon, ext.MaxLon),
+		MaxLon: clamp(center.Lon+w/2, ext.MinLon, ext.MaxLon),
+		MinLat: clamp(center.Lat-h/2, ext.MinLat, ext.MaxLat),
+		MaxLat: clamp(center.Lat+h/2, ext.MinLat, ext.MaxLat),
+	}
+	return engine.Predicate{Col: col, Kind: engine.PredGeo, Box: box}, true
+}
+
+// Split divides queries into train/validation/evaluation using the paper's
+// protocol: half for evaluation; the other half split 2:1 into training and
+// validation.
+func Split(queries []*engine.Query, seed int64) (train, val, eval []*engine.Query) {
+	rng := rand.New(rand.NewSource(seed))
+	shuffled := append([]*engine.Query(nil), queries...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	half := len(shuffled) / 2
+	eval = shuffled[half:]
+	twoThirds := half * 2 / 3
+	train = shuffled[:twoThirds]
+	val = shuffled[twoThirds:half]
+	return train, val, eval
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/maliva/maliva/internal/engine"
+)
+
+func smallTwitter(t testing.TB) *Dataset {
+	t.Helper()
+	cfg := TwitterConfig()
+	cfg.Rows = 20_000
+	cfg.Scale = 100e6 / float64(cfg.Rows)
+	ds, err := Twitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTwitterSchema(t *testing.T) {
+	ds := smallTwitter(t)
+	tb := ds.DB.Table("tweets")
+	if tb == nil {
+		t.Fatal("no tweets table")
+	}
+	if tb.Rows != 20_000 {
+		t.Errorf("Rows = %d", tb.Rows)
+	}
+	if math.Abs(tb.RealRows()-100e6) > 1 {
+		t.Errorf("RealRows = %v", tb.RealRows())
+	}
+	for _, col := range []string{"id", "text", "created_at", "coordinates", "users_statuses_count", "users_followers_count", "user_id"} {
+		if !tb.HasColumn(col) {
+			t.Errorf("missing column %s", col)
+		}
+	}
+	for _, col := range []string{"text", "created_at", "coordinates", "users_statuses_count", "users_followers_count"} {
+		if tb.Index(col) == nil {
+			t.Errorf("missing index on %s", col)
+		}
+	}
+	users := ds.DB.Table("users")
+	if users == nil || users.Index("id") == nil {
+		t.Fatal("users table or its id index missing")
+	}
+	// All user_id values join.
+	for _, v := range tb.Col("user_id").Ints[:100] {
+		if v < 0 || v >= int64(users.Rows) {
+			t.Fatalf("dangling user_id %d", v)
+		}
+	}
+}
+
+func TestTwitterZipfSkew(t *testing.T) {
+	ds := smallTwitter(t)
+	tb := ds.DB.Table("tweets")
+	headSel := engine.TrueSelectivity(tb, engine.Predicate{Col: "text", Kind: engine.PredKeyword, Word: 1})
+	tailSel := engine.TrueSelectivity(tb, engine.Predicate{Col: "text", Kind: engine.PredKeyword, Word: 3000})
+	if headSel < 0.01 {
+		t.Errorf("head word selectivity %v too low — no Zipf head", headSel)
+	}
+	if tailSel >= headSel/10 {
+		t.Errorf("tail word (%v) should be ≥10× rarer than head (%v)", tailSel, headSel)
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	a := smallTwitter(t)
+	b := smallTwitter(t)
+	at, bt := a.DB.Table("tweets"), b.DB.Table("tweets")
+	for i := 0; i < 200; i++ {
+		if at.Col("created_at").Ints[i] != bt.Col("created_at").Ints[i] {
+			t.Fatal("created_at differs across identical builds")
+		}
+		if at.Col("coordinates").Points[i] != bt.Col("coordinates").Points[i] {
+			t.Fatal("coordinates differ across identical builds")
+		}
+	}
+}
+
+func TestTaxiAndTPCHBuild(t *testing.T) {
+	tc := TaxiConfig()
+	tc.Rows = 10_000
+	taxi, err := Taxi(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := taxi.DB.Table("trips")
+	if tt.Rows != 10_000 {
+		t.Errorf("taxi rows = %d", tt.Rows)
+	}
+	// Distances are positive with a heavy tail.
+	maxD := 0.0
+	for _, d := range tt.Col("trip_distance").Floats {
+		if d <= 0 {
+			t.Fatal("non-positive trip distance")
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxD < 50 {
+		t.Errorf("expected long-haul outliers, max distance %v", maxD)
+	}
+
+	hc := TPCHConfig()
+	hc.Rows = 10_000
+	tpch, err := TPCH(hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := tpch.DB.Table("lineitem")
+	// receipt_date ≥ ship_date always (correlated columns).
+	ship := li.Col("ship_date").Ints
+	receipt := li.Col("receipt_date").Ints
+	for i := range ship {
+		if receipt[i] < ship[i] {
+			t.Fatalf("row %d: receipt before ship", i)
+		}
+	}
+}
+
+func TestGenerateQueriesShape(t *testing.T) {
+	ds := smallTwitter(t)
+	qs := GenerateQueries(ds, 50, QuerySpec{NumPreds: 3, Seed: 7})
+	if len(qs) != 50 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if len(q.Preds) != 3 {
+			t.Fatalf("query has %d preds", len(q.Preds))
+		}
+		if q.Preds[0].Kind != engine.PredKeyword || q.Preds[0].Word == 0 {
+			t.Errorf("pred 0 = %+v", q.Preds[0])
+		}
+		if q.Preds[1].Kind != engine.PredRange || q.Preds[1].Hi <= q.Preds[1].Lo {
+			t.Errorf("pred 1 = %+v", q.Preds[1])
+		}
+		if q.Preds[2].Kind != engine.PredGeo || q.Preds[2].Box.Area() <= 0 {
+			t.Errorf("pred 2 = %+v", q.Preds[2])
+		}
+		// Every generated query matches at least the sampled record's word.
+		sel := engine.TrueSelectivity(ds.DB.Table("tweets"), q.Preds[0])
+		if sel <= 0 {
+			t.Error("keyword condition matches nothing")
+		}
+	}
+}
+
+func TestGenerateQueriesWiderShapes(t *testing.T) {
+	ds := smallTwitter(t)
+	for _, np := range []int{4, 5} {
+		qs := GenerateQueries(ds, 10, QuerySpec{NumPreds: np, Seed: 7})
+		for _, q := range qs {
+			if len(q.Preds) != np {
+				t.Fatalf("NumPreds=%d produced %d preds", np, len(q.Preds))
+			}
+		}
+	}
+	// Join queries.
+	qs := GenerateQueries(ds, 10, QuerySpec{NumPreds: 3, Join: true, Seed: 7})
+	for _, q := range qs {
+		if q.Join == nil || q.Join.Table != "users" || len(q.Join.Preds) != 1 {
+			t.Fatalf("join clause = %+v", q.Join)
+		}
+	}
+}
+
+func TestGenerateQueriesDeterministic(t *testing.T) {
+	ds := smallTwitter(t)
+	a := GenerateQueries(ds, 20, QuerySpec{NumPreds: 3, Seed: 11})
+	b := GenerateQueries(ds, 20, QuerySpec{NumPreds: 3, Seed: 11})
+	for i := range a {
+		if a[i].SQL(engine.Hint{}) != b[i].SQL(engine.Hint{}) {
+			t.Fatal("query generation not deterministic")
+		}
+	}
+	c := GenerateQueries(ds, 20, QuerySpec{NumPreds: 3, Seed: 12})
+	same := 0
+	for i := range a {
+		if a[i].SQL(engine.Hint{}) == c[i].SQL(engine.Hint{}) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestSplitProportionsAndDisjointness(t *testing.T) {
+	ds := smallTwitter(t)
+	qs := GenerateQueries(ds, 120, QuerySpec{NumPreds: 3, Seed: 13})
+	train, val, eval := Split(qs, 5)
+	if len(train)+len(val)+len(eval) != 120 {
+		t.Fatalf("split sizes %d/%d/%d", len(train), len(val), len(eval))
+	}
+	if len(eval) != 60 {
+		t.Errorf("eval = %d, want half", len(eval))
+	}
+	if len(train) != 40 || len(val) != 20 {
+		t.Errorf("train/val = %d/%d, want 2:1 of the other half", len(train), len(val))
+	}
+	seen := map[*engine.Query]int{}
+	for _, q := range train {
+		seen[q]++
+	}
+	for _, q := range val {
+		seen[q]++
+	}
+	for _, q := range eval {
+		seen[q]++
+	}
+	for q, n := range seen {
+		if n != 1 {
+			t.Fatalf("query %p appears %d times across splits", q, n)
+		}
+	}
+}
+
+// TestZoomLevelLaw: generated temporal ranges follow l = max(L/2^z, 1) days.
+func TestZoomLevelLaw(t *testing.T) {
+	ds := smallTwitter(t)
+	qs := GenerateQueries(ds, 300, QuerySpec{NumPreds: 3, Seed: 17})
+	const dayMs = 24 * 3600 * 1000
+	lengths := map[int]int{}
+	for _, q := range qs {
+		days := (q.Preds[1].Hi - q.Preds[1].Lo) / dayMs
+		// Must be L/2^z for some z (within rounding) and ≥ 1 day.
+		if days < 1-1e-9 {
+			t.Fatalf("range %v days < 1", days)
+		}
+		z := math.Log2(float64(ds.TimeSpanDays) / days)
+		zi := int(math.Round(z))
+		if math.Abs(z-float64(zi)) > 0.01 && days > 1+1e-9 {
+			t.Fatalf("range %v days is not L/2^z (z=%v)", days, z)
+		}
+		lengths[zi]++
+	}
+	if len(lengths) < 5 {
+		t.Errorf("zoom levels not diverse: %v", lengths)
+	}
+}
