@@ -12,7 +12,9 @@ package maliva_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"github.com/maliva/maliva/internal/core"
 	"github.com/maliva/maliva/internal/engine"
@@ -163,6 +165,99 @@ func BenchmarkBuildContext(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBuildContextParallel is BenchmarkBuildContext with the per-option
+// worker pool enabled (0 = GOMAXPROCS). Compare against the serial number to
+// see the per-context speedup on multi-core machines.
+func BenchmarkBuildContextParallel(b *testing.B) {
+	ds, q := benchDB(b)
+	cfg := core.DefaultContextConfig(core.HintOnlySpec())
+	cfg.Parallel = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildContext(ds.DB, q, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchLabConfig sizes the lab-construction benchmarks: big enough that the
+// per-query fan-out dominates, small enough for -benchtime=1x smoke runs.
+func benchLabConfig(parallel int) harness.LabConfig {
+	return harness.LabConfig{
+		NumQueries: 24,
+		QuerySpec:  workload.QuerySpec{NumPreds: 3, Seed: 5},
+		Space:      core.HintOnlySpec(),
+		Budget:     500,
+		Seed:       9,
+		Parallel:   parallel,
+	}
+}
+
+// benchLabDataset builds the dataset shared by the lab benchmarks.
+func benchLabDataset(b *testing.B) *workload.Dataset {
+	b.Helper()
+	cfg := workload.TwitterConfig()
+	cfg.Rows = 20_000
+	cfg.Scale = 100e6 / float64(cfg.Rows)
+	ds, err := workload.Twitter(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// BenchmarkBuildLabSerial measures ground-truth pipeline construction with
+// the worker pool disabled — the paper's offline experience-collection cost.
+func BenchmarkBuildLabSerial(b *testing.B) {
+	ds := benchLabDataset(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.BuildLab(ds, benchLabConfig(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildLabParallel is the same pipeline saturating all cores.
+func BenchmarkBuildLabParallel(b *testing.B) {
+	ds := benchLabDataset(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.BuildLab(ds, benchLabConfig(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildLabSpeedup runs the serial and parallel pipelines back to
+// back each iteration and reports the wall-clock ratio as a custom metric —
+// the headline number for the parallel ground-truth pipeline (near-linear on
+// multi-core; ~1.0 on a single-core machine).
+func BenchmarkBuildLabSpeedup(b *testing.B) {
+	ds := benchLabDataset(b)
+	b.ResetTimer()
+	var serialNs, parallelNs int64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := harness.BuildLab(ds, benchLabConfig(1)); err != nil {
+			b.Fatal(err)
+		}
+		serialNs += time.Since(t0).Nanoseconds()
+		t1 := time.Now()
+		if _, err := harness.BuildLab(ds, benchLabConfig(0)); err != nil {
+			b.Fatal(err)
+		}
+		parallelNs += time.Since(t1).Nanoseconds()
+	}
+	if parallelNs > 0 {
+		b.ReportMetric(float64(serialNs)/float64(parallelNs), "speedup")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "procs")
 }
 
 // BenchmarkAgentRewrite measures one online Algorithm-2 pass.

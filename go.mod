@@ -1,0 +1,3 @@
+module github.com/maliva/maliva
+
+go 1.24

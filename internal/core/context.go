@@ -101,11 +101,18 @@ type ContextConfig struct {
 	QualityGridW, QualityGridH int
 	// Seed decorrelates sampling noise across experiments.
 	Seed int64
+	// Parallel is the worker count for the per-option execution loop:
+	// 0 means GOMAXPROCS, 1 forces the serial path. Every option execution
+	// is independent and derives its randomness from the plan fingerprint,
+	// so the built context is bit-identical at any worker count.
+	// DefaultContextConfig sets 1: parallelism is opt-in, so online serving
+	// paths don't spawn a worker pool per request.
+	Parallel int
 }
 
 // DefaultContextConfig returns the standard configuration for a space.
 func DefaultContextConfig(space SpaceSpec) ContextConfig {
-	return ContextConfig{Space: space, SampleRows: 1000, QualityGridW: 128, QualityGridH: 128, Seed: 1}
+	return ContextConfig{Space: space, SampleRows: 1000, QualityGridW: 128, QualityGridH: 128, Seed: 1, Parallel: 1}
 }
 
 // BuildContext executes every rewritten query for q once and assembles the
@@ -137,10 +144,15 @@ func BuildContext(db *engine.DB, q *engine.Query, cfg ContextConfig) (*QueryCont
 		}
 	}
 
+	// Per-context memoized index lookups: the |Ω| option executions (plus
+	// the baseline run and true-selectivity collection) keep scanning the
+	// same indexes for the same predicates; share one scan per predicate.
+	cache := engine.NewLookupCache()
+
 	// Optimizer view of the original query (baseline + LIMIT sizing).
 	chosen := db.ChoosePlan(q)
 	ctx.EstRows = chosen.EstRows
-	baseRes, baseStats, err := db.Run(q, engine.Hint{})
+	baseRes, baseStats, err := db.RunCached(q, engine.Hint{}, cache)
 	if err != nil {
 		return nil, fmt.Errorf("core: baseline run: %w", err)
 	}
@@ -152,7 +164,7 @@ func BuildContext(db *engine.DB, q *engine.Query, cfg ContextConfig) (*QueryCont
 	origPixels := grid.Rasterize(baseRes.Points)
 
 	// True selectivities and deterministic sampled estimates.
-	ctx.SelTrue = db.TrueSelectivities(q)
+	ctx.SelTrue = db.TrueSelectivitiesCached(q, cache)
 	ctx.SelSampled = make([]float64, len(ctx.SelTrue))
 	sampleRows := cfg.SampleRows
 	if sampleRows <= 0 {
@@ -163,11 +175,15 @@ func BuildContext(db *engine.DB, q *engine.Query, cfg ContextConfig) (*QueryCont
 		ctx.SelSampled[i] = binomialEstimate(rng, s, sampleRows)
 	}
 
-	for i, o := range opts {
+	// Execute every rewritten query. Each option writes only its own slot,
+	// so the loop parallelizes without changing a single output bit; engine
+	// noise is a pure function of (seed, plan fingerprint), not run order.
+	buildOption := func(i int) error {
+		o := opts[i]
 		rq, h := BuildRQ(q, o, ctx.EstRows, ctx.Scale)
-		res, stats, err := db.Run(rq, h)
+		res, stats, err := db.RunCached(rq, h, cache)
 		if err != nil {
-			return nil, fmt.Errorf("core: option %s: %w", o.Label(len(q.Preds)), err)
+			return fmt.Errorf("core: option %s: %w", o.Label(len(q.Preds)), err)
 		}
 		ctx.TrueMs[i] = stats.SimMs
 		ctx.NeedSels[i] = NeededSels(q, o)
@@ -177,7 +193,14 @@ func BuildContext(db *engine.DB, q *engine.Query, cfg ContextConfig) (*QueryCont
 		} else {
 			ctx.Quality[i] = 1
 		}
-		// Identify the baseline's plan among exact options.
+		return nil
+	}
+	if err := runIndexed(len(opts), cfg.Parallel, buildOption); err != nil {
+		return nil, err
+	}
+	// Identify the baseline's plan among exact options (last match, as in
+	// the original serial loop).
+	for i, o := range opts {
 		if !o.IsApprox() && o.HasHint &&
 			o.Mask == engine.MaskFromPositions(chosen.Positions) &&
 			(q.Join == nil || o.Join == chosen.Join) {

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestBuildContextParallelDeterministic: building the same context serially
+// and with a worker pool yields byte-identical ground truth — every field a
+// downstream consumer (MDP training, QTEs, evaluation) can observe.
+func TestBuildContextParallelDeterministic(t *testing.T) {
+	db, q := smallDB(t, 2000)
+	base := DefaultContextConfig(HintOnlySpec())
+
+	serialCfg := base
+	serialCfg.Parallel = 1
+	serial, err := BuildContext(db, q, serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{0, 2, 7} {
+		cfg := base
+		cfg.Parallel = workers
+		par, err := BuildContext(db, q, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(par.TrueMs, serial.TrueMs) {
+			t.Errorf("workers=%d: TrueMs diverges\n got %v\nwant %v", workers, par.TrueMs, serial.TrueMs)
+		}
+		if !reflect.DeepEqual(par.Quality, serial.Quality) {
+			t.Errorf("workers=%d: Quality diverges", workers)
+		}
+		if !reflect.DeepEqual(par.SelTrue, serial.SelTrue) {
+			t.Errorf("workers=%d: SelTrue diverges", workers)
+		}
+		if !reflect.DeepEqual(par.SelSampled, serial.SelSampled) {
+			t.Errorf("workers=%d: SelSampled diverges", workers)
+		}
+		if !reflect.DeepEqual(par.NeedSels, serial.NeedSels) {
+			t.Errorf("workers=%d: NeedSels diverges", workers)
+		}
+		if !reflect.DeepEqual(par.PlanEst, serial.PlanEst) {
+			t.Errorf("workers=%d: PlanEst diverges", workers)
+		}
+		if par.Fingerprint != serial.Fingerprint {
+			t.Errorf("workers=%d: Fingerprint %x, want %x", workers, par.Fingerprint, serial.Fingerprint)
+		}
+		if par.BaselineMs != serial.BaselineMs || par.BaselineOption != serial.BaselineOption {
+			t.Errorf("workers=%d: baseline (%v, %d) diverges from (%v, %d)",
+				workers, par.BaselineMs, par.BaselineOption, serial.BaselineMs, serial.BaselineOption)
+		}
+	}
+}
+
+// TestRunIndexed: pool behavior — covers all indices exactly once at any
+// worker count, and reports the lowest-index error deterministically.
+func TestRunIndexed(t *testing.T) {
+	for _, workers := range []int{1, 2, 16} {
+		hits := make([]int, 100)
+		if err := RunIndexed(len(hits), workers, func(i int) error {
+			hits[i]++
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := RunIndexed(10, workers, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 8:
+				return errHigh
+			}
+			return nil
+		})
+		if workers == 1 {
+			// Serial path bails at the first failure.
+			if !errors.Is(err, errLow) {
+				t.Fatalf("workers=1: err = %v, want %v", err, errLow)
+			}
+		} else if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error %v", workers, err, errLow)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRunDeterministic: DB.Run is safe for concurrent readers and
+// every goroutine sees exactly the result a serial execution produces, for
+// every plan shape. Run with -race to exercise the concurrency claim.
+func TestConcurrentRunDeterministic(t *testing.T) {
+	db := buildTestDB(t, 4000, 1)
+	q := testQuery(db)
+
+	type ref struct {
+		rows  []uint32
+		stats ExecStats
+	}
+	refs := make([]ref, 8)
+	for mask := 0; mask < 8; mask++ {
+		res, stats, err := db.Run(q, ForcedHint(PositionsFromMask(uint32(mask), 3), JoinAuto))
+		if err != nil {
+			t.Fatalf("mask %d: %v", mask, err)
+		}
+		refs[mask] = ref{rows: res.RowIDs, stats: stats}
+	}
+
+	const goroutines = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				mask := (g + it) % 8
+				res, stats, err := db.Run(q, ForcedHint(PositionsFromMask(uint32(mask), 3), JoinAuto))
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !reflect.DeepEqual(res.RowIDs, refs[mask].rows) {
+					t.Errorf("goroutine %d mask %d: rows diverge from serial run", g, mask)
+					return
+				}
+				if stats != refs[mask].stats {
+					t.Errorf("goroutine %d mask %d: stats diverge: %+v vs %+v", g, mask, stats, refs[mask].stats)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestLookupCacheMatchesDirectExecution: routing executions through a shared
+// LookupCache must not change a single output bit — rows, stats, and
+// therefore virtual time are identical, and the cache actually memoizes.
+func TestLookupCacheMatchesDirectExecution(t *testing.T) {
+	db := buildTestDB(t, 4000, 3)
+	q := testQuery(db)
+	cache := NewLookupCache()
+	for mask := 0; mask < 8; mask++ {
+		h := ForcedHint(PositionsFromMask(uint32(mask), 3), JoinAuto)
+		plain, plainStats, err := db.Run(q, h)
+		if err != nil {
+			t.Fatalf("mask %d plain: %v", mask, err)
+		}
+		cached, cachedStats, err := db.RunCached(q, h, cache)
+		if err != nil {
+			t.Fatalf("mask %d cached: %v", mask, err)
+		}
+		if !reflect.DeepEqual(plain.RowIDs, cached.RowIDs) {
+			t.Errorf("mask %d: cached rows diverge", mask)
+		}
+		if plainStats != cachedStats {
+			t.Errorf("mask %d: cached stats diverge: %+v vs %+v", mask, cachedStats, plainStats)
+		}
+	}
+	if cache.Len() != 3 {
+		t.Errorf("cache memoized %d lookups, want 3 (one per indexed predicate)", cache.Len())
+	}
+	// Second pass served entirely from cache still agrees.
+	for mask := 0; mask < 8; mask++ {
+		h := ForcedHint(PositionsFromMask(uint32(mask), 3), JoinAuto)
+		plain, plainStats, err := db.Run(q, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, cachedStats, err := db.RunCached(q, h, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain.RowIDs, cached.RowIDs) || plainStats != cachedStats {
+			t.Errorf("mask %d: warm cache diverges", mask)
+		}
+	}
+	// Cached true selectivities agree with the direct computation.
+	direct := db.TrueSelectivities(q)
+	viaCache := db.TrueSelectivitiesCached(q, cache)
+	if !reflect.DeepEqual(direct, viaCache) {
+		t.Errorf("cached selectivities %v, want %v", viaCache, direct)
+	}
+}
+
+// TestIntersectSortedInto: the scratch-buffer variant matches the allocating
+// one and reuses the destination's storage.
+func TestIntersectSortedInto(t *testing.T) {
+	a := []uint32{1, 3, 5, 7, 9, 11}
+	b := []uint32{3, 4, 5, 9, 12}
+	want, wantWork := IntersectSorted(a, b)
+	buf := make([]uint32, 0, 16)
+	got, gotWork := intersectSortedInto(buf, a, b)
+	if !reflect.DeepEqual(got, want) || gotWork != wantWork {
+		t.Errorf("intersectSortedInto = %v (work %d), want %v (work %d)", got, gotWork, want, wantWork)
+	}
+	if &got[:1][0] != &buf[:1][0] {
+		t.Error("intersectSortedInto did not reuse the destination buffer")
+	}
+}

@@ -5,16 +5,18 @@ import (
 	"sync"
 )
 
-// DB is the engine façade: a set of tables plus an execution profile. It is
-// safe for concurrent reads after loading; statistics are built lazily and
-// cached.
+// DB is the engine façade: a set of tables plus an execution profile. Once
+// loading (AddTable, BuildIndex, BuildSample) is done, the DB is safe for
+// concurrent readers: Run, ChoosePlan, EstimatePlan and TrueSelectivities
+// only read table data, and the lazily-built statistics cache below is the
+// single mutable structure, guarded by a read-mostly lock.
 type DB struct {
 	Tables  map[string]*Table
 	Profile Profile
 	// Seed drives the deterministic execution-noise stream.
 	Seed int64
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	stats map[string]*TableStats
 }
 
@@ -49,14 +51,22 @@ func (db *DB) table(name string) *Table {
 // Table returns the named table, or nil.
 func (db *DB) Table(name string) *Table { return db.Tables[name] }
 
-// statsFor lazily builds and caches optimizer statistics for a table.
+// statsFor lazily builds and caches optimizer statistics for a table. The
+// fast path is a read lock so concurrent executions don't serialize on the
+// cache once it is warm.
 func (db *DB) statsFor(name string) *TableStats {
+	db.mu.RLock()
+	st, ok := db.stats[name]
+	db.mu.RUnlock()
+	if ok {
+		return st
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if st, ok := db.stats[name]; ok {
 		return st
 	}
-	st := BuildTableStats(db.table(name))
+	st = BuildTableStats(db.table(name))
 	db.stats[name] = st
 	return st
 }
@@ -74,10 +84,18 @@ func (db *DB) InvalidateStats(name string) {
 // TrueSelectivities computes exact selectivities for all main-table
 // predicates of q (ground truth for QTEs and workload construction).
 func (db *DB) TrueSelectivities(q *Query) []float64 {
+	return db.TrueSelectivitiesCached(q, nil)
+}
+
+// TrueSelectivitiesCached is TrueSelectivities with the index scans routed
+// through an optional lookup cache, so ground-truth collection shares scans
+// with the option executions of the same query. A nil cache disables
+// memoization.
+func (db *DB) TrueSelectivitiesCached(q *Query, c *LookupCache) []float64 {
 	t := db.table(q.Table)
 	out := make([]float64, len(q.Preds))
 	for i, p := range q.Preds {
-		out[i] = TrueSelectivity(t, p)
+		out[i] = trueSelectivityCached(t, p, c)
 	}
 	return out
 }

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
-	"sort"
+	"math"
+	"slices"
+	"sync"
 )
 
 // Result holds the rows produced by a query execution. Row ids always refer
@@ -16,20 +18,76 @@ type Result struct {
 	Weight    float64         // per-row weight (100/SamplePercent for samples)
 }
 
-// execContext carries state through one query execution.
+// execContext carries state through one query execution. Contexts are pooled:
+// the scratch slices survive across executions so the hot path stays
+// allocation-free, while the Result (which escapes to the caller) is always
+// freshly allocated.
 type execContext struct {
 	db    *DB
 	q     *Query
 	t     *Table // resolved table (base or sample)
+	cache *LookupCache
 	stats ExecStats
 	res   *Result
 	limit int
+
+	// Per-execution projection state, resolved once in Run instead of once
+	// per emitted row.
+	baseRows []int64 // sample → base row translation (nil for base tables)
+	points   []Point // projected/binned point column (nil when none)
+
+	// Scratch buffers reused across executions via ecPool.
+	lists [][]uint32
+	accA  []uint32
+	accB  []uint32
+	cand  []uint32
+}
+
+var ecPool = sync.Pool{New: func() any { return new(execContext) }}
+
+// getExecContext checks a context out of the pool with per-execution fields
+// reset and scratch buffers retained.
+func getExecContext() *execContext {
+	ec := ecPool.Get().(*execContext)
+	ec.db, ec.q, ec.t, ec.cache = nil, nil, nil, nil
+	ec.stats = ExecStats{}
+	ec.res = nil
+	ec.limit = 0
+	ec.baseRows = nil
+	ec.points = nil
+	return ec
+}
+
+// putExecContext returns a context to the pool. Scratch buffers are kept;
+// everything referencing caller-visible state is dropped first.
+func putExecContext(ec *execContext) {
+	ec.db, ec.q, ec.t, ec.cache = nil, nil, nil, nil
+	ec.res = nil
+	ec.baseRows = nil
+	ec.points = nil
+	for i := range ec.lists {
+		ec.lists[i] = nil
+	}
+	ec.lists = ec.lists[:0]
+	ecPool.Put(ec)
 }
 
 // Run executes q with hint h and returns the result plus execution stats
 // including the virtual execution time. The engine follows forced hints
 // exactly; with an empty hint the optimizer chooses the plan.
+//
+// Run is safe for concurrent use: executions only read table data and
+// indexes, and the lazily-built statistics cache is mutex-protected.
 func (db *DB) Run(q *Query, h Hint) (*Result, ExecStats, error) {
+	return db.RunCached(q, h, nil)
+}
+
+// RunCached is Run with an optional per-workload predicate-lookup cache.
+// When several plans of the same query are executed (Maliva's offline
+// experience collection runs every rewritten query RQ_i), the index lookups
+// for identical predicates are memoized instead of re-scanned. A nil cache
+// disables memoization. The cache is safe for concurrent use.
+func (db *DB) RunCached(q *Query, h Hint, cache *LookupCache) (*Result, ExecStats, error) {
 	t, err := db.resolveTable(q)
 	if err != nil {
 		return nil, ExecStats{}, err
@@ -64,31 +122,53 @@ func (db *DB) Run(q *Query, h Hint) (*Result, ExecStats, error) {
 	if q.SamplePercent > 0 {
 		weight = 100.0 / float64(q.SamplePercent)
 	}
-	ec := &execContext{
-		db:    db,
-		q:     q,
-		t:     t,
-		res:   &Result{Weight: weight},
-		limit: q.Limit,
-	}
+	ec := getExecContext()
+	ec.db = db
+	ec.q = q
+	ec.t = t
+	ec.cache = cache
+	ec.res = &Result{Weight: weight}
+	ec.limit = q.Limit
 	if q.Bin != nil {
 		ec.res.Bins = make(map[int]float64)
 	}
+	// Resolve emit-time projection state once per execution.
+	if t.SampleOf != nil {
+		ec.baseRows = t.Col("__base_row").Ints
+	}
+	pointCol := ""
+	if q.Bin != nil {
+		pointCol = q.Bin.Col
+	} else {
+		for _, oc := range q.OutputCols {
+			if t.HasColumn(oc) && t.Col(oc).Type == ColPoint {
+				pointCol = oc
+				break
+			}
+		}
+	}
+	if pointCol != "" {
+		ec.points = t.Col(pointCol).Points
+	}
 	candidates, err := ec.access(positions)
 	if err != nil {
+		putExecContext(ec)
 		return nil, ExecStats{}, err
 	}
 	if q.Join == nil {
 		ec.emitAll(candidates)
 	} else {
 		if err := ec.join(candidates, join); err != nil {
+			putExecContext(ec)
 			return nil, ExecStats{}, err
 		}
 	}
 	ec.stats.RowsOutput = len(ec.res.RowIDs)
 	ec.stats.SimMs = db.Profile.Cost.simMs(ec.stats, t.ScaleFactor)
 	ec.stats.SimMs *= db.Profile.noiseFactor(db.Seed, planFingerprint(q, positions, join))
-	return ec.res, ec.stats, nil
+	res, stats := ec.res, ec.stats
+	putExecContext(ec)
+	return res, stats, nil
 }
 
 // resolveTable maps the query to its base table or sample table.
@@ -107,9 +187,16 @@ func (db *DB) resolveTable(q *Query) (*Table, error) {
 	return t, nil
 }
 
+// lookup serves one predicate's index scan, through the memoization cache
+// when one is attached (a nil cache falls through to the direct scan).
+func (ec *execContext) lookup(ix *Index, p Predicate) ([]uint32, int, error) {
+	return ec.cache.lookup(ec.t, ix, p)
+}
+
 // access returns the main-table candidate rows that satisfy all predicates,
 // using index scans on the given positions. With a LIMIT and no join, it
-// stops early once enough rows qualify.
+// stops early once enough rows qualify. The returned slice aliases pooled
+// scratch memory and is only valid until the execution finishes.
 func (ec *execContext) access(positions []int) ([]uint32, error) {
 	q, t := ec.q, ec.t
 	earlyLimit := ec.limit
@@ -119,34 +206,45 @@ func (ec *execContext) access(positions []int) ([]uint32, error) {
 	if len(positions) == 0 {
 		return ec.seqScan(earlyLimit), nil
 	}
-	// Index scans.
-	lists := make([][]uint32, 0, len(positions))
-	used := make(map[int]bool, len(positions))
+	// Index scans. Predicate positions fit in a bitmask (hint masks are
+	// uint32), so residual tracking needs no map.
+	ec.lists = ec.lists[:0]
+	var usedMask uint64
 	for _, pos := range positions {
 		ix := t.Index(q.Preds[pos].Col)
-		rows, entries, err := ix.Lookup(q.Preds[pos])
+		rows, entries, err := ec.lookup(ix, q.Preds[pos])
 		if err != nil {
 			return nil, err
 		}
 		ec.stats.IndexEntries += entries
-		lists = append(lists, rows)
-		used[pos] = true
+		ec.lists = append(ec.lists, rows)
+		usedMask |= 1 << uint(pos)
 	}
-	// Intersect smallest-first.
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-	acc := lists[0]
-	for _, l := range lists[1:] {
+	// Intersect smallest-first, ping-ponging between two scratch buffers so
+	// no intersection allocates. The buffers stay distinct arrays: each
+	// intersection reads the previous result while writing the other buffer.
+	slices.SortFunc(ec.lists, func(a, b []uint32) int { return len(a) - len(b) })
+	acc := ec.lists[0]
+	useA := true
+	for _, l := range ec.lists[1:] {
 		var work int
-		acc, work = IntersectSorted(acc, l)
+		if useA {
+			ec.accA, work = intersectSortedInto(ec.accA[:0], acc, l)
+			acc = ec.accA
+		} else {
+			ec.accB, work = intersectSortedInto(ec.accB[:0], acc, l)
+			acc = ec.accB
+		}
+		useA = !useA
 		ec.stats.IntersectOps += work
 	}
 	// Fetch candidates, evaluate residual predicates.
-	var out []uint32
+	out := ec.cand[:0]
 	for _, r := range acc {
 		ec.stats.RowsFetched++
 		ok := true
 		for i, p := range q.Preds {
-			if used[i] {
+			if usedMask&(1<<uint(i)) != 0 {
 				continue
 			}
 			ec.stats.PredEvals++
@@ -163,13 +261,15 @@ func (ec *execContext) access(positions []int) ([]uint32, error) {
 			}
 		}
 	}
+	ec.cand = out
 	return out, nil
 }
 
-// seqScan scans the whole table, evaluating all predicates per row.
+// seqScan scans the whole table, evaluating all predicates per row. The
+// returned slice aliases pooled scratch memory.
 func (ec *execContext) seqScan(earlyLimit int) []uint32 {
 	q, t := ec.q, ec.t
-	var out []uint32
+	out := ec.cand[:0]
 	for r := 0; r < t.Rows; r++ {
 		ec.stats.RowsScanned++
 		ok := true
@@ -187,6 +287,7 @@ func (ec *execContext) seqScan(earlyLimit int) []uint32 {
 			}
 		}
 	}
+	ec.cand = out
 	return out
 }
 
@@ -257,10 +358,19 @@ func (ec *execContext) join(candidates []uint32, method JoinMethod) error {
 		for i, lr := range candidates {
 			left[i] = kv{leftKeys.NumericAt(lr), lr}
 		}
-		sort.Slice(left, func(i, j int) bool { return left[i].key < left[j].key })
+		slices.SortFunc(left, func(a, b kv) int {
+			switch {
+			case a.key < b.key:
+				return -1
+			case a.key > b.key:
+				return 1
+			default:
+				return 0
+			}
+		})
 		n := float64(len(left))
 		if n > 1 {
-			ec.stats.SortUnits += int(n * log2(n))
+			ec.stats.SortUnits += int(n * math.Log2(n))
 		}
 		ix := inner.Index(q.Join.RightCol)
 		if ix == nil || ix.Kind != IndexBTree {
@@ -312,26 +422,16 @@ func (ec *execContext) emitAll(candidates []uint32) {
 }
 
 // emit adds one output row: translates sample ids to base ids, projects the
-// point column, and updates bins.
+// point column, and updates bins. The column resolution happened once in
+// RunCached, so this is branch-and-append only.
 func (ec *execContext) emit(row uint32) {
 	baseID := row
-	if ec.t.SampleOf != nil {
-		baseID = uint32(ec.t.Col("__base_row").Ints[row])
+	if ec.baseRows != nil {
+		baseID = uint32(ec.baseRows[row])
 	}
 	ec.res.RowIDs = append(ec.res.RowIDs, baseID)
-	var pointCol string
-	if ec.q.Bin != nil {
-		pointCol = ec.q.Bin.Col
-	} else {
-		for _, oc := range ec.q.OutputCols {
-			if ec.t.HasColumn(oc) && ec.t.Col(oc).Type == ColPoint {
-				pointCol = oc
-				break
-			}
-		}
-	}
-	if pointCol != "" {
-		p := ec.t.Col(pointCol).Points[row]
+	if ec.points != nil {
+		p := ec.points[row]
 		ec.res.Points = append(ec.res.Points, p)
 		if ec.q.Bin != nil {
 			ec.res.Bins[binID(ec.q.Bin, p)] += ec.res.Weight
@@ -364,17 +464,6 @@ func binID(b *BinSpec, p Point) int {
 		y = b.H - 1
 	}
 	return y*b.W + x
-}
-
-// log2 avoids importing math in this file for one call site.
-func log2(x float64) float64 {
-	// x > 1 guaranteed by callers.
-	n := 0.0
-	for x >= 2 {
-		x /= 2
-		n++
-	}
-	return n + x - 1 // linear interpolation, adequate for cost accounting
 }
 
 // planFingerprint hashes the plan identity for deterministic noise.

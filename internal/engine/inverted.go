@@ -50,6 +50,13 @@ func (idx *InvertedIndex) AvgPostingLen() float64 {
 // IntersectSorted intersects two sorted uint32 slices, returning the result
 // and the number of comparisons performed (for costing).
 func IntersectSorted(a, b []uint32) (out []uint32, work int) {
+	return intersectSortedInto(nil, a, b)
+}
+
+// intersectSortedInto is IntersectSorted appending into dst (typically a
+// reused scratch buffer with length 0). dst must not alias a or b.
+func intersectSortedInto(dst, a, b []uint32) (out []uint32, work int) {
+	out = dst
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		work++

@@ -1,0 +1,76 @@
+package engine
+
+import "sync"
+
+// LookupCache memoizes index lookups across executions of related queries.
+// Maliva's offline experience collection runs every rewritten query RQ_i of
+// the same original query: the |Ω| executions keep scanning the same index
+// for the same predicate. Keying on (table, predicate) lets those executions
+// share one posting-list scan.
+//
+// Cached slices are shared and must not be mutated by consumers — the
+// executor only reads candidate lists, and Index.Lookup already returns
+// fresh (btree/rtree) or shared-immutable (inverted) slices, so caching
+// preserves results exactly. The reported entries-touched count is also
+// cached, keeping ExecStats (and therefore virtual time) bit-identical to
+// uncached execution.
+//
+// A LookupCache is safe for concurrent use.
+type LookupCache struct {
+	mu sync.RWMutex
+	m  map[lookupKey]lookupVal
+}
+
+// lookupKey identifies one index scan. Predicate is a comparable value type
+// (strings, scalars, and a Rect), so it can key the map directly. Sample
+// tables have distinct names, so table name disambiguates base vs sample.
+type lookupKey struct {
+	table string
+	pred  Predicate
+}
+
+type lookupVal struct {
+	rows    []uint32
+	entries int
+}
+
+// NewLookupCache returns an empty cache.
+func NewLookupCache() *LookupCache {
+	return &LookupCache{m: make(map[lookupKey]lookupVal)}
+}
+
+// lookup serves ix.Lookup(p) through the cache. A nil receiver falls
+// through to the direct lookup, so call sites need no cache-presence branch.
+func (c *LookupCache) lookup(t *Table, ix *Index, p Predicate) ([]uint32, int, error) {
+	if c == nil {
+		return ix.Lookup(p)
+	}
+	key := lookupKey{table: t.Name, pred: p}
+	c.mu.RLock()
+	v, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		return v.rows, v.entries, nil
+	}
+	rows, entries, err := ix.Lookup(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.mu.Lock()
+	// A racing goroutine may have filled the slot; keep the first value so
+	// every consumer aliases one canonical slice.
+	if w, ok := c.m[key]; ok {
+		rows, entries = w.rows, w.entries
+	} else {
+		c.m[key] = lookupVal{rows: rows, entries: entries}
+	}
+	c.mu.Unlock()
+	return rows, entries, nil
+}
+
+// Len returns the number of memoized lookups (for tests and metrics).
+func (c *LookupCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

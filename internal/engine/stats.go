@@ -260,11 +260,17 @@ func clampSel(s float64) float64 {
 // TrueSelectivity computes the exact fraction of the table's rows matching p
 // (used to build per-query ground truth for QTEs and workload bucketing).
 func TrueSelectivity(t *Table, p Predicate) float64 {
+	return trueSelectivityCached(t, p, nil)
+}
+
+// trueSelectivityCached is TrueSelectivity with index scans optionally
+// served from a lookup cache.
+func trueSelectivityCached(t *Table, p Predicate, c *LookupCache) float64 {
 	if t.Rows == 0 {
 		return 0
 	}
 	if ix := t.Index(p.Col); ix != nil {
-		if rows, _, err := ix.Lookup(p); err == nil {
+		if rows, _, err := c.lookup(t, ix, p); err == nil {
 			return float64(len(rows)) / float64(t.Rows)
 		}
 	}

@@ -3,7 +3,7 @@ package engine
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // IndexKind enumerates the index types the engine supports.
@@ -51,7 +51,7 @@ func (ix *Index) Lookup(p Predicate) (rows []uint32, entries int, err error) {
 		rows, entries = ix.btree.Range(p.Lo, p.Hi)
 		// Range returns rows in key order; posting-list consumers
 		// (intersection) require row-id order, like a bitmap index scan.
-		sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+		slices.Sort(rows)
 		return rows, entries, nil
 	case IndexRTree:
 		if p.Kind != PredGeo {

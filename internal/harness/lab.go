@@ -35,26 +35,41 @@ type LabConfig struct {
 	Space      core.SpaceSpec
 	Budget     float64
 	Seed       int64
+	// Parallel is the worker count for ground-truth construction: 0 means
+	// GOMAXPROCS, 1 forces the serial path. Every context derives its
+	// randomness from the per-query fingerprint, so the built lab is
+	// bit-identical at any worker count.
+	Parallel int
 	// Progress, when non-nil, receives coarse progress lines.
 	Progress io.Writer
 }
 
 // BuildLab generates queries, splits them per the paper's protocol, and
-// builds ground-truth contexts for every split.
+// builds ground-truth contexts for every split. Context construction — the
+// pipeline's dominant cost — fans out across queries on a bounded worker
+// pool; results land in per-query slots so ordering and content match the
+// serial path exactly.
 func BuildLab(ds *workload.Dataset, cfg LabConfig) (*Lab, error) {
 	queries := workload.GenerateQueries(ds, cfg.NumQueries, cfg.QuerySpec)
 	trainQ, valQ, evalQ := workload.Split(queries, cfg.Seed)
 	lab := &Lab{DS: ds, Spec: cfg.Space, Budget: cfg.Budget}
 	ctxCfg := core.DefaultContextConfig(cfg.Space)
 	ctxCfg.Seed = cfg.Seed
+	// The outer per-query pool owns the worker budget; option executions
+	// inside each context stay serial to avoid oversubscription.
+	ctxCfg.Parallel = 1
 	build := func(qs []*engine.Query, tag string) ([]*core.QueryContext, error) {
-		out := make([]*core.QueryContext, 0, len(qs))
-		for i, q := range qs {
-			ctx, err := core.BuildContext(ds.DB, q, ctxCfg)
+		out := make([]*core.QueryContext, len(qs))
+		err := core.RunIndexed(len(qs), cfg.Parallel, func(i int) error {
+			ctx, err := core.BuildContext(ds.DB, qs[i], ctxCfg)
 			if err != nil {
-				return nil, fmt.Errorf("harness: %s query %d: %w", tag, i, err)
+				return fmt.Errorf("harness: %s query %d: %w", tag, i, err)
 			}
-			out = append(out, ctx)
+			out[i] = ctx
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		if cfg.Progress != nil {
 			fmt.Fprintf(cfg.Progress, "  built %d %s contexts\n", len(out), tag)
@@ -92,6 +107,11 @@ type TrainAgentConfig struct {
 	// Seeds trains one agent per seed and keeps the best on validation VQP
 	// (the paper's hold-out validation, §7.1).
 	Seeds []int64
+	// Parallel is the worker count for per-seed training: 0 means
+	// GOMAXPROCS, 1 forces the serial path. Each seed's training is fully
+	// determined by its own RNG, so the selected agent is identical at any
+	// worker count.
+	Parallel int
 	// Contexts overrides the training set (defaults to l.Train).
 	Contexts []*core.QueryContext
 	// ValContexts overrides the validation set (defaults to l.Val).
@@ -99,7 +119,10 @@ type TrainAgentConfig struct {
 }
 
 // TrainAgent trains MDP agents with hold-out validation and returns the
-// best, along with its validation VQP.
+// best, along with its validation VQP. The per-seed runs are independent
+// (contexts are read-only during training) and fan out across workers; the
+// winner is selected in seed order afterwards, exactly as the serial loop
+// would.
 func (l *Lab) TrainAgent(cfg TrainAgentConfig) (*core.Agent, float64) {
 	if cfg.Beta <= 0 {
 		cfg.Beta = 1
@@ -120,16 +143,22 @@ func (l *Lab) TrainAgent(cfg TrainAgentConfig) (*core.Agent, float64) {
 	}
 	n := train[0].N()
 	envCfg := core.EnvConfig{Budget: l.Budget, QTE: cfg.QTE, Beta: cfg.Beta}
-	var best *core.Agent
-	bestScore := -1.0
-	for _, seed := range cfg.Seeds {
+	agents := make([]*core.Agent, len(cfg.Seeds))
+	scores := make([]float64, len(cfg.Seeds))
+	_ = core.RunIndexed(len(cfg.Seeds), cfg.Parallel, func(i int) error {
 		acfg := cfg.Agent
-		acfg.Seed = seed
+		acfg.Seed = cfg.Seeds[i]
 		agent := core.NewAgent(acfg, n)
 		agent.Train(train, envCfg)
-		score := l.validationScore(agent, cfg.QTE, cfg.Beta, val)
-		if score > bestScore {
-			best, bestScore = agent, score
+		agents[i] = agent
+		scores[i] = l.validationScore(agent, cfg.QTE, cfg.Beta, val)
+		return nil
+	})
+	var best *core.Agent
+	bestScore := -1.0
+	for i := range cfg.Seeds {
+		if scores[i] > bestScore {
+			best, bestScore = agents[i], scores[i]
 		}
 	}
 	return best, bestScore

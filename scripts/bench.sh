@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# bench.sh — run the micro/pipeline benchmark suite and emit the results as
+# JSON, keeping the perf trajectory machine-readable across PRs.
+#
+# Usage:
+#   scripts/bench.sh                     # full pass, JSON to stdout
+#   scripts/bench.sh -o BENCH_1.json     # write snapshot file
+#   BENCHTIME=1x scripts/bench.sh        # smoke pass (CI)
+#   BENCH='BenchmarkEngine.*' scripts/bench.sh   # subset
+#
+# Compare two snapshots with:  diff <(jq -S . BENCH_0.json) <(jq -S . BENCH_1.json)
+# or eyeball ns_per_op / allocs_per_op per benchmark name.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=""
+while getopts "o:" opt; do
+  case "$opt" in
+    o) OUT="$OPTARG" ;;
+    *) echo "usage: $0 [-o out.json]" >&2; exit 2 ;;
+  esac
+done
+
+BENCH="${BENCH:-.}"
+BENCHTIME="${BENCHTIME:-5x}"
+
+raw=$(go test -run='^$' -bench="$BENCH" -benchmem -benchtime="$BENCHTIME" . 2>&1) || {
+  echo "$raw" >&2
+  exit 1
+}
+
+json=$(echo "$raw" | awk '
+BEGIN { print "{"; printf "  \"benchmarks\": [" ; first = 1 }
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  iters = $2
+  ns = ""; bytes = ""; allocs = ""
+  extra = ""
+  for (i = 3; i < NF; i += 2) {
+    v = $i; unit = $(i + 1)
+    if (unit == "ns/op") ns = v
+    else if (unit == "B/op") bytes = v
+    else if (unit == "allocs/op") allocs = v
+    else {
+      gsub(/"/, "", unit)
+      extra = extra sprintf(", \"%s\": %s", unit, v)
+    }
+  }
+  if (!first) printf ","
+  first = 0
+  printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, iters
+  if (ns != "") printf ", \"ns_per_op\": %s", ns
+  if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+  if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  printf "%s}", extra
+}
+/^goos:/    { goos = $2 }
+/^goarch:/  { goarch = $2 }
+/^cpu:/     { $1 = ""; cpu = substr($0, 2) }
+END {
+  print "\n  ],"
+  printf "  \"goos\": \"%s\",\n", goos
+  printf "  \"goarch\": \"%s\",\n", goarch
+  printf "  \"cpu\": \"%s\",\n", cpu
+  printf "  \"date\": \"%s\"\n", strftime("%Y-%m-%dT%H:%M:%SZ", systime(), 1)
+  print "}"
+}')
+
+if [ -n "$OUT" ]; then
+  echo "$json" > "$OUT"
+  echo "wrote $OUT" >&2
+else
+  echo "$json"
+fi
