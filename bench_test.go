@@ -19,6 +19,7 @@ import (
 	"github.com/maliva/maliva/internal/core"
 	"github.com/maliva/maliva/internal/engine"
 	"github.com/maliva/maliva/internal/harness"
+	"github.com/maliva/maliva/internal/middleware"
 	"github.com/maliva/maliva/internal/nn"
 	"github.com/maliva/maliva/internal/qte"
 	"github.com/maliva/maliva/internal/workload"
@@ -258,6 +259,61 @@ func BenchmarkBuildLabSpeedup(b *testing.B) {
 		b.ReportMetric(float64(serialNs)/float64(parallelNs), "speedup")
 	}
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "procs")
+}
+
+// benchServer builds a serving-layer benchmark: a middleware server over
+// the shared 40k-row Twitter dataset with the Oracle rewriter (the
+// benchmarks measure the serving path, not planning quality).
+func benchServer(b *testing.B, cached bool) (*middleware.Server, middleware.Request) {
+	b.Helper()
+	ds, _ := benchDB(b)
+	cfg := middleware.ServerConfig{DefaultBudgetMs: 500}
+	if !cached {
+		cfg.PlanCacheSize = -1
+		cfg.ResultCacheSize = -1
+	}
+	s, err := middleware.NewServerWithConfig(ds, core.OracleRewriter{}, core.HintOnlySpec(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := middleware.Request{
+		Keyword: "word0005",
+		From:    time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC),
+		To:      time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC),
+		Region:  workload.USExtent,
+		Kind:    middleware.VizHeatmap,
+		GridW:   32, GridH: 16,
+	}
+	return s, req
+}
+
+// BenchmarkServerHandleCold measures one uncached request end to end:
+// context construction, rewrite, execution, binning.
+func BenchmarkServerHandleCold(b *testing.B) {
+	s, req := benchServer(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Handle(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerHandleWarm measures the fully-cached serving path (plan
+// and result cache hits) — what a repeated pan/zoom shape costs.
+func BenchmarkServerHandleWarm(b *testing.B) {
+	s, req := benchServer(b, true)
+	if _, err := s.Handle(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Handle(req); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkAgentRewrite measures one online Algorithm-2 pass.

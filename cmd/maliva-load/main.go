@@ -1,0 +1,405 @@
+// Command maliva-load is a closed-loop load generator for the Maliva
+// serving layer: N workers fire visualization requests back to back over a
+// Zipf-skewed shape mix (hot pan/zoom shapes repeat, tail shapes don't) and
+// report sustained QPS plus client-side latency quantiles, together with
+// the server's own /metrics snapshot.
+//
+// Modes:
+//
+//	maliva-load -url http://host:8080          # drive a running maliva-server
+//	maliva-load                                 # in-process server, one cached pass
+//	maliva-load -compare -json BENCH_2.json     # uncached baseline vs cached pass
+//	maliva-load -smoke                          # tiny CI pass (seconds), fails on errors
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/middleware"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// shape is one request shape; the workload draws shapes Zipf-skewed so a
+// hot subset dominates (what a pan/zoom session over popular keywords looks
+// like) while the tail stays effectively uncacheable.
+type shape struct {
+	body []byte
+}
+
+// passReport is the result of one measured load pass.
+type passReport struct {
+	Name        string  `json:"name"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Rejected    int64   `json:"rejected"`
+	DurationSec float64 `json:"duration_sec"`
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	AvgMs       float64 `json:"avg_ms"`
+
+	Server *middleware.MetricsSnapshot `json:"server_metrics,omitempty"`
+}
+
+// loadReport is the top-level JSON artifact (the BENCH_*.json trajectory).
+type loadReport struct {
+	Timestamp string  `json:"timestamp"`
+	GoVersion string  `json:"go_version"`
+	Procs     int     `json:"procs"`
+	Rows      int     `json:"rows"`
+	Shapes    int     `json:"shapes"`
+	Workers   int     `json:"workers"`
+	BudgetMs  float64 `json:"budget_ms"`
+	ZipfS     float64 `json:"zipf_s"`
+
+	Passes []passReport `json:"passes"`
+
+	// Cached-vs-uncached headline numbers (compare mode only).
+	QPSSpeedup    float64 `json:"qps_speedup,omitempty"`
+	P95SpeedupX   float64 `json:"p95_speedup_x,omitempty"`
+	P50SpeedupX   float64 `json:"p50_speedup_x,omitempty"`
+	ResultHitRate float64 `json:"result_cache_hit_rate,omitempty"`
+	PlanHitRate   float64 `json:"plan_cache_hit_rate,omitempty"`
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "", "target a running server instead of in-process")
+		rows     = flag.Int("rows", 60_000, "in-process Twitter dataset rows")
+		workers  = flag.Int("c", 16, "closed-loop workers")
+		duration = flag.Duration("duration", 10*time.Second, "measured time per pass")
+		nShapes  = flag.Int("shapes", 200, "distinct request shapes")
+		zipfS    = flag.Float64("zipf-s", 1.2, "shape popularity skew (Zipf s)")
+		budget   = flag.Float64("budget", 500, "request budget_ms")
+		seed     = flag.Int64("seed", 11, "workload seed")
+		compare  = flag.Bool("compare", false, "run an uncached baseline pass, then a cached pass")
+		jsonPath = flag.String("json", "", "write the report to this file")
+		smoke    = flag.Bool("smoke", false, "tiny CI pass: small dataset, ~2s, exit non-zero on errors")
+	)
+	flag.Parse()
+
+	if *zipfS <= 1 {
+		fatal(fmt.Errorf("-zipf-s must be > 1 (got %v)", *zipfS))
+	}
+	if *smoke {
+		*rows = 8_000
+		*workers = 4
+		*duration = time.Second
+		*nShapes = 30
+		*compare = true
+	}
+
+	shapes := makeShapes(*nShapes, *budget, *seed)
+	report := loadReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Procs:     runtime.GOMAXPROCS(0),
+		Rows:      *rows,
+		Shapes:    *nShapes,
+		Workers:   *workers,
+		BudgetMs:  *budget,
+		ZipfS:     *zipfS,
+	}
+
+	if *url != "" {
+		rep := runPass("remote", *url, shapes, *workers, *duration, *zipfS, *seed, false)
+		report.Passes = append(report.Passes, rep)
+	} else {
+		fmt.Fprintf(os.Stderr, "building %d-row Twitter dataset...\n", *rows)
+		ds, err := workload.Twitter(withRows(*rows))
+		if err != nil {
+			fatal(err)
+		}
+		if *compare {
+			base := startServer(ds, *budget, true)
+			rep := runPass("uncached", base.url, shapes, *workers, *duration, *zipfS, *seed, false)
+			report.Passes = append(report.Passes, rep)
+			base.close()
+
+			cached := startServer(ds, *budget, false)
+			rep2 := runPass("cached", cached.url, shapes, *workers, *duration, *zipfS, *seed, true)
+			report.Passes = append(report.Passes, rep2)
+			cached.close()
+
+			if rep2.QPS > 0 && rep.QPS > 0 {
+				report.QPSSpeedup = rep2.QPS / rep.QPS
+			}
+			if rep2.P95Ms > 0 {
+				report.P95SpeedupX = rep.P95Ms / rep2.P95Ms
+			}
+			if rep2.P50Ms > 0 {
+				report.P50SpeedupX = rep.P50Ms / rep2.P50Ms
+			}
+			if rep2.Server != nil {
+				report.ResultHitRate = rep2.Server.ResultHitRate
+				report.PlanHitRate = rep2.Server.PlanHitRate
+			}
+		} else {
+			srv := startServer(ds, *budget, false)
+			rep := runPass("cached", srv.url, shapes, *workers, *duration, *zipfS, *seed, true)
+			report.Passes = append(report.Passes, rep)
+			srv.close()
+		}
+	}
+
+	for _, p := range report.Passes {
+		fmt.Printf("%-9s %7.0f req/s  p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms  max %7.1f ms  (%d requests, %d errors, %d rejected)\n",
+			p.Name, p.QPS, p.P50Ms, p.P95Ms, p.P99Ms, p.MaxMs, p.Requests, p.Errors, p.Rejected)
+	}
+	if report.QPSSpeedup > 0 {
+		fmt.Printf("cached vs uncached: %.2fx QPS, %.2fx p50, %.2fx p95 (result hit rate %.0f%%, plan hit rate %.0f%%)\n",
+			report.QPSSpeedup, report.P50SpeedupX, report.P95SpeedupX,
+			100*report.ResultHitRate, 100*report.PlanHitRate)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+
+	for _, p := range report.Passes {
+		if p.Errors > 0 {
+			fatal(fmt.Errorf("pass %q saw %d request errors", p.Name, p.Errors))
+		}
+	}
+	if *smoke {
+		last := report.Passes[len(report.Passes)-1]
+		if last.Server != nil && last.Server.ResultHits == 0 {
+			fatal(fmt.Errorf("smoke: cached pass served no result-cache hits"))
+		}
+	}
+}
+
+func withRows(rows int) workload.Config {
+	cfg := workload.TwitterConfig()
+	cfg.Rows = rows
+	cfg.Scale = 100e6 / float64(cfg.Rows)
+	return cfg
+}
+
+// makeShapes builds the request-shape pool: popular keywords, week-to-month
+// time windows, and pan/zoom tiles over the US extent.
+func makeShapes(n int, budget float64, seed int64) []shape {
+	rng := rand.New(rand.NewSource(seed))
+	origin := time.Date(2015, 11, 1, 0, 0, 0, 0, time.UTC)
+	const spanDays = 457
+	ext := workload.USExtent
+	shapes := make([]shape, n)
+	for i := range shapes {
+		// Zipf-ish keyword choice mirrors the generated vocabulary.
+		word := fmt.Sprintf("word%04d", rng.Intn(60))
+		days := 7 + rng.Intn(53)
+		start := origin.AddDate(0, 0, rng.Intn(spanDays-days))
+		// Zoom level 0–3: each level halves the viewport.
+		z := rng.Intn(4)
+		w := (ext.MaxLon - ext.MinLon) / float64(int(1)<<z)
+		h := (ext.MaxLat - ext.MinLat) / float64(int(1)<<z)
+		minLon := ext.MinLon + rng.Float64()*(ext.MaxLon-ext.MinLon-w)
+		minLat := ext.MinLat + rng.Float64()*(ext.MaxLat-ext.MinLat-h)
+		kind := "heatmap"
+		if rng.Float64() < 0.1 {
+			kind = "scatter"
+		}
+		body, _ := json.Marshal(map[string]any{
+			"keyword": word,
+			"from":    start.Format(time.RFC3339),
+			"to":      start.AddDate(0, 0, days).Format(time.RFC3339),
+			"min_lon": minLon, "min_lat": minLat,
+			"max_lon": minLon + w, "max_lat": minLat + h,
+			"kind": kind, "grid_w": 32, "grid_h": 16, "budget_ms": budget,
+		})
+		shapes[i] = shape{body: body}
+	}
+	return shapes
+}
+
+// inprocServer is an in-process maliva-server instance.
+type inprocServer struct {
+	url  string
+	http *http.Server
+	ln   net.Listener
+}
+
+// startServer serves the middleware over a loopback listener. uncached
+// disables both caches (the baseline the serving layer is measured against).
+func startServer(ds *workload.Dataset, budget float64, uncached bool) *inprocServer {
+	cfg := middleware.ServerConfig{DefaultBudgetMs: budget}
+	if uncached {
+		cfg.PlanCacheSize = -1
+		cfg.ResultCacheSize = -1
+	}
+	srv, err := middleware.NewServerWithConfig(ds, core.OracleRewriter{}, core.HintOnlySpec(), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	return &inprocServer{url: "http://" + ln.Addr().String(), http: hs, ln: ln}
+}
+
+func (s *inprocServer) close() {
+	_ = s.http.Close()
+}
+
+// runPass hammers the target with a closed loop of workers for d, after an
+// optional warmup sweep that touches every shape once (steady-state cache
+// behavior, not cold-start, is what the cached pass measures).
+func runPass(name, url string, shapes []shape, workers int, d time.Duration, zipfS float64, seed int64, warmup bool) passReport {
+	// The timeout bounds a wedged server: workers fail fast instead of
+	// hanging the pass (and the CI smoke step) forever.
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        workers * 2,
+			MaxIdleConnsPerHost: workers * 2,
+		},
+	}
+
+	if warmup {
+		for _, sh := range shapes {
+			_, _, _ = fire(client, url, sh.body)
+		}
+	}
+
+	var (
+		total    atomic.Int64
+		errs     atomic.Int64
+		rejected atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+	)
+	latCh := make(chan []float64, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(shapes)-1))
+			lats := make([]float64, 0, 4096)
+			for !stop.Load() {
+				sh := shapes[zipf.Uint64()]
+				t0 := time.Now()
+				code, ok, err := fire(client, url, sh.body)
+				lat := time.Since(t0)
+				total.Add(1)
+				switch {
+				case err != nil || !ok:
+					if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+						rejected.Add(1)
+					} else {
+						errs.Add(1)
+					}
+				default:
+					lats = append(lats, float64(lat)/float64(time.Millisecond))
+				}
+			}
+			latCh <- lats
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(latCh)
+
+	var lats []float64
+	for l := range latCh {
+		lats = append(lats, l...)
+	}
+	sort.Float64s(lats)
+	rep := passReport{
+		Name:        name,
+		Requests:    total.Load(),
+		Errors:      errs.Load(),
+		Rejected:    rejected.Load(),
+		DurationSec: elapsed.Seconds(),
+		QPS:         float64(total.Load()) / elapsed.Seconds(),
+		P50Ms:       pct(lats, 0.50),
+		P95Ms:       pct(lats, 0.95),
+		P99Ms:       pct(lats, 0.99),
+		MaxMs:       pct(lats, 1),
+	}
+	if len(lats) > 0 {
+		sum := 0.0
+		for _, l := range lats {
+			sum += l
+		}
+		rep.AvgMs = sum / float64(len(lats))
+	}
+	if snap := fetchMetrics(client, url); snap != nil {
+		rep.Server = snap
+	}
+	return rep
+}
+
+// fire posts one request and drains the response.
+func fire(client *http.Client, url string, body []byte) (code int, ok bool, err error) {
+	resp, err := client.Post(url+"/viz", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	var sink json.RawMessage
+	_ = json.NewDecoder(resp.Body).Decode(&sink)
+	return resp.StatusCode, resp.StatusCode == http.StatusOK, nil
+}
+
+// fetchMetrics grabs the server's own counters.
+func fetchMetrics(client *http.Client, url string) *middleware.MetricsSnapshot {
+	resp, err := client.Get(url + "/metrics?format=json")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var snap middleware.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil
+	}
+	return &snap
+}
+
+func pct(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "maliva-load:", err)
+	os.Exit(1)
+}

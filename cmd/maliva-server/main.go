@@ -1,6 +1,8 @@
 // Command maliva-server runs the Maliva middleware as an HTTP service over
-// the synthetic Twitter dataset: it trains an MDP agent at startup, then
-// serves visualization requests at POST /viz.
+// the synthetic Twitter dataset: it (optionally) trains an MDP agent at
+// startup, then serves visualization requests at POST /viz with plan/result
+// caching and admission control. GET /healthz and GET /metrics expose the
+// serving state.
 //
 //	curl -s localhost:8080/viz -d '{
 //	  "keyword": "word0007",
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"github.com/maliva/maliva/internal/core"
 	"github.com/maliva/maliva/internal/harness"
@@ -25,44 +28,80 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		budget  = flag.Float64("budget", 500, "default time budget in virtual ms")
-		queries = flag.Int("queries", 400, "training workload size")
+		addr     = flag.String("addr", ":8080", "listen address")
+		budget   = flag.Float64("budget", 500, "default time budget in virtual ms")
+		queries  = flag.Int("queries", 400, "training workload size")
+		rows     = flag.Int("rows", 60_000, "stored rows of the Twitter dataset")
+		rewriter = flag.String("rewriter", "mdp", "rewriting strategy: mdp (trains at startup) or oracle")
+
+		planCache   = flag.Int("plan-cache", 0, "plan-cache entries (0 = default, negative = disable)")
+		resultCache = flag.Int("result-cache", 0, "result-cache entries (0 = default, negative = disable)")
+		resultTTL   = flag.Duration("result-ttl", 0, "result-cache TTL (0 = default 30s)")
+		maxConc     = flag.Int("max-concurrent", 0, "concurrent request limit (0 = default 4×GOMAXPROCS, negative = disable)")
+		maxQueue    = flag.Int("max-queue", 0, "admission queue length (0 = default 256)")
+		noCache     = flag.Bool("no-cache", false, "disable plan and result caches (baseline mode)")
 	)
 	flag.Parse()
 
 	cfg := workload.TwitterConfig()
-	cfg.Rows = 60_000
+	cfg.Rows = *rows
 	cfg.Scale = 100e6 / float64(cfg.Rows)
 	ds, err := workload.Twitter(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintln(os.Stderr, "training MDP agent on startup...")
-	lab, err := harness.BuildLab(ds, harness.LabConfig{
-		NumQueries: *queries,
-		QuerySpec:  workload.QuerySpec{NumPreds: 3, Seed: 5},
-		Space:      core.HintOnlySpec(),
-		Budget:     *budget,
-		Seed:       9,
-		Progress:   os.Stderr,
-	})
+
+	var rw core.Rewriter
+	switch *rewriter {
+	case "oracle":
+		rw = core.OracleRewriter{}
+	case "mdp":
+		fmt.Fprintln(os.Stderr, "training MDP agent on startup...")
+		lab, err := harness.BuildLab(ds, harness.LabConfig{
+			NumQueries: *queries,
+			QuerySpec:  workload.QuerySpec{NumPreds: 3, Seed: 5},
+			Space:      core.HintOnlySpec(),
+			Budget:     *budget,
+			Seed:       9,
+			Progress:   os.Stderr,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		est := qte.NewAccurateQTE()
+		agent, score := lab.TrainAgent(harness.TrainAgentConfig{
+			Agent: core.DefaultAgentConfig(),
+			QTE:   est,
+			Seeds: []int64{7},
+		})
+		fmt.Fprintf(os.Stderr, "agent ready (validation score %.3f)\n", score)
+		rw = &core.MDPRewriter{Agent: agent, QTE: est, Tag: "Accurate-QTE"}
+	default:
+		fatal(fmt.Errorf("unknown -rewriter %q (want mdp or oracle)", *rewriter))
+	}
+
+	scfg := middleware.ServerConfig{
+		DefaultBudgetMs: *budget,
+		PlanCacheSize:   *planCache,
+		ResultCacheSize: *resultCache,
+		ResultTTL:       *resultTTL,
+		MaxConcurrent:   *maxConc,
+		MaxQueue:        *maxQueue,
+	}
+	if *noCache {
+		scfg.PlanCacheSize = -1
+		scfg.ResultCacheSize = -1
+	}
+	srv, err := middleware.NewServerWithConfig(ds, rw, core.HintOnlySpec(), scfg)
 	if err != nil {
 		fatal(err)
 	}
-	est := qte.NewAccurateQTE()
-	agent, score := lab.TrainAgent(harness.TrainAgentConfig{
-		Agent: core.DefaultAgentConfig(),
-		QTE:   est,
-		Seeds: []int64{7},
-	})
-	fmt.Fprintf(os.Stderr, "agent ready (validation score %.3f)\n", score)
-
-	srv := middleware.NewServer(ds,
-		&core.MDPRewriter{Agent: agent, QTE: est, Tag: "Accurate-QTE"},
-		core.HintOnlySpec(), *budget)
-	fmt.Fprintf(os.Stderr, "maliva middleware listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	c := srv.Config()
+	fmt.Fprintf(os.Stderr,
+		"maliva middleware listening on %s (rewriter=%s, plan-cache=%d, result-cache=%d, ttl=%s, max-concurrent=%d, queue=%d)\n",
+		*addr, *rewriter, c.PlanCacheSize, c.ResultCacheSize, c.ResultTTL, c.MaxConcurrent, c.MaxQueue)
+	server := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	if err := server.ListenAndServe(); err != nil {
 		fatal(err)
 	}
 }

@@ -67,9 +67,12 @@ func main() {
 		Agent: agentCfg, QTE: est, Beta: 0.7, Seeds: []int64{7},
 	})
 
-	srv := middleware.NewServer(ds,
+	srv, err := middleware.NewServer(ds,
 		&core.MDPRewriter{Agent: agent, QTE: est, Beta: 0.7, Tag: "quality-aware"},
 		space, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// A Thanksgiving-month heatmap over the continental US with a frequent
 	// keyword — far too heavy for any exact plan.

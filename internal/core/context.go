@@ -108,6 +108,13 @@ type ContextConfig struct {
 	// DefaultContextConfig sets 1: parallelism is opt-in, so online serving
 	// paths don't spawn a worker pool per request.
 	Parallel int
+	// Lookups optionally shares a predicate-lookup cache across contexts:
+	// a serving layer (or lab build) over one immutable dataset can hold a
+	// single cache so repeated predicates skip the index scan entirely.
+	// nil keeps the existing per-context cache. Sharing never changes an
+	// output bit — cached lookups return the exact rows and entry counts a
+	// fresh scan would (see engine.LookupCache).
+	Lookups *engine.LookupCache
 }
 
 // DefaultContextConfig returns the standard configuration for a space.
@@ -144,10 +151,14 @@ func BuildContext(db *engine.DB, q *engine.Query, cfg ContextConfig) (*QueryCont
 		}
 	}
 
-	// Per-context memoized index lookups: the |Ω| option executions (plus
-	// the baseline run and true-selectivity collection) keep scanning the
-	// same indexes for the same predicates; share one scan per predicate.
-	cache := engine.NewLookupCache()
+	// Memoized index lookups: the |Ω| option executions (plus the baseline
+	// run and true-selectivity collection) keep scanning the same indexes
+	// for the same predicates; share one scan per predicate. A caller-owned
+	// cache (cfg.Lookups) extends the sharing across contexts.
+	cache := cfg.Lookups
+	if cache == nil {
+		cache = engine.NewLookupCache()
+	}
 
 	// Optimizer view of the original query (baseline + LIMIT sizing).
 	chosen := db.ChoosePlan(q)

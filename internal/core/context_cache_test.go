@@ -1,0 +1,66 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/maliva/maliva/internal/engine"
+)
+
+// TestBuildContextSharedLookupCache: routing context construction through a
+// caller-owned LookupCache (the server-scope hoist) yields ground truth
+// bit-identical to the default per-context cache, both cold and warm, and
+// the shared cache actually accumulates entries across contexts.
+func TestBuildContextSharedLookupCache(t *testing.T) {
+	db, q := smallDB(t, 2000)
+	cfg := DefaultContextConfig(HintOnlySpec())
+
+	fresh, err := BuildContext(db, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := engine.NewLookupCache()
+	sharedCfg := cfg
+	sharedCfg.Lookups = shared
+
+	// Cold shared-cache build.
+	cold, err := BuildContext(db, q, sharedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Len() == 0 {
+		t.Fatal("shared cache stayed empty")
+	}
+	lenAfterCold := shared.Len()
+
+	// Warm build: every lookup served from the shared cache.
+	warm, err := BuildContext(db, q, sharedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Len() != lenAfterCold {
+		t.Errorf("warm build grew the cache: %d -> %d", lenAfterCold, shared.Len())
+	}
+
+	for name, got := range map[string]*QueryContext{"cold": cold, "warm": warm} {
+		if !reflect.DeepEqual(got.TrueMs, fresh.TrueMs) {
+			t.Errorf("%s: TrueMs diverges\n got %v\nwant %v", name, got.TrueMs, fresh.TrueMs)
+		}
+		if !reflect.DeepEqual(got.Quality, fresh.Quality) {
+			t.Errorf("%s: Quality diverges", name)
+		}
+		if !reflect.DeepEqual(got.SelTrue, fresh.SelTrue) {
+			t.Errorf("%s: SelTrue diverges", name)
+		}
+		if !reflect.DeepEqual(got.SelSampled, fresh.SelSampled) {
+			t.Errorf("%s: SelSampled diverges", name)
+		}
+		if !reflect.DeepEqual(got.PlanEst, fresh.PlanEst) {
+			t.Errorf("%s: PlanEst diverges", name)
+		}
+		if got.BaselineMs != fresh.BaselineMs || got.BaselineOption != fresh.BaselineOption {
+			t.Errorf("%s: baseline diverges", name)
+		}
+	}
+}

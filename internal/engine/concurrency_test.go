@@ -109,6 +109,87 @@ func TestLookupCacheMatchesDirectExecution(t *testing.T) {
 	}
 }
 
+// TestLookupCacheInvalidation: Reset and InvalidateTable drop the right
+// entries, and a cache that outlives many queries (server-scope lifetime)
+// refills transparently after invalidation.
+func TestLookupCacheInvalidation(t *testing.T) {
+	db := buildTestDB(t, 2000, 7)
+	q := testQuery(db)
+	cache := NewLookupCache()
+
+	h := ForcedHint([]int{0, 1, 2}, JoinAuto)
+	if _, _, err := db.RunCached(q, h, cache); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 3 {
+		t.Fatalf("cache has %d entries, want 3", cache.Len())
+	}
+
+	// Invalidating an unrelated table keeps every entry.
+	cache.InvalidateTable("nosuchtable")
+	if cache.Len() != 3 {
+		t.Errorf("unrelated invalidation dropped entries: %d left", cache.Len())
+	}
+
+	// Invalidating the scanned table drops all of its entries.
+	cache.InvalidateTable("events")
+	if cache.Len() != 0 {
+		t.Errorf("InvalidateTable left %d entries", cache.Len())
+	}
+
+	// The cache refills and still matches direct execution.
+	plain, plainStats, err := db.Run(q, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refilled, refilledStats, err := db.RunCached(q, h, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.RowIDs, refilled.RowIDs) || plainStats != refilledStats {
+		t.Error("post-invalidation execution diverges from direct run")
+	}
+	if cache.Len() != 3 {
+		t.Errorf("cache did not refill: %d entries", cache.Len())
+	}
+
+	cache.Reset()
+	if cache.Len() != 0 {
+		t.Errorf("Reset left %d entries", cache.Len())
+	}
+}
+
+// TestLookupCacheCap: a bounded cache stops memoizing at its cap but still
+// serves correct results, so server-scope caches can't grow without bound.
+func TestLookupCacheCap(t *testing.T) {
+	db := buildTestDB(t, 2000, 9)
+	q := testQuery(db)
+	capped := NewLookupCacheWithCap(2)
+
+	h := ForcedHint([]int{0, 1, 2}, JoinAuto) // 3 distinct lookups
+	plain, plainStats, err := db.Run(q, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotStats, err := db.RunCached(q, h, capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.RowIDs, got.RowIDs) || plainStats != gotStats {
+		t.Error("capped-cache execution diverges from direct run")
+	}
+	if capped.Len() != 2 {
+		t.Errorf("capped cache has %d entries, want 2", capped.Len())
+	}
+	// Further executions with new predicates still work, cache stays at cap.
+	if _, _, err := db.RunCached(q, h, capped); err != nil {
+		t.Fatal(err)
+	}
+	if capped.Len() != 2 {
+		t.Errorf("cap exceeded: %d entries", capped.Len())
+	}
+}
+
 // TestIntersectSortedInto: the scratch-buffer variant matches the allocating
 // one and reuses the destination's storage.
 func TestIntersectSortedInto(t *testing.T) {

@@ -16,9 +16,20 @@ import "sync"
 // uncached execution.
 //
 // A LookupCache is safe for concurrent use.
+//
+// Lifetime: entries stay valid as long as the underlying table data and
+// indexes are immutable, so a cache may outlive any single query — a serving
+// layer can hold one cache for its whole lifetime over a loaded dataset.
+// After mutating or reloading a table, call InvalidateTable (the analogue of
+// DB.InvalidateStats) or Reset.
 type LookupCache struct {
 	mu sync.RWMutex
 	m  map[lookupKey]lookupVal
+	// cap bounds the number of memoized entries; 0 means unbounded (the
+	// offline pipelines run bounded workloads). When full, lookups still
+	// work but stop inserting — long-lived server-scope caches stay within
+	// a fixed memory budget even under unbounded distinct request shapes.
+	cap int
 }
 
 // lookupKey identifies one index scan. Predicate is a comparable value type
@@ -34,9 +45,17 @@ type lookupVal struct {
 	entries int
 }
 
-// NewLookupCache returns an empty cache.
+// NewLookupCache returns an empty unbounded cache.
 func NewLookupCache() *LookupCache {
 	return &LookupCache{m: make(map[lookupKey]lookupVal)}
+}
+
+// NewLookupCacheWithCap returns a cache memoizing at most maxEntries
+// lookups; maxEntries <= 0 means unbounded.
+func NewLookupCacheWithCap(maxEntries int) *LookupCache {
+	c := NewLookupCache()
+	c.cap = maxEntries
+	return c
 }
 
 // lookup serves ix.Lookup(p) through the cache. A nil receiver falls
@@ -61,7 +80,7 @@ func (c *LookupCache) lookup(t *Table, ix *Index, p Predicate) ([]uint32, int, e
 	// every consumer aliases one canonical slice.
 	if w, ok := c.m[key]; ok {
 		rows, entries = w.rows, w.entries
-	} else {
+	} else if c.cap <= 0 || len(c.m) < c.cap {
 		c.m[key] = lookupVal{rows: rows, entries: entries}
 	}
 	c.mu.Unlock()
@@ -73,4 +92,25 @@ func (c *LookupCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.m)
+}
+
+// Reset drops every memoized lookup. Concurrent readers that already hold a
+// cached slice keep a consistent view; new lookups re-scan the indexes.
+func (c *LookupCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[lookupKey]lookupVal)
+}
+
+// InvalidateTable drops the memoized lookups of one table, keeping entries
+// for the rest of the database. Call it after the table's data or indexes
+// change; sample tables are separate entries under their own names.
+func (c *LookupCache) InvalidateTable(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.m {
+		if k.table == table {
+			delete(c.m, k)
+		}
+	}
 }

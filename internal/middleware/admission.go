@@ -1,0 +1,85 @@
+package middleware
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// admitVerdict is the outcome of an admission attempt.
+type admitVerdict int
+
+const (
+	// admitOK: a worker slot was acquired; the caller must release it.
+	admitOK admitVerdict = iota
+	// admitBusy: all slots taken and the wait queue is full — shed load
+	// immediately (HTTP 429).
+	admitBusy
+	// admitTimeout: the request queued but its deadline expired before a
+	// slot freed up (HTTP 503); running it now would blow the budget anyway.
+	admitTimeout
+)
+
+// admission is a bounded worker pool with a bounded wait queue: at most
+// `capacity` requests execute concurrently, at most `maxQueue` more wait,
+// and each waiter gives up after its own deadline. Everything beyond that
+// is rejected instantly, so the server sheds load instead of queueing
+// unboundedly — tail latency stays bounded under overload.
+type admission struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+// newAdmission sizes the pool. capacity <= 0 disables admission control
+// (returns nil; the nil methods admit everything).
+func newAdmission(capacity, maxQueue int) *admission {
+	if capacity <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	a := &admission{slots: make(chan struct{}, capacity), maxQueue: int64(maxQueue)}
+	for i := 0; i < capacity; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire tries to take a worker slot, waiting at most wait. A nil admission
+// always admits.
+func (a *admission) acquire(wait time.Duration) admitVerdict {
+	if a == nil {
+		return admitOK
+	}
+	select {
+	case <-a.slots:
+		return admitOK
+	default:
+	}
+	// Slow path: join the bounded queue.
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return admitBusy
+	}
+	defer a.queued.Add(-1)
+	if wait <= 0 {
+		return admitTimeout
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-a.slots:
+		return admitOK
+	case <-timer.C:
+		return admitTimeout
+	}
+}
+
+// release returns a slot taken by a successful acquire.
+func (a *admission) release() {
+	if a == nil {
+		return
+	}
+	a.slots <- struct{}{}
+}

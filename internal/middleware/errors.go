@@ -1,0 +1,24 @@
+package middleware
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadRequest marks errors caused by the request itself (unknown keyword,
+// missing column for the requested condition, no conditions at all) rather
+// than by the serving layer. The HTTP handler maps it to 400; everything
+// else is a 500. Test with errors.Is(err, ErrBadRequest).
+var ErrBadRequest = errors.New("bad request")
+
+// requestError is an error that errors.Is-matches ErrBadRequest while
+// keeping a clean message.
+type requestError struct{ msg string }
+
+func (e *requestError) Error() string        { return e.msg }
+func (e *requestError) Is(target error) bool { return target == ErrBadRequest }
+
+// badRequestf builds a request-caused error.
+func badRequestf(format string, args ...any) error {
+	return &requestError{msg: "middleware: " + fmt.Sprintf(format, args...)}
+}

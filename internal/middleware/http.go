@@ -2,6 +2,7 @@ package middleware
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"time"
 )
@@ -21,37 +22,105 @@ type httpRequest struct {
 	BudgetMs float64 `json:"budget_ms"`
 }
 
-// Handler returns an http.Handler serving visualization requests at POST /viz
-// and a health probe at GET /healthz.
+// Handler returns an http.Handler serving:
+//
+//	POST /viz      — visualization requests (admission-controlled)
+//	GET  /healthz  — liveness probe
+//	GET  /metrics  — Prometheus text format; ?format=json for a snapshot
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ok"))
-	})
-	mux.HandleFunc("POST /viz", func(w http.ResponseWriter, r *http.Request) {
-		var hreq httpRequest
-		if err := json.NewDecoder(r.Body).Decode(&hreq); err != nil {
-			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		req, err := hreq.toRequest()
-		if err != nil {
-			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		resp, err := s.Handle(req)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(resp); err != nil {
-			// Headers already sent; nothing more to do.
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":     "ok",
+			"uptime_sec": time.Since(s.metrics.start).Seconds(),
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(s.metrics.Snapshot())
 			return
 		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.metrics.WritePrometheus(w)
 	})
+	mux.HandleFunc("POST /viz", s.serveViz)
 	return mux
+}
+
+// serveViz decodes, admits, executes, and encodes one /viz request.
+func (s *Server) serveViz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	// Bound the body before doing any work: oversized payloads must not
+	// consume memory outside the admission accounting.
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var hreq httpRequest
+	if err := json.NewDecoder(r.Body).Decode(&hreq); err != nil {
+		s.metrics.clientErr.Add(1)
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := hreq.toRequest()
+	if err != nil {
+		s.metrics.clientErr.Add(1)
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Admission: wait for a worker slot at most min(QueueTimeout, the
+	// request's budget read as real milliseconds). The budget measures
+	// virtual engine time, not wall clock, but it is the client's
+	// latency-sensitivity signal — tight-budget requests shed first under
+	// overload. A small floor keeps tiny budgets from being rejected
+	// spuriously when the warm path would serve them in microseconds.
+	const minQueueWait = 10 * time.Millisecond
+	budget := s.effectiveBudget(req)
+	wait := s.cfg.QueueTimeout
+	if b := time.Duration(budget * float64(time.Millisecond)); b < wait {
+		wait = b
+	}
+	if wait < minQueueWait {
+		wait = minQueueWait
+	}
+	switch s.admit.acquire(wait) {
+	case admitBusy:
+		s.metrics.rejectBusy.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server overloaded: queue full", http.StatusTooManyRequests)
+		return
+	case admitTimeout:
+		s.metrics.rejectWait.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server overloaded: no capacity within the request deadline", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.admit.release()
+
+	start := time.Now()
+	resp, cached, err := s.handle(req)
+	s.metrics.latency.observe(time.Since(start))
+	if err != nil {
+		if errors.Is(err, ErrBadRequest) {
+			s.metrics.clientErr.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		} else {
+			s.metrics.serverErr.Add(1)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	s.metrics.ok.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
 }
 
 func (h httpRequest) toRequest() (Request, error) {

@@ -3,10 +3,29 @@
 // queries, rewrites them with the MDP-based Query Rewriter so the total
 // response time stays within a budget, executes them on the backend engine,
 // and returns binned visualization results.
+//
+// The serving layer is built for concurrent traffic:
+//
+//   - a signature-keyed plan cache memoizes the ground-truth context and the
+//     rewriter's per-budget decision, with single-flight coalescing so N
+//     identical in-flight requests build the context once;
+//   - a TTL'd result cache returns finished binned responses for repeated
+//     (rewritten SQL, grid, region, budget) shapes — the overlap a pan/zoom
+//     session generates;
+//   - a server-scope engine.LookupCache shares index scans across requests
+//     over the immutable dataset;
+//   - admission control bounds concurrency and queueing so overload sheds
+//     load (HTTP 429/503) instead of queueing unboundedly.
+//
+// Every cache layer is deterministic: cached responses are bit-identical to
+// what the cold path would produce, because all engine randomness derives
+// from per-query/per-plan fingerprints.
 package middleware
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"github.com/maliva/maliva/internal/core"
@@ -54,6 +73,7 @@ type Trace struct {
 	SQL          string  `json:"sql"`
 	RewrittenSQL string  `json:"rewritten_sql"`
 	Option       string  `json:"option"`
+	BudgetMs     float64 `json:"budget_ms"`
 	PlanMs       float64 `json:"plan_ms"`
 	ExecMs       float64 `json:"exec_ms"`
 	TotalMs      float64 `json:"total_ms"`
@@ -62,102 +82,224 @@ type Trace struct {
 	NumExplored  int     `json:"num_explored"`
 }
 
+// ServerConfig sizes the serving layer. The zero value of each field picks
+// the default noted on it; a negative size disables that subsystem.
+type ServerConfig struct {
+	// DefaultBudgetMs applies when a request has no budget. Default 500.
+	DefaultBudgetMs float64
+	// PlanCacheSize caps the number of cached query shapes (contexts).
+	// Default 512; negative disables the plan cache.
+	PlanCacheSize int
+	// ResultCacheSize caps the number of cached responses. Default 4096;
+	// negative disables the result cache.
+	ResultCacheSize int
+	// ResultTTL is the result-cache entry lifetime. Default 30s.
+	ResultTTL time.Duration
+	// MaxConcurrent bounds in-flight request execution. Default
+	// 4×GOMAXPROCS; negative disables admission control.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a slot; beyond it requests are
+	// rejected with 429. Default 256.
+	MaxQueue int
+	// QueueTimeout caps how long a request may wait for a slot; the
+	// effective per-request deadline is min(QueueTimeout, its budget_ms
+	// as real time). Default 1s.
+	QueueTimeout time.Duration
+	// Now overrides the result-cache clock (tests). Default time.Now.
+	Now func() time.Time
+}
+
+// normalized resolves defaults and disables.
+func (c ServerConfig) normalized() ServerConfig {
+	if c.DefaultBudgetMs <= 0 {
+		c.DefaultBudgetMs = 500
+	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 512
+	}
+	if c.ResultCacheSize == 0 {
+		c.ResultCacheSize = 4096
+	}
+	if c.ResultTTL <= 0 {
+		c.ResultTTL = 30 * time.Second
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 256
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = time.Second
+	}
+	return c
+}
+
+// lookupCacheCap bounds the server-scope predicate-lookup cache. Entries
+// are keyed on client-supplied predicate values and each pins a row-ID
+// slice, so a server facing unbounded distinct shapes must stop memoizing
+// at some point (the plan/result caches have LRU caps; this one freezes
+// when full, which keeps the canonical-slice aliasing invariant trivially).
+const lookupCacheCap = 8192
+
 // Server is the Maliva middleware bound to one dataset and one rewriter.
+// It is safe for concurrent use; see ServerConfig for the caching and
+// admission knobs.
 type Server struct {
 	DS       *workload.Dataset
 	Rewriter core.Rewriter
 	Space    core.SpaceSpec
-	// DefaultBudgetMs applies when a request has no budget.
-	DefaultBudgetMs float64
+
+	cfg   ServerConfig
+	table *engine.Table
+	// Filter columns resolved once at construction (BuildQuery previously
+	// rescanned FilterCols per request).
+	textCol, timeCol, geoCol string
+
+	lookups *engine.LookupCache
+	plans   *planCache
+	results *resultCache
+	admit   *admission
+	metrics *Metrics
+
+	// rewriteMu serializes Rewriter.Rewrite: rewriters are not required to
+	// be concurrency-safe (the MDP agent's Q-network reuses forward-pass
+	// scratch buffers). Only cold plan-cache paths take it; cached shapes
+	// never plan again.
+	rewriteMu sync.Mutex
 }
 
-// NewServer creates a middleware over a dataset using the given rewriter.
-func NewServer(ds *workload.Dataset, rw core.Rewriter, space core.SpaceSpec, defaultBudgetMs float64) *Server {
-	return &Server{DS: ds, Rewriter: rw, Space: space, DefaultBudgetMs: defaultBudgetMs}
+// NewServer creates a middleware over a dataset using the given rewriter
+// and the default serving configuration. It fails if the dataset is missing
+// its main table or has neither a time nor a point filter column (no
+// spatio-temporal request could ever be served).
+func NewServer(ds *workload.Dataset, rw core.Rewriter, space core.SpaceSpec, defaultBudgetMs float64) (*Server, error) {
+	return NewServerWithConfig(ds, rw, space, ServerConfig{DefaultBudgetMs: defaultBudgetMs})
 }
+
+// NewServerWithConfig is NewServer with explicit serving knobs.
+func NewServerWithConfig(ds *workload.Dataset, rw core.Rewriter, space core.SpaceSpec, cfg ServerConfig) (*Server, error) {
+	t := ds.DB.Table(ds.Main)
+	if t == nil {
+		return nil, fmt.Errorf("middleware: dataset has no table %q", ds.Main)
+	}
+	cfg = cfg.normalized()
+	s := &Server{
+		DS:       ds,
+		Rewriter: rw,
+		Space:    space,
+		cfg:      cfg,
+		table:    t,
+		lookups:  engine.NewLookupCacheWithCap(lookupCacheCap),
+		plans:    newPlanCache(cfg.PlanCacheSize),
+		results:  newResultCache(cfg.ResultCacheSize, cfg.ResultTTL, cfg.Now),
+		admit:    newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		metrics:  NewMetrics(),
+	}
+	for _, col := range ds.FilterCols {
+		if !t.HasColumn(col) {
+			continue
+		}
+		switch t.Col(col).Type {
+		case engine.ColText:
+			if s.textCol == "" {
+				s.textCol = col
+			}
+		case engine.ColTime:
+			if s.timeCol == "" {
+				s.timeCol = col
+			}
+		case engine.ColPoint:
+			if s.geoCol == "" {
+				s.geoCol = col
+			}
+		}
+	}
+	if s.timeCol == "" && s.geoCol == "" {
+		return nil, fmt.Errorf("middleware: dataset %q has neither a time nor a point filter column", ds.Name)
+	}
+	return s, nil
+}
+
+// Config returns the normalized serving configuration.
+func (s *Server) Config() ServerConfig { return s.cfg }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // BuildQuery translates a request into the engine query.
 func (s *Server) BuildQuery(req Request) (*engine.Query, error) {
-	t := s.DS.DB.Table(s.DS.Main)
-	if t == nil {
-		return nil, fmt.Errorf("middleware: dataset has no table %q", s.DS.Main)
-	}
 	q := &engine.Query{Table: s.DS.Main, OutputCols: append([]string(nil), s.DS.OutputCols...)}
 	var preds []engine.Predicate
 	if req.Keyword != "" {
-		id := t.Vocab.ID(req.Keyword)
+		if s.textCol == "" {
+			return nil, badRequestf("dataset has no text column for keyword %q", req.Keyword)
+		}
+		id := s.table.Vocab.ID(req.Keyword)
 		if id == 0 {
-			return nil, fmt.Errorf("middleware: unknown keyword %q", req.Keyword)
+			return nil, badRequestf("unknown keyword %q", req.Keyword)
 		}
 		preds = append(preds, engine.Predicate{
-			Col: s.DS.FilterCols[0], Kind: engine.PredKeyword, Word: id, WordText: req.Keyword,
+			Col: s.textCol, Kind: engine.PredKeyword, Word: id, WordText: req.Keyword,
 		})
 	}
 	if !req.From.IsZero() || !req.To.IsZero() {
-		timeCol := ""
-		for _, col := range s.DS.FilterCols {
-			if t.HasColumn(col) && t.Col(col).Type == engine.ColTime {
-				timeCol = col
-				break
-			}
-		}
-		if timeCol == "" {
-			return nil, fmt.Errorf("middleware: dataset has no time column")
+		if s.timeCol == "" {
+			return nil, badRequestf("dataset has no time column")
 		}
 		preds = append(preds, engine.Predicate{
-			Col: timeCol, Kind: engine.PredRange,
+			Col: s.timeCol, Kind: engine.PredRange,
 			Lo: float64(req.From.UnixMilli()), Hi: float64(req.To.UnixMilli()),
 		})
 	}
 	if req.Region.Area() > 0 {
-		geoCol := ""
-		for _, col := range s.DS.FilterCols {
-			if t.HasColumn(col) && t.Col(col).Type == engine.ColPoint {
-				geoCol = col
-				break
-			}
+		if s.geoCol == "" {
+			return nil, badRequestf("dataset has no point column")
 		}
-		if geoCol == "" {
-			return nil, fmt.Errorf("middleware: dataset has no point column")
-		}
-		preds = append(preds, engine.Predicate{Col: geoCol, Kind: engine.PredGeo, Box: req.Region})
+		preds = append(preds, engine.Predicate{Col: s.geoCol, Kind: engine.PredGeo, Box: req.Region})
 	}
 	if len(preds) == 0 {
-		return nil, fmt.Errorf("middleware: request has no conditions")
+		return nil, badRequestf("request has no conditions")
 	}
 	q.Preds = preds
 	return q, nil
 }
 
 // Handle serves one request end to end: build SQL, rewrite under the
-// budget, execute the chosen rewritten query, bin the result.
+// budget, execute the chosen rewritten query, bin the result — reusing
+// cached plans and results where possible.
+//
+// The returned Response may be shared with the result cache and with
+// concurrent requests for the same shape: treat it as immutable. (Disable
+// the result cache via ServerConfig to get per-call private responses.)
 func (s *Server) Handle(req Request) (*Response, error) {
-	budget := req.BudgetMs
-	if budget <= 0 {
-		budget = s.DefaultBudgetMs
+	resp, _, err := s.handle(req)
+	return resp, err
+}
+
+// effectiveBudget resolves a request's budget: zero/negative falls back to
+// the server default. Admission deadlines, the rewrite decision, and the
+// result-cache key all use this one resolution.
+func (s *Server) effectiveBudget(req Request) float64 {
+	if req.BudgetMs > 0 {
+		return req.BudgetMs
 	}
+	return s.cfg.DefaultBudgetMs
+}
+
+// handle is Handle plus a flag reporting whether the response came from the
+// result cache (surfaced as the X-Cache header).
+func (s *Server) handle(req Request) (*Response, bool, error) {
+	budget := s.effectiveBudget(req)
 	q, err := s.BuildQuery(req)
 	if err != nil {
-		return nil, err
-	}
-	ctx, err := core.BuildContext(s.DS.DB, q, core.DefaultContextConfig(s.Space))
-	if err != nil {
-		return nil, err
-	}
-	out := s.Rewriter.Rewrite(ctx, budget)
-
-	// Execute the chosen rewritten query for the actual visual result.
-	rq, hint := q, engine.Hint{}
-	optLabel := "original"
-	if out.Option >= 0 {
-		rq, hint = core.BuildRQ(q, ctx.Options[out.Option], ctx.EstRows, ctx.Scale)
-		optLabel = ctx.Options[out.Option].Label(len(q.Preds))
-	}
-	res, _, err := s.DS.DB.Run(rq, hint)
-	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
+	kind := req.Kind
+	if kind != VizScatter {
+		kind = VizHeatmap
+	}
 	gw, gh := req.GridW, req.GridH
 	if gw <= 0 {
 		gw = 64
@@ -165,14 +307,70 @@ func (s *Server) Handle(req Request) (*Response, error) {
 	if gh <= 0 {
 		gh = 64
 	}
+
+	// Plan cache: one ground-truth context per query shape, built once even
+	// under a stampede of identical requests.
+	sig := q.SQL(engine.Hint{})
+	entry, how, err := s.plans.get(sig, func() (*core.QueryContext, error) {
+		ccfg := core.DefaultContextConfig(s.Space)
+		ccfg.Lookups = s.lookups
+		return core.BuildContext(s.DS.DB, q, ccfg)
+	})
+	switch how {
+	case planHit:
+		s.metrics.planHits.Add(1)
+	case planCoalesced:
+		s.metrics.planCoalesced.Add(1)
+	default:
+		s.metrics.planMisses.Add(1)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	ctx := entry.ctx
+
+	// Per-budget rewrite decision, memoized on the entry. The rewrite
+	// itself is serialized (see rewriteMu).
+	out := entry.outcome(budget, func() core.Outcome {
+		s.rewriteMu.Lock()
+		defer s.rewriteMu.Unlock()
+		return s.Rewriter.Rewrite(ctx, budget)
+	})
+
+	rq, hint := q, engine.Hint{}
+	optLabel := "original"
+	if out.Option >= 0 {
+		rq, hint = core.BuildRQ(q, ctx.Options[out.Option], ctx.EstRows, ctx.Scale)
+		optLabel = ctx.Options[out.Option].Label(len(q.Preds))
+	}
+
+	// Result cache: repeated (rewritten SQL, kind, grid, region, budget)
+	// shapes skip execution and binning entirely.
+	rkey := resultKey{
+		sql: rq.SQL(hint), kind: kind, gridW: gw, gridH: gh,
+		region: s.regionOrExtent(req), budget: budget,
+	}
+	if resp := s.results.get(rkey); resp != nil {
+		s.metrics.resultHits.Add(1)
+		s.noteOutcome(resp)
+		return resp, true, nil
+	}
+	s.metrics.resultMisses.Add(1)
+
+	res, _, err := s.DS.DB.RunCached(rq, hint, s.lookups)
+	if err != nil {
+		return nil, false, err
+	}
+
 	resp := &Response{
-		Kind:  req.Kind,
+		Kind:  kind,
 		GridW: gw,
 		GridH: gh,
 		Trace: Trace{
-			SQL:          q.SQL(engine.Hint{}),
-			RewrittenSQL: rq.SQL(hint),
+			SQL:          sig,
+			RewrittenSQL: rkey.sql,
 			Option:       optLabel,
+			BudgetMs:     budget,
 			PlanMs:       out.PlanMs,
 			ExecMs:       out.ExecMs,
 			TotalMs:      out.TotalMs,
@@ -181,15 +379,23 @@ func (s *Server) Handle(req Request) (*Response, error) {
 			NumExplored:  out.Explored,
 		},
 	}
-	switch req.Kind {
+	switch kind {
 	case VizScatter:
 		resp.Points = res.Points
 	default:
-		resp.Kind = VizHeatmap
-		grid := viz.NewGrid(s.regionOrExtent(req), gw, gh)
+		grid := viz.NewGrid(rkey.region, gw, gh)
 		resp.Bins = grid.Counts(res.Points, res.Weight)
 	}
-	return resp, nil
+	s.results.put(rkey, resp)
+	s.noteOutcome(resp)
+	return resp, false, nil
+}
+
+// noteOutcome updates per-response serving metrics.
+func (s *Server) noteOutcome(resp *Response) {
+	if !resp.Trace.Viable {
+		s.metrics.budgetViolations.Add(1)
+	}
 }
 
 func (s *Server) regionOrExtent(req Request) engine.Rect {

@@ -26,7 +26,11 @@ func testServer(t testing.TB) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewServer(ds, core.OracleRewriter{}, core.HintOnlySpec(), 500)
+	s, err := NewServer(ds, core.OracleRewriter{}, core.HintOnlySpec(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func validRequest() Request {

@@ -1,0 +1,178 @@
+package middleware
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"github.com/maliva/maliva/internal/core"
+)
+
+// planEntry is one cached query shape: the ground-truth context (the
+// expensive part — BuildContext executes every rewritten query) plus the
+// rewriter's decision memoized per budget. Both are deterministic functions
+// of the query, so caching them never changes a response bit.
+type planEntry struct {
+	ctx *core.QueryContext
+
+	mu       sync.Mutex
+	outcomes map[float64]core.Outcome
+}
+
+// maxOutcomesPerEntry caps the per-entry budget→outcome map: budgets are
+// client-supplied floats, so without a cap a client sweeping distinct
+// budget values against one hot shape would grow the map forever. Real
+// frontends use a handful of budgets; beyond the cap decisions are still
+// computed, just not memoized.
+const maxOutcomesPerEntry = 64
+
+// outcome returns the memoized rewrite decision for a budget, computing it
+// via rewrite on first use. The entry lock is NOT held across rewrite —
+// otherwise every warm hit on this shape would stall behind one cold
+// budget's rewrite (which may itself queue on the server's rewriteMu).
+// Two racing requests for the same new budget may both rewrite; outcomes
+// are deterministic functions of (ctx, budget), so both compute the same
+// value and the first stored one wins.
+func (e *planEntry) outcome(budget float64, rewrite func() core.Outcome) core.Outcome {
+	e.mu.Lock()
+	if out, ok := e.outcomes[budget]; ok {
+		e.mu.Unlock()
+		return out
+	}
+	e.mu.Unlock()
+	out := rewrite()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if prev, ok := e.outcomes[budget]; ok {
+		return prev
+	}
+	if len(e.outcomes) < maxOutcomesPerEntry {
+		e.outcomes[budget] = out
+	}
+	return out
+}
+
+// planResult reports how a plan-cache lookup was served, for metrics.
+type planResult int
+
+const (
+	planHit       planResult = iota // entry already cached
+	planMiss                        // this call built the context
+	planCoalesced                   // waited on another goroutine's build
+)
+
+// planCall is an in-flight context build that later arrivals wait on
+// (single-flight coalescing: N identical concurrent requests build once).
+type planCall struct {
+	done  chan struct{}
+	entry *planEntry
+	err   error
+}
+
+// planCache is a signature-keyed LRU of planEntry with single-flight
+// coalescing. Keys are the canonical SQL of the original query.
+type planCache struct {
+	mu       sync.Mutex
+	cap      int
+	entries  map[string]*list.Element // of *planPair
+	lru      *list.List               // front = most recent
+	inflight map[string]*planCall
+}
+
+type planPair struct {
+	key   string
+	entry *planEntry
+}
+
+// newPlanCache returns a cache holding at most cap entries; cap <= 0
+// disables caching (nil cache: get always builds).
+func newPlanCache(cap int) *planCache {
+	if cap <= 0 {
+		return nil
+	}
+	return &planCache{
+		cap:      cap,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*planCall),
+	}
+}
+
+// get returns the entry for key, building it with build on a miss. Exactly
+// one goroutine runs build per key at a time; concurrent callers for the
+// same key wait and share the result. Build errors are not cached — the
+// next request retries.
+func (c *planCache) get(key string, build func() (*core.QueryContext, error)) (*planEntry, planResult, error) {
+	if c == nil {
+		ctx, err := build()
+		if err != nil {
+			return nil, planMiss, err
+		}
+		return &planEntry{ctx: ctx, outcomes: make(map[float64]core.Outcome)}, planMiss, nil
+	}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		entry := el.Value.(*planPair).entry
+		c.mu.Unlock()
+		return entry, planHit, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, planCoalesced, call.err
+		}
+		return call.entry, planCoalesced, nil
+	}
+	call := &planCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	// Publish the call result even if build panics (a wedged inflight entry
+	// would block every later request for this key forever, each holding an
+	// admission slot — a self-inflicted outage). On panic the waiters see a
+	// build error and the panic propagates to this caller.
+	finished := false
+	defer func() {
+		if !finished {
+			call.err = fmt.Errorf("middleware: context build panicked")
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if call.err == nil {
+			el := c.lru.PushFront(&planPair{key: key, entry: call.entry})
+			c.entries[key] = el
+			for c.lru.Len() > c.cap {
+				old := c.lru.Back()
+				c.lru.Remove(old)
+				delete(c.entries, old.Value.(*planPair).key)
+			}
+		}
+		c.mu.Unlock()
+		close(call.done)
+	}()
+	ctx, err := build()
+	if err != nil {
+		call.err = err
+	} else {
+		call.entry = &planEntry{ctx: ctx, outcomes: make(map[float64]core.Outcome)}
+	}
+	finished = true
+
+	if call.err != nil {
+		return nil, planMiss, call.err
+	}
+	return call.entry, planMiss, nil
+}
+
+// len reports the number of cached entries (for tests).
+func (c *planCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,121 @@
+package middleware
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"github.com/maliva/maliva/internal/engine"
+)
+
+// resultKey identifies one binned visualization result: the rewritten SQL
+// that produced it, the visualization kind and grid, the binning region,
+// and the effective budget (the trace embeds budget-dependent fields, so
+// responses are only shared between requests with the same budget).
+type resultKey struct {
+	sql    string
+	kind   VizKind
+	gridW  int
+	gridH  int
+	region engine.Rect
+	budget float64
+}
+
+// resultEntry is a cached response with its expiry.
+type resultEntry struct {
+	key     resultKey
+	resp    *Response
+	expires time.Time
+}
+
+// resultCache is a TTL'd LRU of finished responses, tqdbproxy-style: the
+// highly-overlapping queries of a pan/zoom session keep producing identical
+// (rewritten SQL, grid) pairs, so the whole execute+bin step is skipped.
+// Cached *Response values are shared — callers must treat them as immutable
+// (the serving layer only encodes them).
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	ttl     time.Duration
+	now     func() time.Time
+	entries map[resultKey]*list.Element // of *resultEntry
+	lru     *list.List
+}
+
+// newResultCache builds a cache of at most cap responses living ttl each.
+// cap <= 0 disables caching (nil cache: get misses, put drops).
+func newResultCache(cap int, ttl time.Duration, now func() time.Time) *resultCache {
+	if cap <= 0 {
+		return nil
+	}
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &resultCache{
+		cap:     cap,
+		ttl:     ttl,
+		now:     now,
+		entries: make(map[resultKey]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// get returns the cached response for key, or nil. Expired entries are
+// dropped lazily on access.
+func (c *resultCache) get(key resultKey) *Response {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*resultEntry)
+	if c.now().After(e.expires) {
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	return e.resp
+}
+
+// put stores a response, refreshing the TTL if the key already exists and
+// evicting the least-recently-used entries beyond capacity.
+func (c *resultCache) put(key resultKey, resp *Response) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	expires := c.now().Add(c.ttl)
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*resultEntry)
+		e.resp, e.expires = resp, expires
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&resultEntry{key: key, resp: resp, expires: expires})
+	c.entries[key] = el
+	for c.lru.Len() > c.cap {
+		old := c.lru.Back()
+		c.lru.Remove(old)
+		delete(c.entries, old.Value.(*resultEntry).key)
+	}
+}
+
+// len reports the number of cached responses, counting expired ones not yet
+// swept (for tests).
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
