@@ -1,15 +1,17 @@
 // Command maliva-load is a closed-loop load generator for the Maliva
 // serving layer: N workers fire visualization requests back to back over a
-// Zipf-skewed shape mix (hot pan/zoom shapes repeat, tail shapes don't) and
-// report sustained QPS plus client-side latency quantiles, together with
-// the server's own /metrics snapshot.
+// Zipf-skewed shape mix (hot pan/zoom shapes repeat, tail shapes don't)
+// spanning one or more datasets behind a Gateway, and report sustained QPS
+// plus client-side latency quantiles — overall and per dataset — together
+// with the server's own /metrics snapshot.
 //
 // Modes:
 //
-//	maliva-load -url http://host:8080          # drive a running maliva-server
-//	maliva-load                                 # in-process server, one cached pass
-//	maliva-load -compare -json BENCH_2.json     # uncached baseline vs cached pass
-//	maliva-load -smoke                          # tiny CI pass (seconds), fails on errors
+//	maliva-load -url http://host:8080            # drive a running gateway
+//	maliva-load                                   # in-process gateway, one cached pass
+//	maliva-load -datasets twitter,taxi -compare   # cross-dataset uncached vs cached
+//	maliva-load -agent maliva-agent.json          # drive a trained MDP snapshot
+//	maliva-load -smoke                            # tiny CI pass (two datasets), fails on errors
 package main
 
 import (
@@ -23,20 +25,36 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/engine"
 	"github.com/maliva/maliva/internal/middleware"
+	"github.com/maliva/maliva/internal/qte"
 	"github.com/maliva/maliva/internal/workload"
 )
 
-// shape is one request shape; the workload draws shapes Zipf-skewed so a
-// hot subset dominates (what a pan/zoom session over popular keywords looks
-// like) while the tail stays effectively uncacheable.
+// shape is one request shape against one dataset; the workload draws shapes
+// Zipf-skewed so a hot subset dominates (what a pan/zoom session over
+// popular keywords looks like) while the tail stays effectively uncacheable.
 type shape struct {
-	body []byte
+	dataset string
+	body    []byte
+}
+
+// datasetPass is the per-dataset slice of one measured pass.
+type datasetPass struct {
+	Name     string  `json:"name"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	Rejected int64   `json:"rejected"`
+	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
 }
 
 // passReport is the result of one measured load pass.
@@ -53,19 +71,23 @@ type passReport struct {
 	MaxMs       float64 `json:"max_ms"`
 	AvgMs       float64 `json:"avg_ms"`
 
-	Server *middleware.MetricsSnapshot `json:"server_metrics,omitempty"`
+	Datasets []datasetPass `json:"datasets,omitempty"`
+
+	Server *middleware.GatewayMetricsSnapshot `json:"server_metrics,omitempty"`
 }
 
 // loadReport is the top-level JSON artifact (the BENCH_*.json trajectory).
 type loadReport struct {
-	Timestamp string  `json:"timestamp"`
-	GoVersion string  `json:"go_version"`
-	Procs     int     `json:"procs"`
-	Rows      int     `json:"rows"`
-	Shapes    int     `json:"shapes"`
-	Workers   int     `json:"workers"`
-	BudgetMs  float64 `json:"budget_ms"`
-	ZipfS     float64 `json:"zipf_s"`
+	Timestamp string   `json:"timestamp"`
+	GoVersion string   `json:"go_version"`
+	Procs     int      `json:"procs"`
+	Rows      int      `json:"rows"`
+	Datasets  []string `json:"datasets"`
+	Rewriter  string   `json:"rewriter"`
+	Shapes    int      `json:"shapes"`
+	Workers   int      `json:"workers"`
+	BudgetMs  float64  `json:"budget_ms"`
+	ZipfS     float64  `json:"zipf_s"`
 
 	Passes []passReport `json:"passes"`
 
@@ -79,17 +101,19 @@ type loadReport struct {
 
 func main() {
 	var (
-		url      = flag.String("url", "", "target a running server instead of in-process")
-		rows     = flag.Int("rows", 60_000, "in-process Twitter dataset rows")
+		url      = flag.String("url", "", "target a running gateway instead of in-process")
+		rows     = flag.Int("rows", 60_000, "in-process rows per dataset")
+		datasets = flag.String("datasets", "", "comma-separated datasets to mix (twitter | taxi | tpch; default twitter, smoke default twitter,taxi)")
+		agent    = flag.String("agent", "", "drive a trained MDP agent snapshot (cmd/maliva-train output) instead of the Oracle")
 		workers  = flag.Int("c", 16, "closed-loop workers")
 		duration = flag.Duration("duration", 10*time.Second, "measured time per pass")
-		nShapes  = flag.Int("shapes", 200, "distinct request shapes")
+		nShapes  = flag.Int("shapes", 200, "distinct request shapes per dataset")
 		zipfS    = flag.Float64("zipf-s", 1.2, "shape popularity skew (Zipf s)")
 		budget   = flag.Float64("budget", 500, "request budget_ms")
 		seed     = flag.Int64("seed", 11, "workload seed")
 		compare  = flag.Bool("compare", false, "run an uncached baseline pass, then a cached pass")
 		jsonPath = flag.String("json", "", "write the report to this file")
-		smoke    = flag.Bool("smoke", false, "tiny CI pass: small dataset, ~2s, exit non-zero on errors")
+		smoke    = flag.Bool("smoke", false, "tiny CI pass: small datasets, ~2s, exit non-zero on errors")
 	)
 	flag.Parse()
 
@@ -102,14 +126,29 @@ func main() {
 		*duration = time.Second
 		*nShapes = 30
 		*compare = true
+		if *datasets == "" {
+			*datasets = "twitter,taxi"
+		}
+	}
+	if *datasets == "" {
+		*datasets = "twitter"
+	}
+	names := splitNames(*datasets)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("-datasets lists no datasets"))
 	}
 
-	shapes := makeShapes(*nShapes, *budget, *seed)
+	rewriterName := "oracle"
+	if *agent != "" {
+		rewriterName = "agent:" + *agent
+	}
 	report := loadReport{
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		Procs:     runtime.GOMAXPROCS(0),
 		Rows:      *rows,
+		Datasets:  names,
+		Rewriter:  rewriterName,
 		Shapes:    *nShapes,
 		Workers:   *workers,
 		BudgetMs:  *budget,
@@ -117,21 +156,38 @@ func main() {
 	}
 
 	if *url != "" {
-		rep := runPass("remote", *url, shapes, *workers, *duration, *zipfS, *seed, false)
-		report.Passes = append(report.Passes, rep)
-	} else {
-		fmt.Fprintf(os.Stderr, "building %d-row Twitter dataset...\n", *rows)
-		ds, err := workload.Twitter(withRows(*rows))
+		shapes, err := remoteShapes(names, *nShapes, *budget, *seed)
 		if err != nil {
 			fatal(err)
 		}
+		rep := runPass("remote", *url, shapes, *workers, *duration, *zipfS, *seed, false)
+		report.Passes = append(report.Passes, rep)
+	} else {
+		fmt.Fprintf(os.Stderr, "building %d-row dataset(s): %s...\n", *rows, strings.Join(names, ", "))
+		built := make(map[string]*workload.Dataset, len(names))
+		for _, name := range names {
+			build, err := workload.StandardBuilder(name, *rows)
+			if err != nil {
+				fatal(err)
+			}
+			ds, err := build()
+			if err != nil {
+				fatal(err)
+			}
+			built[name] = ds
+		}
+		shapes := mixShapes(names, built, *nShapes, *budget, *seed)
+		factory := middleware.OracleFactory
+		if *agent != "" {
+			factory = agentFactory(*agent)
+		}
 		if *compare {
-			base := startServer(ds, *budget, true)
+			base := startGateway(names, built, *budget, true, factory)
 			rep := runPass("uncached", base.url, shapes, *workers, *duration, *zipfS, *seed, false)
 			report.Passes = append(report.Passes, rep)
 			base.close()
 
-			cached := startServer(ds, *budget, false)
+			cached := startGateway(names, built, *budget, false, factory)
 			rep2 := runPass("cached", cached.url, shapes, *workers, *duration, *zipfS, *seed, true)
 			report.Passes = append(report.Passes, rep2)
 			cached.close()
@@ -146,11 +202,10 @@ func main() {
 				report.P50SpeedupX = rep.P50Ms / rep2.P50Ms
 			}
 			if rep2.Server != nil {
-				report.ResultHitRate = rep2.Server.ResultHitRate
-				report.PlanHitRate = rep2.Server.PlanHitRate
+				report.ResultHitRate, report.PlanHitRate = hitRates(rep2.Server)
 			}
 		} else {
-			srv := startServer(ds, *budget, false)
+			srv := startGateway(names, built, *budget, false, factory)
 			rep := runPass("cached", srv.url, shapes, *workers, *duration, *zipfS, *seed, true)
 			report.Passes = append(report.Passes, rep)
 			srv.close()
@@ -160,6 +215,10 @@ func main() {
 	for _, p := range report.Passes {
 		fmt.Printf("%-9s %7.0f req/s  p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms  max %7.1f ms  (%d requests, %d errors, %d rejected)\n",
 			p.Name, p.QPS, p.P50Ms, p.P95Ms, p.P99Ms, p.MaxMs, p.Requests, p.Errors, p.Rejected)
+		for _, d := range p.Datasets {
+			fmt.Printf("  %-12s %7.0f req/s  p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms  (%d requests)\n",
+				d.Name, d.QPS, d.P50Ms, d.P95Ms, d.P99Ms, d.Requests)
+		}
 	}
 	if report.QPSSpeedup > 0 {
 		fmt.Printf("cached vs uncached: %.2fx QPS, %.2fx p50, %.2fx p95 (result hit rate %.0f%%, plan hit rate %.0f%%)\n",
@@ -186,85 +245,206 @@ func main() {
 	}
 	if *smoke {
 		last := report.Passes[len(report.Passes)-1]
-		if last.Server != nil && last.Server.ResultHits == 0 {
-			fatal(fmt.Errorf("smoke: cached pass served no result-cache hits"))
+		if last.Server != nil {
+			if hits, _ := hitRates(last.Server); hits == 0 {
+				fatal(fmt.Errorf("smoke: cached pass served no result-cache hits"))
+			}
+		}
+		for _, name := range names {
+			served := false
+			for _, d := range last.Datasets {
+				if d.Name == name && d.Requests > 0 {
+					served = true
+				}
+			}
+			if !served {
+				fatal(fmt.Errorf("smoke: dataset %q served no requests through the gateway", name))
+			}
 		}
 	}
 }
 
-func withRows(rows int) workload.Config {
-	cfg := workload.TwitterConfig()
-	cfg.Rows = rows
-	cfg.Scale = 100e6 / float64(cfg.Rows)
-	return cfg
+// splitNames parses the -datasets list.
+func splitNames(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
-// makeShapes builds the request-shape pool: popular keywords, week-to-month
-// time windows, and pan/zoom tiles over the US extent.
-func makeShapes(n int, budget float64, seed int64) []shape {
+// hitRates aggregates result/plan cache hit rates across every dataset the
+// gateway serves.
+func hitRates(snap *middleware.GatewayMetricsSnapshot) (result, plan float64) {
+	var rh, rm, ph, pm int64
+	for _, m := range snap.Datasets {
+		rh += m.ResultHits
+		rm += m.ResultMisses
+		ph += m.PlanHits
+		pm += m.PlanMisses
+	}
+	if rh+rm > 0 {
+		result = float64(rh) / float64(rh+rm)
+	}
+	if ph+pm > 0 {
+		plan = float64(ph) / float64(ph+pm)
+	}
+	return result, plan
+}
+
+// agentFactory loads a trained MDP policy snapshot per dataset (each Server
+// serializes only its own rewriter, so instances must not be shared).
+func agentFactory(path string) middleware.RewriterFactory {
+	return func(ds *workload.Dataset) (core.Rewriter, error) {
+		a, err := core.LoadAgentFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return &core.MDPRewriter{Agent: a, QTE: qte.NewAccurateQTE(), Tag: "Accurate-QTE"}, nil
+	}
+}
+
+// mixShapes builds the cross-dataset request pool: n shapes per dataset,
+// interleaved so the Zipf-hot head of the pool spans every dataset (the
+// gateway's caches see concurrent hot traffic on each, not one dataset
+// monopolizing the head).
+func mixShapes(names []string, built map[string]*workload.Dataset, n int, budget float64, seed int64) []shape {
+	perDS := make([][]shape, len(names))
+	for i, name := range names {
+		perDS[i] = makeShapes(name, built[name], n, budget, seed+int64(i)*101)
+	}
+	out := make([]shape, 0, len(names)*n)
+	for j := 0; j < n; j++ {
+		for i := range names {
+			out = append(out, perDS[i][j])
+		}
+	}
+	return out
+}
+
+// remoteShapes builds shapes for a running gateway by regenerating the
+// datasets' metadata locally at tiny size (shape generation only reads
+// vocabulary-independent metadata plus the generated keyword naming, which
+// is deterministic per dataset).
+func remoteShapes(names []string, n int, budget float64, seed int64) ([]shape, error) {
+	built := make(map[string]*workload.Dataset, len(names))
+	for _, name := range names {
+		build, err := workload.StandardBuilder(name, 2_000)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := build()
+		if err != nil {
+			return nil, err
+		}
+		built[name] = ds
+	}
+	return mixShapes(names, built, n, budget, seed), nil
+}
+
+// makeShapes builds one dataset's request-shape pool from its metadata:
+// popular keywords when the dataset has a text column, week-to-month time
+// windows over its temporal domain, and pan/zoom tiles over its spatial
+// extent when it has one.
+func makeShapes(name string, ds *workload.Dataset, n int, budget float64, seed int64) []shape {
 	rng := rand.New(rand.NewSource(seed))
-	origin := time.Date(2015, 11, 1, 0, 0, 0, 0, time.UTC)
-	const spanDays = 457
-	ext := workload.USExtent
+	t := ds.DB.Table(ds.Main)
+	hasText := false
+	for _, col := range ds.FilterCols {
+		if t.HasColumn(col) && t.Col(col).Type == engine.ColText {
+			hasText = true
+			break
+		}
+	}
+	ext := ds.Extent
+	hasGeo := ext.Area() > 0
+	spanDays := ds.TimeSpanDays
 	shapes := make([]shape, n)
 	for i := range shapes {
-		// Zipf-ish keyword choice mirrors the generated vocabulary.
-		word := fmt.Sprintf("word%04d", rng.Intn(60))
-		days := 7 + rng.Intn(53)
-		start := origin.AddDate(0, 0, rng.Intn(spanDays-days))
-		// Zoom level 0–3: each level halves the viewport.
-		z := rng.Intn(4)
-		w := (ext.MaxLon - ext.MinLon) / float64(int(1)<<z)
-		h := (ext.MaxLat - ext.MinLat) / float64(int(1)<<z)
-		minLon := ext.MinLon + rng.Float64()*(ext.MaxLon-ext.MinLon-w)
-		minLat := ext.MinLat + rng.Float64()*(ext.MaxLat-ext.MinLat-h)
-		kind := "heatmap"
-		if rng.Float64() < 0.1 {
-			kind = "scatter"
+		req := map[string]any{
+			"kind": "heatmap", "grid_w": 32, "grid_h": 16, "budget_ms": budget,
 		}
-		body, _ := json.Marshal(map[string]any{
-			"keyword": word,
-			"from":    start.Format(time.RFC3339),
-			"to":      start.AddDate(0, 0, days).Format(time.RFC3339),
-			"min_lon": minLon, "min_lat": minLat,
-			"max_lon": minLon + w, "max_lat": minLat + h,
-			"kind": kind, "grid_w": 32, "grid_h": 16, "budget_ms": budget,
-		})
-		shapes[i] = shape{body: body}
+		if rng.Float64() < 0.1 {
+			req["kind"] = "scatter"
+		}
+		if hasText {
+			// Zipf-ish keyword choice mirrors the generated vocabulary.
+			req["keyword"] = fmt.Sprintf("word%04d", rng.Intn(60))
+		}
+		days := 7 + rng.Intn(53)
+		start := ds.TimeOrigin.AddDate(0, 0, rng.Intn(spanDays-days))
+		req["from"] = start.Format(time.RFC3339)
+		req["to"] = start.AddDate(0, 0, days).Format(time.RFC3339)
+		if hasGeo {
+			// Zoom level 0–3: each level halves the viewport.
+			z := rng.Intn(4)
+			w := (ext.MaxLon - ext.MinLon) / float64(int(1)<<z)
+			h := (ext.MaxLat - ext.MinLat) / float64(int(1)<<z)
+			minLon := ext.MinLon + rng.Float64()*(ext.MaxLon-ext.MinLon-w)
+			minLat := ext.MinLat + rng.Float64()*(ext.MaxLat-ext.MinLat-h)
+			req["min_lon"], req["min_lat"] = minLon, minLat
+			req["max_lon"], req["max_lat"] = minLon+w, minLat+h
+		}
+		body, _ := json.Marshal(req)
+		shapes[i] = shape{dataset: name, body: body}
 	}
 	return shapes
 }
 
-// inprocServer is an in-process maliva-server instance.
-type inprocServer struct {
+// inprocGateway is an in-process multi-dataset gateway instance.
+type inprocGateway struct {
 	url  string
 	http *http.Server
 	ln   net.Listener
 }
 
-// startServer serves the middleware over a loopback listener. uncached
-// disables both caches (the baseline the serving layer is measured against).
-func startServer(ds *workload.Dataset, budget float64, uncached bool) *inprocServer {
+// startGateway serves every built dataset through one warm Gateway over a
+// loopback listener. uncached disables both caches (the baseline the
+// serving layer is measured against).
+func startGateway(names []string, built map[string]*workload.Dataset, budget float64, uncached bool, factory middleware.RewriterFactory) *inprocGateway {
 	cfg := middleware.ServerConfig{DefaultBudgetMs: budget}
 	if uncached {
 		cfg.PlanCacheSize = -1
 		cfg.ResultCacheSize = -1
 	}
-	srv, err := middleware.NewServerWithConfig(ds, core.OracleRewriter{}, core.HintOnlySpec(), cfg)
+	reg := workload.NewRegistry()
+	for _, name := range names {
+		ds := built[name]
+		if err := reg.Register(name, func() (*workload.Dataset, error) { return ds, nil }); err != nil {
+			fatal(err)
+		}
+	}
+	gw, err := middleware.NewGateway(reg, factory, middleware.GatewayConfig{
+		Server: cfg,
+		Space:  core.HintOnlySpec(),
+	})
 	if err != nil {
+		fatal(err)
+	}
+	if err := gw.Warm(); err != nil {
 		fatal(err)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fatal(err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: gw.Handler()}
 	go func() { _ = hs.Serve(ln) }()
-	return &inprocServer{url: "http://" + ln.Addr().String(), http: hs, ln: ln}
+	return &inprocGateway{url: "http://" + ln.Addr().String(), http: hs, ln: ln}
 }
 
-func (s *inprocServer) close() {
+func (s *inprocGateway) close() {
 	_ = s.http.Close()
+}
+
+// dsAccum accumulates one worker's per-dataset measurements.
+type dsAccum struct {
+	lats     []float64
+	errors   int64
+	rejected int64
+	total    int64
 }
 
 // runPass hammers the target with a closed loop of workers for d, after an
@@ -283,18 +463,15 @@ func runPass(name, url string, shapes []shape, workers int, d time.Duration, zip
 
 	if warmup {
 		for _, sh := range shapes {
-			_, _, _ = fire(client, url, sh.body)
+			_, _, _ = fire(client, url, sh)
 		}
 	}
 
 	var (
-		total    atomic.Int64
-		errs     atomic.Int64
-		rejected atomic.Int64
-		stop     atomic.Bool
-		wg       sync.WaitGroup
+		stop atomic.Bool
+		wg   sync.WaitGroup
 	)
-	latCh := make(chan []float64, workers)
+	accCh := make(chan map[string]*dsAccum, workers)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -302,56 +479,90 @@ func runPass(name, url string, shapes []shape, workers int, d time.Duration, zip
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
 			zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(shapes)-1))
-			lats := make([]float64, 0, 4096)
+			acc := make(map[string]*dsAccum)
 			for !stop.Load() {
 				sh := shapes[zipf.Uint64()]
+				a := acc[sh.dataset]
+				if a == nil {
+					a = &dsAccum{lats: make([]float64, 0, 4096)}
+					acc[sh.dataset] = a
+				}
 				t0 := time.Now()
-				code, ok, err := fire(client, url, sh.body)
+				code, ok, err := fire(client, url, sh)
 				lat := time.Since(t0)
-				total.Add(1)
+				a.total++
 				switch {
 				case err != nil || !ok:
 					if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
-						rejected.Add(1)
+						a.rejected++
 					} else {
-						errs.Add(1)
+						a.errors++
 					}
 				default:
-					lats = append(lats, float64(lat)/float64(time.Millisecond))
+					a.lats = append(a.lats, float64(lat)/float64(time.Millisecond))
 				}
 			}
-			latCh <- lats
+			accCh <- acc
 		}(w)
 	}
 	time.Sleep(d)
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(start)
-	close(latCh)
+	close(accCh)
 
-	var lats []float64
-	for l := range latCh {
-		lats = append(lats, l...)
+	merged := make(map[string]*dsAccum)
+	for acc := range accCh {
+		for ds, a := range acc {
+			m := merged[ds]
+			if m == nil {
+				m = &dsAccum{}
+				merged[ds] = m
+			}
+			m.lats = append(m.lats, a.lats...)
+			m.errors += a.errors
+			m.rejected += a.rejected
+			m.total += a.total
+		}
 	}
-	sort.Float64s(lats)
-	rep := passReport{
-		Name:        name,
-		Requests:    total.Load(),
-		Errors:      errs.Load(),
-		Rejected:    rejected.Load(),
-		DurationSec: elapsed.Seconds(),
-		QPS:         float64(total.Load()) / elapsed.Seconds(),
-		P50Ms:       pct(lats, 0.50),
-		P95Ms:       pct(lats, 0.95),
-		P99Ms:       pct(lats, 0.99),
-		MaxMs:       pct(lats, 1),
+
+	var all []float64
+	rep := passReport{Name: name, DurationSec: elapsed.Seconds()}
+	dsNames := make([]string, 0, len(merged))
+	for ds := range merged {
+		dsNames = append(dsNames, ds)
 	}
-	if len(lats) > 0 {
+	sort.Strings(dsNames)
+	for _, ds := range dsNames {
+		m := merged[ds]
+		sort.Float64s(m.lats)
+		rep.Datasets = append(rep.Datasets, datasetPass{
+			Name:     ds,
+			Requests: m.total,
+			Errors:   m.errors,
+			Rejected: m.rejected,
+			QPS:      float64(m.total) / elapsed.Seconds(),
+			P50Ms:    pct(m.lats, 0.50),
+			P95Ms:    pct(m.lats, 0.95),
+			P99Ms:    pct(m.lats, 0.99),
+		})
+		rep.Requests += m.total
+		rep.Errors += m.errors
+		rep.Rejected += m.rejected
+		all = append(all, m.lats...)
+	}
+	sort.Float64s(all)
+	rep.QPS = float64(rep.Requests) / elapsed.Seconds()
+	rep.P50Ms = pct(all, 0.50)
+	rep.P95Ms = pct(all, 0.95)
+	rep.P99Ms = pct(all, 0.99)
+	rep.MaxMs = pct(all, 1)
+	if len(all) > 0 {
 		sum := 0.0
-		for _, l := range lats {
+		for _, l := range all {
 			sum += l
 		}
-		rep.AvgMs = sum / float64(len(lats))
+		rep.AvgMs = sum / float64(len(all))
 	}
 	if snap := fetchMetrics(client, url); snap != nil {
 		rep.Server = snap
@@ -359,9 +570,9 @@ func runPass(name, url string, shapes []shape, workers int, d time.Duration, zip
 	return rep
 }
 
-// fire posts one request and drains the response.
-func fire(client *http.Client, url string, body []byte) (code int, ok bool, err error) {
-	resp, err := client.Post(url+"/viz", "application/json", bytes.NewReader(body))
+// fire posts one request to its dataset's route and drains the response.
+func fire(client *http.Client, url string, sh shape) (code int, ok bool, err error) {
+	resp, err := client.Post(url+"/viz?dataset="+sh.dataset, "application/json", bytes.NewReader(sh.body))
 	if err != nil {
 		return 0, false, err
 	}
@@ -371,14 +582,14 @@ func fire(client *http.Client, url string, body []byte) (code int, ok bool, err 
 	return resp.StatusCode, resp.StatusCode == http.StatusOK, nil
 }
 
-// fetchMetrics grabs the server's own counters.
-func fetchMetrics(client *http.Client, url string) *middleware.MetricsSnapshot {
+// fetchMetrics grabs the gateway's own counters.
+func fetchMetrics(client *http.Client, url string) *middleware.GatewayMetricsSnapshot {
 	resp, err := client.Get(url + "/metrics?format=json")
 	if err != nil {
 		return nil
 	}
 	defer resp.Body.Close()
-	var snap middleware.MetricsSnapshot
+	var snap middleware.GatewayMetricsSnapshot
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		return nil
 	}

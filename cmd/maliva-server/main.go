@@ -1,10 +1,13 @@
-// Command maliva-server runs the Maliva middleware as an HTTP service over
-// the synthetic Twitter dataset: it (optionally) trains an MDP agent at
-// startup, then serves visualization requests at POST /viz with plan/result
-// caching and admission control. GET /healthz and GET /metrics expose the
-// serving state.
+// Command maliva-server runs the Maliva middleware as an HTTP gateway over
+// one or more synthetic datasets: it registers each requested dataset,
+// (optionally) trains an MDP agent per dataset at startup, then serves
+// visualization requests at POST /viz?dataset=<name> with plan/result
+// caching and one admission budget shared across datasets. GET /datasets,
+// GET /healthz and GET /metrics expose the serving state, per dataset and
+// rolled up.
 //
-//	curl -s localhost:8080/viz -d '{
+//	maliva-server -dataset twitter -dataset taxi
+//	curl -s 'localhost:8080/viz?dataset=twitter' -d '{
 //	  "keyword": "word0007",
 //	  "from": "2016-11-20T00:00:00Z", "to": "2016-11-27T00:00:00Z",
 //	  "min_lon": -124.4, "min_lat": 32.5, "max_lon": -114.1, "max_lat": 42.0,
@@ -17,6 +20,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/maliva/maliva/internal/core"
@@ -26,56 +30,84 @@ import (
 	"github.com/maliva/maliva/internal/workload"
 )
 
+// datasetList collects repeated (or comma-separated) -dataset flags.
+type datasetList []string
+
+func (d *datasetList) String() string { return strings.Join(*d, ",") }
+
+func (d *datasetList) Set(v string) error {
+	for _, name := range strings.Split(v, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		*d = append(*d, name)
+	}
+	return nil
+}
+
 func main() {
+	var datasets datasetList
+	flag.Var(&datasets, "dataset", "dataset to serve: twitter | taxi | tpch (repeatable or comma-separated; default twitter)")
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		budget   = flag.Float64("budget", 500, "default time budget in virtual ms")
-		queries  = flag.Int("queries", 400, "training workload size")
-		rows     = flag.Int("rows", 60_000, "stored rows of the Twitter dataset")
-		rewriter = flag.String("rewriter", "mdp", "rewriting strategy: mdp (trains at startup) or oracle")
+		queries  = flag.Int("queries", 400, "training workload size per dataset")
+		rows     = flag.Int("rows", 60_000, "stored rows per dataset")
+		rewriter = flag.String("rewriter", "mdp", "rewriting strategy: mdp (trains per dataset at startup) or oracle")
+		lazy     = flag.Bool("lazy", false, "build datasets on first request (503 while warming) instead of at startup")
 
-		planCache   = flag.Int("plan-cache", 0, "plan-cache entries (0 = default, negative = disable)")
-		resultCache = flag.Int("result-cache", 0, "result-cache entries (0 = default, negative = disable)")
+		planCache   = flag.Int("plan-cache", 0, "plan-cache entries per dataset (0 = default, negative = disable)")
+		resultCache = flag.Int("result-cache", 0, "result-cache entries per dataset (0 = default, negative = disable)")
 		resultTTL   = flag.Duration("result-ttl", 0, "result-cache TTL (0 = default 30s)")
-		maxConc     = flag.Int("max-concurrent", 0, "concurrent request limit (0 = default 4×GOMAXPROCS, negative = disable)")
-		maxQueue    = flag.Int("max-queue", 0, "admission queue length (0 = default 256)")
+		cacheShards = flag.Int("cache-shards", 0, "plan/result cache shards (0 = default 16)")
+		maxConc     = flag.Int("max-concurrent", 0, "shared concurrent request limit (0 = default 4×GOMAXPROCS, negative = disable)")
+		maxQueue    = flag.Int("max-queue", 0, "shared admission queue length (0 = default 256)")
 		noCache     = flag.Bool("no-cache", false, "disable plan and result caches (baseline mode)")
 	)
 	flag.Parse()
 
-	cfg := workload.TwitterConfig()
-	cfg.Rows = *rows
-	cfg.Scale = 100e6 / float64(cfg.Rows)
-	ds, err := workload.Twitter(cfg)
-	if err != nil {
-		fatal(err)
+	if len(datasets) == 0 {
+		datasets = datasetList{"twitter"}
 	}
-
-	var rw core.Rewriter
-	switch *rewriter {
-	case "oracle":
-		rw = core.OracleRewriter{}
-	case "mdp":
-		fmt.Fprintln(os.Stderr, "training MDP agent on startup...")
-		lab, err := harness.BuildLab(ds, harness.LabConfig{
-			NumQueries: *queries,
-			QuerySpec:  workload.QuerySpec{NumPreds: 3, Seed: 5},
-			Space:      core.HintOnlySpec(),
-			Budget:     *budget,
-			Seed:       9,
-			Progress:   os.Stderr,
-		})
+	reg := workload.NewRegistry()
+	for _, name := range datasets {
+		build, err := workload.StandardBuilder(name, *rows)
 		if err != nil {
 			fatal(err)
 		}
-		est := qte.NewAccurateQTE()
-		agent, score := lab.TrainAgent(harness.TrainAgentConfig{
-			Agent: core.DefaultAgentConfig(),
-			QTE:   est,
-			Seeds: []int64{7},
-		})
-		fmt.Fprintf(os.Stderr, "agent ready (validation score %.3f)\n", score)
-		rw = &core.MDPRewriter{Agent: agent, QTE: est, Tag: "Accurate-QTE"}
+		if err := reg.Register(name, build); err != nil {
+			fatal(err)
+		}
+	}
+
+	var factory middleware.RewriterFactory
+	switch *rewriter {
+	case "oracle":
+		factory = middleware.OracleFactory
+	case "mdp":
+		factory = func(ds *workload.Dataset) (core.Rewriter, error) {
+			fmt.Fprintf(os.Stderr, "training MDP agent for %s...\n", ds.Name)
+			lab, err := harness.BuildLab(ds, harness.LabConfig{
+				NumQueries: *queries,
+				QuerySpec:  workload.QuerySpec{NumPreds: 3, Seed: 5},
+				Space:      core.HintOnlySpec(),
+				Budget:     *budget,
+				Seed:       9,
+				Progress:   os.Stderr,
+			})
+			if err != nil {
+				return nil, err
+			}
+			est := qte.NewAccurateQTE()
+			agent, score := lab.TrainAgent(harness.TrainAgentConfig{
+				Agent: core.DefaultAgentConfig(),
+				QTE:   est,
+				Seeds: []int64{7},
+			})
+			fmt.Fprintf(os.Stderr, "%s agent ready (validation score %.3f)\n", ds.Name, score)
+			return &core.MDPRewriter{Agent: agent, QTE: est, Tag: "Accurate-QTE"}, nil
+		}
 	default:
 		fatal(fmt.Errorf("unknown -rewriter %q (want mdp or oracle)", *rewriter))
 	}
@@ -85,6 +117,7 @@ func main() {
 		PlanCacheSize:   *planCache,
 		ResultCacheSize: *resultCache,
 		ResultTTL:       *resultTTL,
+		CacheShards:     *cacheShards,
 		MaxConcurrent:   *maxConc,
 		MaxQueue:        *maxQueue,
 	}
@@ -92,15 +125,22 @@ func main() {
 		scfg.PlanCacheSize = -1
 		scfg.ResultCacheSize = -1
 	}
-	srv, err := middleware.NewServerWithConfig(ds, rw, core.HintOnlySpec(), scfg)
+	gw, err := middleware.NewGateway(reg, factory, middleware.GatewayConfig{
+		Server: scfg,
+		Space:  core.HintOnlySpec(),
+	})
 	if err != nil {
 		fatal(err)
 	}
-	c := srv.Config()
+	if !*lazy {
+		if err := gw.Warm(); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Fprintf(os.Stderr,
-		"maliva middleware listening on %s (rewriter=%s, plan-cache=%d, result-cache=%d, ttl=%s, max-concurrent=%d, queue=%d)\n",
-		*addr, *rewriter, c.PlanCacheSize, c.ResultCacheSize, c.ResultTTL, c.MaxConcurrent, c.MaxQueue)
-	server := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		"maliva gateway listening on %s (datasets=%s, default=%s, rewriter=%s, lazy=%v)\n",
+		*addr, datasets.String(), gw.DefaultDataset(), *rewriter, *lazy)
+	server := &http.Server{Addr: *addr, Handler: gw.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	if err := server.ListenAndServe(); err != nil {
 		fatal(err)
 	}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
+	"os"
 
 	"github.com/maliva/maliva/internal/nn"
 )
@@ -284,6 +286,22 @@ func (a *Agent) MarshalJSON() ([]byte, error) {
 		return nil, err
 	}
 	return json.Marshal(agentJSON{NumOpts: a.NumOpts, Net: netB})
+}
+
+// LoadAgentFile reads a policy snapshot saved by cmd/maliva-train (an
+// Agent marshaled to JSON) and restores it with the default hyperparameters
+// — the loaded agent is used for inference, so the training knobs are
+// irrelevant. Callers that keep training should use LoadAgent directly.
+func LoadAgentFile(path string) (*Agent, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading agent snapshot: %w", err)
+	}
+	a, err := LoadAgent(data, DefaultAgentConfig())
+	if err != nil {
+		return nil, fmt.Errorf("core: parsing agent snapshot %s: %w", path, err)
+	}
+	return a, nil
 }
 
 // LoadAgent restores an agent saved with MarshalJSON, using cfg for any

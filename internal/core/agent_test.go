@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/json"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -101,6 +103,48 @@ func TestAgentSerializationRoundTrip(t *testing.T) {
 		if a.Option != b.Option {
 			t.Fatalf("decisions differ after round trip: %d vs %d", a.Option, b.Option)
 		}
+	}
+}
+
+// TestLoadAgentFile: the file helper round-trips a trained policy (the
+// cmd/maliva-train → maliva-load -agent handoff) and reports missing or
+// malformed files as errors.
+func TestLoadAgentFile(t *testing.T) {
+	contexts := learnableWorkload(20)
+	qte := &stubQTE{UnitMs: 40, BaseMs: 5}
+	envCfg := EnvConfig{Budget: 500, QTE: qte, Beta: 1}
+	agent := NewAgent(fastAgentConfig(), 4)
+	agent.Train(contexts[:10], envCfg)
+
+	data, err := json.Marshal(agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "agent.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadAgentFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctx := range contexts {
+		a := agent.Rewrite(NewEnv(envCfg, ctx))
+		b := back.Rewrite(NewEnv(envCfg, ctx))
+		if a.Option != b.Option {
+			t.Fatalf("decisions differ after file round trip: %d vs %d", a.Option, b.Option)
+		}
+	}
+
+	if _, err := LoadAgentFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("expected error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAgentFile(bad); err == nil {
+		t.Error("expected error for malformed snapshot")
 	}
 }
 

@@ -41,6 +41,17 @@ type execContext struct {
 	accA  []uint32
 	accB  []uint32
 	cand  []uint32
+	// Join scratch: the hash-join key set and the merge-join sort buffer.
+	// Both hold no pointers, so keeping them across executions pins at most
+	// the footprint of the largest join seen, not any table data.
+	ht  map[float64]struct{}
+	kvs []joinKV
+}
+
+// joinKV pairs a left row with its join key for the merge-join sort.
+type joinKV struct {
+	key float64
+	row uint32
 }
 
 var ecPool = sync.Pool{New: func() any { return new(execContext) }}
@@ -321,8 +332,16 @@ func (ec *execContext) join(candidates []uint32, method JoinMethod) error {
 			}
 		}
 	case HashJoin:
-		// Build side: scan inner, filter, hash on key.
-		ht := make(map[float64][]uint32)
+		// Build side: scan inner, filter, hash on key. A probe only needs to
+		// know whether any qualifying inner row carries the key, so the table
+		// is a pooled key set rather than per-key row lists — the join path
+		// stays allocation-free across executions (stats are unchanged, so
+		// the virtual cost model is too).
+		if ec.ht == nil {
+			ec.ht = make(map[float64]struct{})
+		} else {
+			clear(ec.ht)
+		}
 		innerKeys := inner.Col(q.Join.RightCol)
 		for r := 0; r < inner.Rows; r++ {
 			ec.stats.RowsScanned++
@@ -335,13 +354,12 @@ func (ec *execContext) join(candidates []uint32, method JoinMethod) error {
 			}
 			if pass {
 				ec.stats.HashBuilds++
-				k := innerKeys.NumericAt(uint32(r))
-				ht[k] = append(ht[k], uint32(r))
+				ec.ht[innerKeys.NumericAt(uint32(r))] = struct{}{}
 			}
 		}
 		for _, lr := range candidates {
 			ec.stats.HashProbes++
-			if rows := ht[leftKeys.NumericAt(lr)]; len(rows) > 0 {
+			if _, hit := ec.ht[leftKeys.NumericAt(lr)]; hit {
 				ec.emit(lr)
 				if ec.limitReached() {
 					return nil
@@ -350,15 +368,13 @@ func (ec *execContext) join(candidates []uint32, method JoinMethod) error {
 		}
 	case MergeJoin:
 		// Left side sorted by key; inner side read in key order via index.
-		type kv struct {
-			key float64
-			row uint32
+		// The sort buffer is pooled scratch, reused across executions.
+		left := ec.kvs[:0]
+		for _, lr := range candidates {
+			left = append(left, joinKV{leftKeys.NumericAt(lr), lr})
 		}
-		left := make([]kv, len(candidates))
-		for i, lr := range candidates {
-			left[i] = kv{leftKeys.NumericAt(lr), lr}
-		}
-		slices.SortFunc(left, func(a, b kv) int {
+		ec.kvs = left
+		slices.SortFunc(left, func(a, b joinKV) int {
 			switch {
 			case a.key < b.key:
 				return -1

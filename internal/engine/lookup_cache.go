@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // LookupCache memoizes index lookups across executions of related queries.
 // Maliva's offline experience collection runs every rewritten query RQ_i of
@@ -30,6 +33,11 @@ type LookupCache struct {
 	// work but stop inserting — long-lived server-scope caches stay within
 	// a fixed memory budget even under unbounded distinct request shapes.
 	cap int
+
+	// hits/misses count served lookups for effectiveness metrics (e.g. the
+	// lab-scope shared-cache benchmark). They never influence results.
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // lookupKey identifies one index scan. Predicate is a comparable value type
@@ -69,8 +77,10 @@ func (c *LookupCache) lookup(t *Table, ix *Index, p Predicate) ([]uint32, int, e
 	v, ok := c.m[key]
 	c.mu.RUnlock()
 	if ok {
+		c.hits.Add(1)
 		return v.rows, v.entries, nil
 	}
+	c.misses.Add(1)
 	rows, entries, err := ix.Lookup(p)
 	if err != nil {
 		return nil, 0, err
@@ -85,6 +95,16 @@ func (c *LookupCache) lookup(t *Table, ix *Index, p Predicate) ([]uint32, int, e
 	}
 	c.mu.Unlock()
 	return rows, entries, nil
+}
+
+// Stats returns how many lookups the cache served from memory vs had to
+// scan. Counters survive Reset/InvalidateTable (they describe the cache's
+// lifetime, not its current contents).
+func (c *LookupCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Len returns the number of memoized lookups (for tests and metrics).

@@ -26,6 +26,10 @@ type Lab struct {
 	Train []*core.QueryContext
 	Val   []*core.QueryContext
 	Eval  []*core.QueryContext
+
+	// Lookups is the shared predicate-lookup cache when the lab was built
+	// with LabConfig.SharedLookups (nil otherwise).
+	Lookups *engine.LookupCache
 }
 
 // LabConfig sizes a lab.
@@ -40,6 +44,14 @@ type LabConfig struct {
 	// randomness from the per-query fingerprint, so the built lab is
 	// bit-identical at any worker count.
 	Parallel int
+	// SharedLookups shares one predicate-lookup cache across the whole lab
+	// build (all splits) instead of a fresh cache per context, so the index
+	// scans of predicates that recur across queries run once. Cached scans
+	// return the exact rows and entry counts a fresh scan would, so the
+	// built lab is bit-identical either way; the tradeoff is one map
+	// spanning every distinct predicate in the workload. The cache is
+	// exposed as Lab.Lookups for hit-rate inspection.
+	SharedLookups bool
 	// Progress, when non-nil, receives coarse progress lines.
 	Progress io.Writer
 }
@@ -58,6 +70,10 @@ func BuildLab(ds *workload.Dataset, cfg LabConfig) (*Lab, error) {
 	// The outer per-query pool owns the worker budget; option executions
 	// inside each context stay serial to avoid oversubscription.
 	ctxCfg.Parallel = 1
+	if cfg.SharedLookups {
+		lab.Lookups = engine.NewLookupCache()
+		ctxCfg.Lookups = lab.Lookups
+	}
 	build := func(qs []*engine.Query, tag string) ([]*core.QueryContext, error) {
 		out := make([]*core.QueryContext, len(qs))
 		err := core.RunIndexed(len(qs), cfg.Parallel, func(i int) error {

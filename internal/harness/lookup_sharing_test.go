@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/engine"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// TestBuildLabSharedLookupsDeterministic: building the lab through one
+// lab-scope lookup cache yields bit-identical ground truth to the default
+// per-context caches — cached index scans return exactly what a fresh scan
+// would. Run with -race (the shared cache sees every build worker).
+func TestBuildLabSharedLookupsDeterministic(t *testing.T) {
+	dcfg, baseCfg := parallelTestLabConfig(4)
+	ds, err := workload.Twitter(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := BuildLab(ds, baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Lookups != nil {
+		t.Error("default build should not expose a shared cache")
+	}
+
+	ds2, err := workload.Twitter(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sharedCfg := parallelTestLabConfig(4)
+	sharedCfg.SharedLookups = true
+	shared, err := BuildLab(ds2, sharedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Lookups == nil {
+		t.Fatal("SharedLookups build did not expose the cache")
+	}
+
+	contextsEqual(t, "train", base.Train, shared.Train)
+	contextsEqual(t, "val", base.Val, shared.Val)
+	contextsEqual(t, "eval", base.Eval, shared.Eval)
+
+	hits, misses := shared.Lookups.Stats()
+	if hits == 0 {
+		t.Error("shared cache saw no cross-context hits — sharing is not wired")
+	}
+	if misses == 0 {
+		t.Error("shared cache reports zero misses")
+	}
+	t.Logf("shared lookup cache: %d hits, %d misses (%.0f%% hit rate, %d entries)",
+		hits, misses, 100*float64(hits)/float64(hits+misses), shared.Lookups.Len())
+}
+
+// BenchmarkBuildLabLookupSharing compares the lab build with per-context
+// lookup caches against one lab-scope shared cache, reporting the hit rate
+// each policy achieves. Per-context hit rates are measured the same way the
+// serial pipeline works: a fresh cache per context, stats summed.
+func BenchmarkBuildLabLookupSharing(b *testing.B) {
+	dcfg := workload.TwitterConfig()
+	dcfg.Rows = 6_000
+	dcfg.Scale = 100e6 / float64(dcfg.Rows)
+	ds, err := workload.Twitter(dcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := workload.GenerateQueries(ds, 24, workload.QuerySpec{NumPreds: 3, Seed: 5})
+
+	build := func(b *testing.B, shared bool) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var hits, misses int64
+		for i := 0; i < b.N; i++ {
+			cache := engine.NewLookupCache()
+			hits, misses = 0, 0
+			for _, q := range queries {
+				cfg := core.DefaultContextConfig(core.HintOnlySpec())
+				cfg.Seed = 9
+				if shared {
+					cfg.Lookups = cache
+				} else {
+					cfg.Lookups = engine.NewLookupCache() // per-context scope
+				}
+				if _, err := core.BuildContext(ds.DB, q, cfg); err != nil {
+					b.Fatal(err)
+				}
+				if !shared {
+					h, m := cfg.Lookups.Stats()
+					hits += h
+					misses += m
+				}
+			}
+			if shared {
+				hits, misses = cache.Stats()
+			}
+		}
+		if hits+misses > 0 {
+			b.ReportMetric(100*float64(hits)/float64(hits+misses), "hit_%")
+		}
+	}
+
+	b.Run("per-context", func(b *testing.B) { build(b, false) })
+	b.Run("shared", func(b *testing.B) { build(b, true) })
+}

@@ -1,7 +1,8 @@
 package middleware
 
 import (
-	"sync/atomic"
+	"container/heap"
+	"sync"
 	"time"
 )
 
@@ -19,15 +20,63 @@ const (
 	admitTimeout
 )
 
-// admission is a bounded worker pool with a bounded wait queue: at most
-// `capacity` requests execute concurrently, at most `maxQueue` more wait,
-// and each waiter gives up after its own deadline. Everything beyond that
-// is rejected instantly, so the server sheds load instead of queueing
-// unboundedly — tail latency stays bounded under overload.
+// waiter is one queued request: its admission deadline (now + the
+// budget-derived wait), an arrival sequence number for FIFO tie-breaking,
+// and the channel a freed slot is handed over on.
+type waiter struct {
+	deadline time.Time
+	seq      uint64
+	ch       chan struct{}
+	index    int // heap position; -1 once off the queue
+	granted  bool
+}
+
+// waiterQueue is a min-heap ordered by deadline (tightest first), FIFO
+// within equal deadlines.
+type waiterQueue []*waiter
+
+func (q waiterQueue) Len() int { return len(q) }
+func (q waiterQueue) Less(i, j int) bool {
+	if !q[i].deadline.Equal(q[j].deadline) {
+		return q[i].deadline.Before(q[j].deadline)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q waiterQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index, q[j].index = i, j
+}
+func (q *waiterQueue) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*q)
+	*q = append(*q, w)
+}
+func (q *waiterQueue) Pop() any {
+	old := *q
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.index = -1
+	*q = old[:n-1]
+	return w
+}
+
+// admission is a bounded worker pool with a bounded, budget-aware wait
+// queue: at most `capacity` requests execute concurrently and at most
+// `maxQueue` more wait. Unlike a FIFO channel, the queue is a deadline
+// priority queue — freed slots go to the waiter with the tightest
+// still-feasible deadline, and waiters whose budgets have already expired
+// are shed first (skipped on handoff and pruned to make room), so goodput
+// under sustained overload favors requests that can still meet their
+// budgets. Everything beyond queue capacity is rejected instantly.
 type admission struct {
-	slots    chan struct{}
-	queued   atomic.Int64
-	maxQueue int64
+	mu       sync.Mutex
+	free     int // slots not currently held
+	maxQueue int
+	queue    waiterQueue
+	seq      uint64
+	// now is the deadline clock (tests); timers still use real time.
+	now func() time.Time
 }
 
 // newAdmission sizes the pool. capacity <= 0 disables admission control
@@ -39,47 +88,99 @@ func newAdmission(capacity, maxQueue int) *admission {
 	if maxQueue < 0 {
 		maxQueue = 0
 	}
-	a := &admission{slots: make(chan struct{}, capacity), maxQueue: int64(maxQueue)}
-	for i := 0; i < capacity; i++ {
-		a.slots <- struct{}{}
-	}
-	return a
+	return &admission{free: capacity, maxQueue: maxQueue, now: time.Now}
 }
 
-// acquire tries to take a worker slot, waiting at most wait. A nil admission
-// always admits.
+// acquire tries to take a worker slot, waiting at most wait (the request's
+// budget-derived deadline). A nil admission always admits.
 func (a *admission) acquire(wait time.Duration) admitVerdict {
 	if a == nil {
 		return admitOK
 	}
-	select {
-	case <-a.slots:
+	now := a.now()
+	a.mu.Lock()
+	if a.free > 0 {
+		a.free--
+		a.mu.Unlock()
 		return admitOK
-	default:
 	}
-	// Slow path: join the bounded queue.
-	if a.queued.Add(1) > a.maxQueue {
-		a.queued.Add(-1)
-		return admitBusy
+	// Queue full? Shed already-expired waiters first — they cannot meet
+	// their budgets anyway — and only reject the newcomer if the queue is
+	// still full of in-budget requests.
+	if len(a.queue) >= a.maxQueue {
+		a.shedExpiredLocked(now)
+		if len(a.queue) >= a.maxQueue {
+			a.mu.Unlock()
+			return admitBusy
+		}
 	}
-	defer a.queued.Add(-1)
 	if wait <= 0 {
+		a.mu.Unlock()
 		return admitTimeout
 	}
+	w := &waiter{deadline: now.Add(wait), seq: a.seq, ch: make(chan struct{})}
+	a.seq++
+	heap.Push(&a.queue, w)
+	a.mu.Unlock()
+
 	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	select {
-	case <-a.slots:
+	case <-w.ch:
 		return admitOK
 	case <-timer.C:
+		a.mu.Lock()
+		if w.granted {
+			// release handed us a slot in the same instant the timer fired;
+			// the slot is ours, so serve the request rather than strand it.
+			a.mu.Unlock()
+			return admitOK
+		}
+		if w.index >= 0 {
+			heap.Remove(&a.queue, w.index)
+		}
+		a.mu.Unlock()
 		return admitTimeout
 	}
 }
 
-// release returns a slot taken by a successful acquire.
+// shedExpiredLocked drops waiters whose deadlines have passed. Their own
+// timers report admitTimeout to them; shedding only frees queue capacity.
+func (a *admission) shedExpiredLocked(now time.Time) {
+	for len(a.queue) > 0 && now.After(a.queue[0].deadline) {
+		heap.Pop(&a.queue)
+	}
+}
+
+// release returns a slot taken by a successful acquire: the tightest-
+// deadline waiter still within budget gets it directly; expired waiters are
+// shed on the way. With no feasible waiter the slot goes back to the pool.
 func (a *admission) release() {
 	if a == nil {
 		return
 	}
-	a.slots <- struct{}{}
+	now := a.now()
+	a.mu.Lock()
+	for len(a.queue) > 0 {
+		w := heap.Pop(&a.queue).(*waiter)
+		if now.After(w.deadline) {
+			continue // shed: its timer delivers admitTimeout
+		}
+		w.granted = true
+		close(w.ch)
+		a.mu.Unlock()
+		return
+	}
+	a.free++
+	a.mu.Unlock()
+}
+
+// queueLen reports the current number of queued waiters (for tests).
+func (a *admission) queueLen() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queue)
 }

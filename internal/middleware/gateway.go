@@ -1,0 +1,433 @@
+package middleware
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// RewriterFactory builds the rewriter for one dataset. The gateway calls it
+// once per dataset, during warming, so an expensive factory (training an MDP
+// agent) never runs on a request goroutine. Each dataset gets its own
+// rewriter instance: rewriters are not required to be concurrency-safe, and
+// every Server serializes only its own rewriter.
+type RewriterFactory func(ds *workload.Dataset) (core.Rewriter, error)
+
+// OracleFactory is the zero-training factory: every dataset gets the
+// ground-truth Oracle rewriter.
+func OracleFactory(*workload.Dataset) (core.Rewriter, error) { return core.OracleRewriter{}, nil }
+
+// GatewayConfig configures a multi-dataset gateway.
+type GatewayConfig struct {
+	// Server is the per-dataset serving template. Its MaxConcurrent and
+	// MaxQueue size ONE admission budget shared by every dataset — a
+	// gateway sheds load globally, not per dataset.
+	Server ServerConfig
+	// DefaultDataset answers requests without a ?dataset parameter.
+	// Defaults to the registry's first registered name, which keeps
+	// single-dataset clients (the PR 2 wire format) working unchanged.
+	DefaultDataset string
+	// Space is the rewrite option space every dataset serves under.
+	Space core.SpaceSpec
+}
+
+// gatewayEntry is one dataset's serving slot: warming until done closes,
+// then either a ready Server or a cached construction error.
+type gatewayEntry struct {
+	done chan struct{}
+	srv  *Server
+	err  error
+}
+
+// state reports the entry's lifecycle for routing and /datasets.
+func (e *gatewayEntry) state() workload.Status {
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return workload.StatusFailed
+		}
+		return workload.StatusReady
+	default:
+		return workload.StatusWarming
+	}
+}
+
+// Gateway serves visualization traffic for every dataset in a registry
+// through per-dataset Server instances that share one admission budget. A
+// dataset's engine state (the generated dataset, its rewriter, caches, and
+// lookup cache) is built lazily on first touch, exactly once (single-flight);
+// requests arriving while it warms get 503 + Retry-After instead of
+// blocking. A Gateway response is byte-identical to the response the
+// equivalent standalone single-dataset Server would produce, because routing
+// reuses the Server path unchanged.
+type Gateway struct {
+	reg         *workload.Registry
+	factory     RewriterFactory
+	cfg         GatewayConfig
+	defaultName string
+	admit       *admission
+	start       time.Time
+
+	// mu guards entries. Reads vastly dominate (every request resolves its
+	// dataset; writes happen once per dataset lifetime), so the hot path
+	// takes only the read lock — the gateway must not reintroduce the
+	// single-mutex serialization the sharded caches removed.
+	mu      sync.RWMutex
+	entries map[string]*gatewayEntry
+
+	// Gateway-level counters; per-dataset serving counters live on each
+	// Server's Metrics.
+	requests   atomic.Int64
+	notFound   atomic.Int64
+	notReady   atomic.Int64
+	failedDeps atomic.Int64
+}
+
+// NewGateway builds a gateway over a registry. The registry must have at
+// least one dataset, and DefaultDataset (when set) must be registered.
+func NewGateway(reg *workload.Registry, factory RewriterFactory, cfg GatewayConfig) (*Gateway, error) {
+	names := reg.Names()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("middleware: gateway needs at least one registered dataset")
+	}
+	if factory == nil {
+		factory = OracleFactory
+	}
+	def := cfg.DefaultDataset
+	if def == "" {
+		def = names[0]
+	} else if reg.Status(def) == workload.StatusUnknown {
+		return nil, fmt.Errorf("middleware: default dataset %q is not registered", def)
+	}
+	scfg := cfg.Server.normalized()
+	g := &Gateway{
+		reg:         reg,
+		factory:     factory,
+		cfg:         cfg,
+		defaultName: def,
+		admit:       newAdmission(scfg.MaxConcurrent, scfg.MaxQueue),
+		start:       time.Now(),
+		entries:     make(map[string]*gatewayEntry),
+	}
+	return g, nil
+}
+
+// DefaultDataset returns the name served when a request has no ?dataset.
+func (g *Gateway) DefaultDataset() string { return g.defaultName }
+
+// ensure returns the entry for a registered name, creating it (and kicking
+// off the dataset + server build on a fresh goroutine) on first touch.
+// Returns nil for unregistered names.
+func (g *Gateway) ensure(name string) *gatewayEntry {
+	g.mu.RLock()
+	e, ok := g.entries[name]
+	g.mu.RUnlock()
+	if ok {
+		return e
+	}
+	if g.reg.Status(name) == workload.StatusUnknown {
+		return nil
+	}
+	g.mu.Lock()
+	if e, ok := g.entries[name]; ok { // lost the upgrade race
+		g.mu.Unlock()
+		return e
+	}
+	e = &gatewayEntry{done: make(chan struct{})}
+	g.entries[name] = e
+	g.mu.Unlock()
+	go g.build(name, e)
+	return e
+}
+
+// build constructs one dataset's serving state: the dataset itself (through
+// the registry's own single-flight), its rewriter, and a Server whose
+// caches are private but whose admission pool is the gateway's shared one.
+func (g *Gateway) build(name string, e *gatewayEntry) {
+	defer close(e.done)
+	ds, err := g.reg.Lookup(name)
+	if err != nil {
+		e.err = fmt.Errorf("middleware: dataset %q: %w", name, err)
+		return
+	}
+	rw, err := g.factory(ds)
+	if err != nil {
+		e.err = fmt.Errorf("middleware: rewriter for dataset %q: %w", name, err)
+		return
+	}
+	scfg := g.cfg.Server
+	scfg.MaxConcurrent = -1 // admission is gateway-scoped, not per server
+	srv, err := NewServerWithConfig(ds, rw, g.cfg.Space, scfg)
+	if err != nil {
+		e.err = err
+		return
+	}
+	srv.admit = g.admit
+	e.srv = srv
+}
+
+// Warm builds the named datasets (all registered ones when called with no
+// names) and blocks until they are ready, returning the first error. Serving
+// binaries call it at startup so eager datasets never answer 503.
+func (g *Gateway) Warm(names ...string) error {
+	if len(names) == 0 {
+		names = g.reg.Names()
+	}
+	entries := make([]*gatewayEntry, 0, len(names))
+	for _, name := range names {
+		e := g.ensure(name)
+		if e == nil {
+			return fmt.Errorf("middleware: gateway: unknown dataset %q", name)
+		}
+		entries = append(entries, e)
+	}
+	for i, e := range entries {
+		<-e.done
+		if e.err != nil {
+			return fmt.Errorf("middleware: warming %q: %w", names[i], e.err)
+		}
+	}
+	return nil
+}
+
+// Server returns the ready Server for a dataset, blocking through its build
+// if necessary (tests and in-process embedding; the HTTP path never blocks).
+func (g *Gateway) Server(name string) (*Server, error) {
+	if name == "" {
+		name = g.defaultName
+	}
+	e := g.ensure(name)
+	if e == nil {
+		return nil, fmt.Errorf("middleware: gateway: unknown dataset %q", name)
+	}
+	<-e.done
+	return e.srv, e.err
+}
+
+// Handler returns the gateway's HTTP surface:
+//
+//	POST /viz?dataset=<name>   — visualization requests (shared admission);
+//	                             /query is an alias. Omitting dataset uses
+//	                             the default dataset.
+//	GET  /datasets             — every registered dataset and its status
+//	GET  /healthz[?dataset=]   — gateway rollup, or one dataset's probe
+//	GET  /metrics[?dataset=]   — Prometheus text with dataset labels, or
+//	                             ?format=json for a structured snapshot
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /viz", g.serveViz)
+	mux.HandleFunc("POST /query", g.serveViz)
+	mux.HandleFunc("GET /datasets", g.serveDatasets)
+	mux.HandleFunc("GET /healthz", g.serveHealthz)
+	mux.HandleFunc("GET /metrics", g.serveMetrics)
+	return mux
+}
+
+// resolve maps a request's dataset parameter to a ready Server, writing the
+// proper error response (404 unknown, 503 warming, 500 failed build) when it
+// can't. The bool reports whether a Server was produced.
+func (g *Gateway) resolve(w http.ResponseWriter, r *http.Request) (*Server, bool) {
+	name := r.URL.Query().Get("dataset")
+	if name == "" {
+		name = g.defaultName
+	}
+	e := g.ensure(name)
+	if e == nil {
+		g.notFound.Add(1)
+		http.Error(w, fmt.Sprintf("unknown dataset %q", name), http.StatusNotFound)
+		return nil, false
+	}
+	switch e.state() {
+	case workload.StatusWarming:
+		g.notReady.Add(1)
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, fmt.Sprintf("dataset %q is warming up", name), http.StatusServiceUnavailable)
+		return nil, false
+	case workload.StatusFailed:
+		g.failedDeps.Add(1)
+		http.Error(w, e.err.Error(), http.StatusInternalServerError)
+		return nil, false
+	}
+	return e.srv, true
+}
+
+// serveViz routes one visualization request to its dataset's server. The
+// Server path (decode, admission on the shared pool, handle, encode) is
+// reused unchanged — that is what makes gateway responses byte-identical to
+// standalone single-dataset responses.
+func (g *Gateway) serveViz(w http.ResponseWriter, r *http.Request) {
+	g.requests.Add(1)
+	srv, ok := g.resolve(w, r)
+	if !ok {
+		return
+	}
+	srv.serveViz(w, r)
+}
+
+// datasetInfo is one /datasets row.
+type datasetInfo struct {
+	Name    string `json:"name"`
+	Status  string `json:"status"`
+	Default bool   `json:"default,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// status reports a dataset's gateway-level state: idle until first touch,
+// then the entry's lifecycle.
+func (g *Gateway) status(name string) (workload.Status, error) {
+	g.mu.RLock()
+	e, ok := g.entries[name]
+	g.mu.RUnlock()
+	if !ok {
+		if g.reg.Status(name) == workload.StatusUnknown {
+			return workload.StatusUnknown, nil
+		}
+		return workload.StatusIdle, nil
+	}
+	st := e.state()
+	if st == workload.StatusFailed {
+		return st, e.err
+	}
+	return st, nil
+}
+
+func (g *Gateway) serveDatasets(w http.ResponseWriter, r *http.Request) {
+	names := g.reg.Names()
+	infos := make([]datasetInfo, 0, len(names))
+	for _, name := range names {
+		st, err := g.status(name)
+		info := datasetInfo{Name: name, Status: st.String(), Default: name == g.defaultName}
+		if err != nil {
+			info.Error = err.Error()
+		}
+		infos = append(infos, info)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(infos)
+}
+
+func (g *Gateway) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("dataset"); name != "" {
+		st, _ := g.status(name)
+		w.Header().Set("Content-Type", "application/json")
+		code := http.StatusOK
+		switch st {
+		case workload.StatusUnknown:
+			code = http.StatusNotFound
+		case workload.StatusReady:
+		default:
+			code = http.StatusServiceUnavailable
+		}
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(map[string]any{"dataset": name, "status": st.String()})
+		return
+	}
+	statuses := make(map[string]string)
+	for _, name := range g.reg.Names() {
+		st, _ := g.status(name)
+		statuses[name] = st.String()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":     "ok",
+		"uptime_sec": time.Since(g.start).Seconds(),
+		"datasets":   statuses,
+	})
+}
+
+// GatewaySnapshot is the gateway-level slice of /metrics?format=json.
+type GatewaySnapshot struct {
+	UptimeSec      float64           `json:"uptime_sec"`
+	Requests       int64             `json:"requests"`
+	UnknownDataset int64             `json:"unknown_dataset"`
+	Warming        int64             `json:"warming_rejections"`
+	FailedDataset  int64             `json:"failed_dataset"`
+	Datasets       map[string]string `json:"datasets"`
+}
+
+// GatewayMetricsSnapshot is the full JSON form of GET /metrics?format=json:
+// the gateway counters plus one serving snapshot per ready dataset.
+type GatewayMetricsSnapshot struct {
+	Gateway  GatewaySnapshot            `json:"gateway"`
+	Datasets map[string]MetricsSnapshot `json:"datasets"`
+}
+
+// Snapshot captures the gateway counters and every ready dataset's serving
+// metrics.
+func (g *Gateway) Snapshot() GatewayMetricsSnapshot {
+	snap := GatewayMetricsSnapshot{
+		Gateway: GatewaySnapshot{
+			UptimeSec:      time.Since(g.start).Seconds(),
+			Requests:       g.requests.Load(),
+			UnknownDataset: g.notFound.Load(),
+			Warming:        g.notReady.Load(),
+			FailedDataset:  g.failedDeps.Load(),
+			Datasets:       make(map[string]string),
+		},
+		Datasets: make(map[string]MetricsSnapshot),
+	}
+	for _, name := range g.reg.Names() {
+		st, _ := g.status(name)
+		snap.Gateway.Datasets[name] = st.String()
+		if st == workload.StatusReady {
+			if srv, err := g.Server(name); err == nil {
+				snap.Datasets[name] = srv.Metrics().Snapshot()
+			}
+		}
+	}
+	return snap
+}
+
+func (g *Gateway) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("dataset"); name != "" {
+		st, _ := g.status(name)
+		if st != workload.StatusReady {
+			http.Error(w, fmt.Sprintf("dataset %q is %s", name, st), http.StatusNotFound)
+			return
+		}
+		srv, err := g.Server(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(srv.Metrics().Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		srv.Metrics().WritePrometheusLabeled(w, fmt.Sprintf("dataset=%q", name))
+		return
+	}
+
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(g.Snapshot())
+		return
+	}
+	// Text rollup: gateway counters, then each ready dataset's series —
+	// snapshotted exactly once, inside WritePrometheusLabeled.
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "maliva_gateway_uptime_seconds %g\n", time.Since(g.start).Seconds())
+	fmt.Fprintf(w, "maliva_gateway_requests_total %d\n", g.requests.Load())
+	fmt.Fprintf(w, "maliva_gateway_unknown_dataset_total %d\n", g.notFound.Load())
+	fmt.Fprintf(w, "maliva_gateway_warming_rejections_total %d\n", g.notReady.Load())
+	fmt.Fprintf(w, "maliva_gateway_failed_dataset_total %d\n", g.failedDeps.Load())
+	names := g.reg.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		if st, _ := g.status(name); st != workload.StatusReady {
+			continue
+		}
+		if srv, err := g.Server(name); err == nil {
+			srv.Metrics().WritePrometheusLabeled(w, fmt.Sprintf("dataset=%q", name))
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -177,9 +178,23 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 }
 
 // WritePrometheus renders the counters in Prometheus text exposition format.
-func (m *Metrics) WritePrometheus(w io.Writer) {
+func (m *Metrics) WritePrometheus(w io.Writer) { m.WritePrometheusLabeled(w, "") }
+
+// WritePrometheusLabeled is WritePrometheus with an extra label pair (e.g.
+// `dataset="twitter"`) injected into every series, so a gateway can expose
+// per-dataset rollups on one endpoint. An empty label emits plain series.
+func (m *Metrics) WritePrometheusLabeled(w io.Writer, label string) {
 	s := m.Snapshot()
-	p := func(name string, v float64) { fmt.Fprintf(w, "maliva_%s %g\n", name, v) }
+	p := func(name string, v float64) {
+		if label != "" {
+			if i := strings.IndexByte(name, '{'); i >= 0 {
+				name = name[:i] + "{" + label + "," + name[i+1:]
+			} else {
+				name += "{" + label + "}"
+			}
+		}
+		fmt.Fprintf(w, "maliva_%s %g\n", name, v)
+	}
 	p("uptime_seconds", s.UptimeSec)
 	p("requests_total", float64(s.Requests))
 	p(`responses_total{code="2xx"}`, float64(s.OK))

@@ -95,6 +95,12 @@ type ServerConfig struct {
 	ResultCacheSize int
 	// ResultTTL is the result-cache entry lifetime. Default 30s.
 	ResultTTL time.Duration
+	// CacheShards splits the plan and result caches into independently
+	// locked shards selected by key hash, so concurrent traffic (especially
+	// a gateway's cross-dataset mix) doesn't serialize on two mutexes.
+	// Default 16; 1 restores the single-lock layout. Capacity is the total
+	// across shards.
+	CacheShards int
 	// MaxConcurrent bounds in-flight request execution. Default
 	// 4×GOMAXPROCS; negative disables admission control.
 	MaxConcurrent int
@@ -122,6 +128,9 @@ func (c ServerConfig) normalized() ServerConfig {
 	}
 	if c.ResultTTL <= 0 {
 		c.ResultTTL = 30 * time.Second
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = defaultCacheShards
 	}
 	if c.MaxConcurrent == 0 {
 		c.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
@@ -157,8 +166,8 @@ type Server struct {
 	textCol, timeCol, geoCol string
 
 	lookups *engine.LookupCache
-	plans   *planCache
-	results *resultCache
+	plans   *shardedPlanCache
+	results *shardedResultCache
 	admit   *admission
 	metrics *Metrics
 
@@ -191,8 +200,8 @@ func NewServerWithConfig(ds *workload.Dataset, rw core.Rewriter, space core.Spac
 		cfg:      cfg,
 		table:    t,
 		lookups:  engine.NewLookupCacheWithCap(lookupCacheCap),
-		plans:    newPlanCache(cfg.PlanCacheSize),
-		results:  newResultCache(cfg.ResultCacheSize, cfg.ResultTTL, cfg.Now),
+		plans:    newShardedPlanCache(cfg.PlanCacheSize, cfg.CacheShards),
+		results:  newShardedResultCache(cfg.ResultCacheSize, cfg.CacheShards, cfg.ResultTTL, cfg.Now),
 		admit:    newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
 		metrics:  NewMetrics(),
 	}

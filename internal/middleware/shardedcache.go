@@ -1,0 +1,154 @@
+package middleware
+
+import (
+	"math"
+	"time"
+
+	"github.com/maliva/maliva/internal/core"
+)
+
+// defaultCacheShards splits each cache into this many independently-locked
+// shards unless ServerConfig.CacheShards says otherwise. 16 shards keep
+// lock hold times negligible well past the core counts the load generator
+// reaches, while the per-shard LRUs stay large enough to behave like one
+// global LRU for skewed traffic.
+const defaultCacheShards = 16
+
+// fnv64 hashes a string key to its shard.
+func fnv64(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mixShard folds one value into a running hash (FNV-style multiply-xor).
+func mixShard(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	return h
+}
+
+// hash spreads a result key over shards: the rewritten SQL dominates, the
+// remaining fields disambiguate grid/kind/region/budget variants that share
+// SQL text.
+func (k resultKey) hash() uint64 {
+	h := fnv64(k.sql)
+	h = mixShard(h, fnv64(string(k.kind)))
+	h = mixShard(h, uint64(k.gridW)<<32|uint64(uint32(k.gridH)))
+	h = mixShard(h, math.Float64bits(k.region.MinLon))
+	h = mixShard(h, math.Float64bits(k.region.MinLat))
+	h = mixShard(h, math.Float64bits(k.region.MaxLon))
+	h = mixShard(h, math.Float64bits(k.region.MaxLat))
+	h = mixShard(h, math.Float64bits(k.budget))
+	return h
+}
+
+// shardCounts resolves the (shards, per-shard capacity) split for a total
+// capacity: capacity is divided evenly, rounding up, and the shard count
+// never exceeds the capacity so tiny caches don't degenerate into
+// one-entry shards beyond their total budget.
+func shardCounts(capacity, shards int) (int, int) {
+	if shards <= 0 {
+		shards = defaultCacheShards
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	per := (capacity + shards - 1) / shards
+	return shards, per
+}
+
+// shardedPlanCache is the plan cache the Server actually uses: N
+// independently-locked planCache shards selected by key hash, so
+// cross-dataset gateway traffic (and high-core single-dataset traffic)
+// doesn't serialize on one mutex. Single-flight coalescing is per shard,
+// which is exactly per key.
+type shardedPlanCache struct {
+	shards []*planCache
+}
+
+// newShardedPlanCache builds a sharded cache with ~capacity total entries.
+// capacity <= 0 disables caching (nil cache: get always builds), matching
+// planCache semantics.
+func newShardedPlanCache(capacity, shards int) *shardedPlanCache {
+	if capacity <= 0 {
+		return nil
+	}
+	n, per := shardCounts(capacity, shards)
+	c := &shardedPlanCache{shards: make([]*planCache, n)}
+	for i := range c.shards {
+		c.shards[i] = newPlanCache(per)
+	}
+	return c
+}
+
+func (c *shardedPlanCache) get(key string, build func() (*core.QueryContext, error)) (*planEntry, planResult, error) {
+	if c == nil {
+		return (*planCache)(nil).get(key, build)
+	}
+	return c.shards[fnv64(key)%uint64(len(c.shards))].get(key, build)
+}
+
+// len sums the shard sizes (for tests).
+func (c *shardedPlanCache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range c.shards {
+		n += s.len()
+	}
+	return n
+}
+
+// shardedResultCache shards the TTL'd response cache the same way.
+type shardedResultCache struct {
+	shards []*resultCache
+}
+
+// newShardedResultCache builds a sharded cache with ~capacity total
+// responses. capacity <= 0 disables caching.
+func newShardedResultCache(capacity, shards int, ttl time.Duration, now func() time.Time) *shardedResultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	n, per := shardCounts(capacity, shards)
+	c := &shardedResultCache{shards: make([]*resultCache, n)}
+	for i := range c.shards {
+		c.shards[i] = newResultCache(per, ttl, now)
+	}
+	return c
+}
+
+func (c *shardedResultCache) shard(key resultKey) *resultCache {
+	return c.shards[key.hash()%uint64(len(c.shards))]
+}
+
+func (c *shardedResultCache) get(key resultKey) *Response {
+	if c == nil {
+		return nil
+	}
+	return c.shard(key).get(key)
+}
+
+func (c *shardedResultCache) put(key resultKey, resp *Response) {
+	if c == nil {
+		return
+	}
+	c.shard(key).put(key, resp)
+}
+
+// len sums the shard sizes (for tests).
+func (c *shardedResultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range c.shards {
+		n += s.len()
+	}
+	return n
+}
