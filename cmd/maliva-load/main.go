@@ -297,7 +297,7 @@ func hitRates(snap *middleware.GatewayMetricsSnapshot) (result, plan float64) {
 // agentFactory loads a trained MDP policy snapshot per dataset (each Server
 // serializes only its own rewriter, so instances must not be shared).
 func agentFactory(path string) middleware.RewriterFactory {
-	return func(ds *workload.Dataset) (core.Rewriter, error) {
+	return func(name string, ds *workload.Dataset) (core.Rewriter, error) {
 		a, err := core.LoadAgentFile(path)
 		if err != nil {
 			return nil, err

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"slices"
 	"strings"
 	"time"
 
@@ -46,16 +47,50 @@ func (d *datasetList) Set(v string) error {
 	return nil
 }
 
+// agentMap collects repeated -agent flags: "dataset=path" pins a snapshot to
+// one dataset; a bare "path" is the fallback snapshot for every dataset
+// without a pinned one (the single-dataset spelling maliva-load -agent uses).
+type agentMap map[string]string
+
+func (a agentMap) String() string {
+	parts := make([]string, 0, len(a))
+	for k, v := range a {
+		parts = append(parts, k+"="+v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (a agentMap) Set(v string) error {
+	if name, path, ok := strings.Cut(v, "="); ok && !strings.Contains(name, "/") {
+		a[name] = path
+		return nil
+	}
+	a[""] = v
+	return nil
+}
+
+// snapshotFor resolves the snapshot path serving a dataset, if any.
+func (a agentMap) snapshotFor(dataset string) (string, bool) {
+	if p, ok := a[dataset]; ok {
+		return p, true
+	}
+	p, ok := a[""]
+	return p, ok
+}
+
 func main() {
 	var datasets datasetList
 	flag.Var(&datasets, "dataset", "dataset to serve: twitter | taxi | tpch (repeatable or comma-separated; default twitter)")
+	agents := make(agentMap)
+	flag.Var(agents, "agent", "trained MDP policy snapshot (from maliva-train): 'dataset=path' pins one dataset, bare 'path' covers the rest; skips that dataset's startup training (repeatable)")
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		budget   = flag.Float64("budget", 500, "default time budget in virtual ms")
-		queries  = flag.Int("queries", 400, "training workload size per dataset")
-		rows     = flag.Int("rows", 60_000, "stored rows per dataset")
-		rewriter = flag.String("rewriter", "mdp", "rewriting strategy: mdp (trains per dataset at startup) or oracle")
-		lazy     = flag.Bool("lazy", false, "build datasets on first request (503 while warming) instead of at startup")
+		addr        = flag.String("addr", ":8080", "listen address")
+		budget      = flag.Float64("budget", 500, "default time budget in virtual ms")
+		queries     = flag.Int("queries", 400, "training workload size per dataset")
+		rows        = flag.Int("rows", 60_000, "stored rows per dataset")
+		rewriter    = flag.String("rewriter", "mdp", "rewriting strategy: mdp (trains per dataset at startup) or oracle")
+		lazy        = flag.Bool("lazy", false, "build datasets on first request (503 while warming) instead of at startup")
+		warmWorkers = flag.Int("warm-workers", 0, "datasets warmed concurrently at startup (0 = GOMAXPROCS, 1 = serial)")
 
 		planCache   = flag.Int("plan-cache", 0, "plan-cache entries per dataset (0 = default, negative = disable)")
 		resultCache = flag.Int("result-cache", 0, "result-cache entries per dataset (0 = default, negative = disable)")
@@ -69,6 +104,17 @@ func main() {
 
 	if len(datasets) == 0 {
 		datasets = datasetList{"twitter"}
+	}
+	// A mistyped pin would otherwise silently fall through to the startup
+	// training the snapshot was meant to skip.
+	for name := range agents {
+		if name == "" {
+			continue
+		}
+		if !slices.Contains(datasets, name) {
+			fatal(fmt.Errorf("-agent %s=%s pins a dataset that is not served (have: %s)",
+				name, agents[name], datasets.String()))
+		}
 	}
 	reg := workload.NewRegistry()
 	for _, name := range datasets {
@@ -86,7 +132,17 @@ func main() {
 	case "oracle":
 		factory = middleware.OracleFactory
 	case "mdp":
-		factory = func(ds *workload.Dataset) (core.Rewriter, error) {
+		factory = func(name string, ds *workload.Dataset) (core.Rewriter, error) {
+			if path, ok := agents.snapshotFor(name); ok {
+				t0 := time.Now()
+				a, err := core.LoadAgentFile(path)
+				if err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(os.Stderr, "%s: loaded agent snapshot %s in %s\n",
+					name, path, time.Since(t0).Round(time.Millisecond))
+				return &core.MDPRewriter{Agent: a, QTE: qte.NewAccurateQTE(), Tag: "Accurate-QTE"}, nil
+			}
 			fmt.Fprintf(os.Stderr, "training MDP agent for %s...\n", ds.Name)
 			lab, err := harness.BuildLab(ds, harness.LabConfig{
 				NumQueries: *queries,
@@ -126,16 +182,20 @@ func main() {
 		scfg.ResultCacheSize = -1
 	}
 	gw, err := middleware.NewGateway(reg, factory, middleware.GatewayConfig{
-		Server: scfg,
-		Space:  core.HintOnlySpec(),
+		Server:      scfg,
+		Space:       core.HintOnlySpec(),
+		WarmWorkers: *warmWorkers,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	if !*lazy {
+		t0 := time.Now()
 		if err := gw.Warm(); err != nil {
 			fatal(err)
 		}
+		fmt.Fprintf(os.Stderr, "warmed %d dataset(s) in %s\n",
+			len(datasets), time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Fprintf(os.Stderr,
 		"maliva gateway listening on %s (datasets=%s, default=%s, rewriter=%s, lazy=%v)\n",

@@ -154,7 +154,11 @@ func BuildContext(db *engine.DB, q *engine.Query, cfg ContextConfig) (*QueryCont
 	// Memoized index lookups: the |Ω| option executions (plus the baseline
 	// run and true-selectivity collection) keep scanning the same indexes
 	// for the same predicates; share one scan per predicate. A caller-owned
-	// cache (cfg.Lookups) extends the sharing across contexts.
+	// cache (cfg.Lookups) extends the sharing across contexts. Context
+	// construction always attaches a cache — the engine's zero-allocation
+	// visitor paths (BTree.Visit / Cursor) only take over where a scan is
+	// never shared: join probes inside each execution and cache-less
+	// true-selectivity calls.
 	cache := cfg.Lookups
 	if cache == nil {
 		cache = engine.NewLookupCache()

@@ -46,6 +46,11 @@ type execContext struct {
 	// the footprint of the largest join seen, not any table data.
 	ht  map[float64]struct{}
 	kvs []joinKV
+	// cur streams nest-loop and merge-join probes over the inner btree
+	// without materializing per-probe row slices. Unlike the scratch
+	// buffers above it holds node pointers into the probed index, so
+	// putExecContext clears it to avoid pinning table state in the pool.
+	cur Cursor
 }
 
 // joinKV pairs a left row with its join key for the merge-join sort.
@@ -80,6 +85,7 @@ func putExecContext(ec *execContext) {
 		ec.lists[i] = nil
 	}
 	ec.lists = ec.lists[:0]
+	ec.cur = Cursor{}
 	ecPool.Put(ec)
 }
 
@@ -320,12 +326,13 @@ func (ec *execContext) join(candidates []uint32, method JoinMethod) error {
 		if ix == nil || ix.Kind != IndexBTree {
 			return fmt.Errorf("engine: nest-loop join needs a btree index on %s.%s", inner.Name, q.Join.RightCol)
 		}
+		// Probe keys arrive in candidate (row-id) order, so most probes
+		// re-descend; the pooled cursor still removes the per-probe match
+		// slice the old Range call materialized.
+		ec.cur.Reset(ix.btree)
 		for _, lr := range candidates {
 			ec.stats.NestProbes++
-			key := leftKeys.NumericAt(lr)
-			matches, entries := ix.btree.Range(key, key)
-			ec.stats.IndexEntries += entries
-			if ec.matchInner(inner, matches, lr) {
+			if ec.probeInner(inner, leftKeys.NumericAt(lr), lr) {
 				if ec.limitReached() {
 					return nil
 				}
@@ -392,10 +399,14 @@ func (ec *execContext) join(candidates []uint32, method JoinMethod) error {
 		if ix == nil || ix.Kind != IndexBTree {
 			return fmt.Errorf("engine: merge join needs a btree index on %s.%s", inner.Name, q.Join.RightCol)
 		}
+		// True streaming merge: the left side is sorted, so the cursor
+		// resumes from its current leaf position (rewinding for duplicate
+		// left keys) instead of re-descending per probe. Seek charges the
+		// synthetic descent cost either way, keeping IndexEntries identical
+		// to the descent-per-probe path.
+		ec.cur.Reset(ix.btree)
 		for _, l := range left {
-			matches, entries := ix.btree.Range(l.key, l.key)
-			ec.stats.IndexEntries += entries
-			if ec.matchInner(inner, matches, l.row) {
+			if ec.probeInner(inner, l.key, l.row) {
 				if ec.limitReached() {
 					return nil
 				}
@@ -407,10 +418,24 @@ func (ec *execContext) join(candidates []uint32, method JoinMethod) error {
 	return nil
 }
 
-// matchInner applies inner predicates to matched inner rows; emits the left
-// row if any inner row qualifies. Returns whether the left row was emitted.
-func (ec *execContext) matchInner(inner *Table, matches []uint32, leftRow uint32) bool {
-	for _, ir := range matches {
+// probeInner streams one equality probe through the pooled cursor: it
+// evaluates inner predicates against matching inner rows until one qualifies,
+// then emits the left row. The drain always runs to the probe's end even
+// after a qualifying row — the per-probe slot walk is what IndexEntries
+// charges, and it must match what a materializing Range scan reported —
+// but predicate evaluation stops at the first pass, exactly like the old
+// slice-based match loop. Returns whether the left row was emitted.
+func (ec *execContext) probeInner(inner *Table, key float64, leftRow uint32) bool {
+	ec.cur.Seek(key)
+	emitted := false
+	for {
+		ir, ok := ec.cur.Next(key)
+		if !ok {
+			break
+		}
+		if emitted {
+			continue
+		}
 		pass := true
 		for _, p := range ec.q.Join.Preds {
 			ec.stats.PredEvals++
@@ -421,10 +446,11 @@ func (ec *execContext) matchInner(inner *Table, matches []uint32, leftRow uint32
 		}
 		if pass {
 			ec.emit(leftRow)
-			return true
+			emitted = true
 		}
 	}
-	return false
+	ec.stats.IndexEntries += ec.cur.Entries()
+	return emitted
 }
 
 // emitAll emits every candidate row (no join), honoring the LIMIT.

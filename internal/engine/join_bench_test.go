@@ -6,9 +6,10 @@ import (
 )
 
 // BenchmarkEngineExecuteJoinPlan measures the executor's join paths. The
-// hash-join build table and the merge-join sort buffer are pooled scratch
-// (see execContext), so steady-state executions should not allocate per join
-// beyond the escaping Result.
+// hash-join build table, the merge-join sort buffer, and the nest-loop /
+// merge-join probe cursor are pooled scratch (see execContext), so
+// steady-state executions should not allocate per join beyond the escaping
+// Result — alloc_guard_test.go pins the ceilings.
 func BenchmarkEngineExecuteJoinPlan(b *testing.B) {
 	db := buildTestDB(b, 20_000, 5)
 	q := testQuery(db)

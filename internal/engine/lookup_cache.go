@@ -18,6 +18,11 @@ import (
 // cached, keeping ExecStats (and therefore virtual time) bit-identical to
 // uncached execution.
 //
+// The cache deliberately sits only on the materializing lookup path: a hit
+// must hand out a stable slice, so cached scans keep using Index.Lookup.
+// The zero-allocation visitor paths (BTree.Visit, Cursor join probes) never
+// produce a slice to share and therefore bypass the cache entirely.
+//
 // A LookupCache is safe for concurrent use.
 //
 // Lifetime: entries stay valid as long as the underlying table data and

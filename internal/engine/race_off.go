@@ -1,0 +1,7 @@
+//go:build !race
+
+package engine
+
+// raceEnabled reports whether the race detector is compiled in. See
+// race_on.go.
+const raceEnabled = false

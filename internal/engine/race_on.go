@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-guard tests skip under -race: instrumentation adds allocations
+// that have nothing to do with the executor's steady state.
+const raceEnabled = true

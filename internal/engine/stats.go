@@ -264,12 +264,18 @@ func TrueSelectivity(t *Table, p Predicate) float64 {
 }
 
 // trueSelectivityCached is TrueSelectivity with index scans optionally
-// served from a lookup cache.
+// served from a lookup cache. Without a cache, a btree-served range predicate
+// is counted via BTree.Visit instead of materializing (and sorting) the full
+// row-id slice; with a cache the materializing lookup still runs so the scan
+// is shared with the option executions of the same query.
 func trueSelectivityCached(t *Table, p Predicate, c *LookupCache) float64 {
 	if t.Rows == 0 {
 		return 0
 	}
 	if ix := t.Index(p.Col); ix != nil {
+		if c == nil && ix.Kind == IndexBTree && p.Kind == PredRange {
+			return float64(ix.btree.CountRange(p.Lo, p.Hi)) / float64(t.Rows)
+		}
 		if rows, _, err := c.lookup(t, ix, p); err == nil {
 			return float64(len(rows)) / float64(t.Rows)
 		}

@@ -41,7 +41,11 @@ type Index struct {
 }
 
 // Lookup returns the sorted row ids matching p via the index and the number
-// of index entries touched.
+// of index entries touched. The returned slice is freshly allocated (btree,
+// rtree) or shared-immutable (inverted), so it is stable enough to live in a
+// LookupCache; executor paths that never cache a probe — join probes, true
+// selectivity without a cache — use BTree.Visit / Cursor instead and skip the
+// materialization entirely.
 func (ix *Index) Lookup(p Predicate) (rows []uint32, entries int, err error) {
 	switch ix.Kind {
 	case IndexBTree:

@@ -17,12 +17,17 @@ import (
 // once per dataset, during warming, so an expensive factory (training an MDP
 // agent) never runs on a request goroutine. Each dataset gets its own
 // rewriter instance: rewriters are not required to be concurrency-safe, and
-// every Server serializes only its own rewriter.
-type RewriterFactory func(ds *workload.Dataset) (core.Rewriter, error)
+// every Server serializes only its own rewriter. name is the dataset's
+// registry key (what requests pass in ?dataset=), which may differ from the
+// generated dataset's display Name — factories keyed by user-facing
+// configuration (e.g. per-dataset agent snapshots) should match on name.
+type RewriterFactory func(name string, ds *workload.Dataset) (core.Rewriter, error)
 
 // OracleFactory is the zero-training factory: every dataset gets the
 // ground-truth Oracle rewriter.
-func OracleFactory(*workload.Dataset) (core.Rewriter, error) { return core.OracleRewriter{}, nil }
+func OracleFactory(string, *workload.Dataset) (core.Rewriter, error) {
+	return core.OracleRewriter{}, nil
+}
 
 // GatewayConfig configures a multi-dataset gateway.
 type GatewayConfig struct {
@@ -36,6 +41,11 @@ type GatewayConfig struct {
 	DefaultDataset string
 	// Space is the rewrite option space every dataset serves under.
 	Space core.SpaceSpec
+	// WarmWorkers bounds how many datasets Warm builds concurrently
+	// (dataset generation + rewriter training are the multi-dataset cold
+	// start). 0 means GOMAXPROCS, 1 forces serial warmup. Lazily-built
+	// datasets (first request touch) are unaffected.
+	WarmWorkers int
 }
 
 // gatewayEntry is one dataset's serving slot: warming until done closes,
@@ -126,25 +136,37 @@ func (g *Gateway) DefaultDataset() string { return g.defaultName }
 // off the dataset + server build on a fresh goroutine) on first touch.
 // Returns nil for unregistered names.
 func (g *Gateway) ensure(name string) *gatewayEntry {
+	e, created := g.entry(name)
+	if created {
+		go g.build(name, e)
+	}
+	return e
+}
+
+// entry returns (creating if needed) the slot for a registered name without
+// starting its build; created reports whether this call claimed the build.
+// Exactly one caller per entry ever gets created=true — that caller must run
+// build (inline or on a goroutine), or the entry's done channel never
+// closes. Returns nil for unregistered names.
+func (g *Gateway) entry(name string) (e *gatewayEntry, created bool) {
 	g.mu.RLock()
 	e, ok := g.entries[name]
 	g.mu.RUnlock()
 	if ok {
-		return e
+		return e, false
 	}
 	if g.reg.Status(name) == workload.StatusUnknown {
-		return nil
+		return nil, false
 	}
 	g.mu.Lock()
 	if e, ok := g.entries[name]; ok { // lost the upgrade race
 		g.mu.Unlock()
-		return e
+		return e, false
 	}
 	e = &gatewayEntry{done: make(chan struct{})}
 	g.entries[name] = e
 	g.mu.Unlock()
-	go g.build(name, e)
-	return e
+	return e, true
 }
 
 // build constructs one dataset's serving state: the dataset itself (through
@@ -157,7 +179,7 @@ func (g *Gateway) build(name string, e *gatewayEntry) {
 		e.err = fmt.Errorf("middleware: dataset %q: %w", name, err)
 		return
 	}
-	rw, err := g.factory(ds)
+	rw, err := g.factory(name, ds)
 	if err != nil {
 		e.err = fmt.Errorf("middleware: rewriter for dataset %q: %w", name, err)
 		return
@@ -174,24 +196,46 @@ func (g *Gateway) build(name string, e *gatewayEntry) {
 }
 
 // Warm builds the named datasets (all registered ones when called with no
-// names) and blocks until they are ready, returning the first error. Serving
-// binaries call it at startup so eager datasets never answer 503.
+// names) and blocks until they are ready, returning the error of the first
+// (lowest-index) failed dataset. Builds fan out on a bounded worker pool
+// (GatewayConfig.WarmWorkers, default GOMAXPROCS) instead of one unbounded
+// goroutine per dataset, so a many-dataset cold start overlaps dataset
+// generation and rewriter training without oversubscribing the machine.
+// Serving binaries call it at startup so eager datasets never answer 503.
+// Entries already warming (a request raced ahead) are waited on, not
+// rebuilt.
 func (g *Gateway) Warm(names ...string) error {
 	if len(names) == 0 {
 		names = g.reg.Names()
 	}
-	entries := make([]*gatewayEntry, 0, len(names))
-	for _, name := range names {
-		e := g.ensure(name)
+	type slot struct {
+		e     *gatewayEntry
+		build bool
+	}
+	slots := make([]slot, len(names))
+	for i, name := range names {
+		e, created := g.entry(name)
 		if e == nil {
 			return fmt.Errorf("middleware: gateway: unknown dataset %q", name)
 		}
-		entries = append(entries, e)
+		slots[i] = slot{e: e, build: created}
 	}
-	for i, e := range entries {
-		<-e.done
-		if e.err != nil {
-			return fmt.Errorf("middleware: warming %q: %w", names[i], e.err)
+	// The pool callback never returns an error: RunIndexed's serial path
+	// stops at the first failure, which would abandon claimed-but-unbuilt
+	// entries whose done channel then never closes (permanent 503s). Every
+	// claimed build must run; failures are collected and reported after.
+	errs := make([]error, len(names))
+	_ = core.RunIndexed(len(names), g.cfg.WarmWorkers, func(i int) error {
+		if slots[i].build {
+			g.build(names[i], slots[i].e)
+		}
+		<-slots[i].e.done
+		errs[i] = slots[i].e.err
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("middleware: warming %q: %w", names[i], err)
 		}
 	}
 	return nil

@@ -234,7 +234,7 @@ func TestGatewaySingleFlightFirstTouch(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	factory := func(ds *workload.Dataset) (core.Rewriter, error) {
+	factory := func(name string, ds *workload.Dataset) (core.Rewriter, error) {
 		factories.Add(1)
 		return core.OracleRewriter{}, nil
 	}
@@ -271,6 +271,116 @@ func TestGatewaySingleFlightFirstTouch(t *testing.T) {
 	}
 	if got := factories.Load(); got != 1 {
 		t.Errorf("rewriter factory ran %d times, want 1", got)
+	}
+}
+
+// TestGatewayWarmBoundedPool: Warm fans dataset builds out on the bounded
+// worker pool — every dataset still builds exactly once (even when Warm
+// races with request-driven first touches and a repeated Warm), at any
+// worker count, and all end up ready.
+func TestGatewayWarmBoundedPool(t *testing.T) {
+	for _, workers := range []int{1, 2, 0} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			reg := workload.NewRegistry()
+			var twBuilds, txBuilds atomic.Int32
+			tw, tx := tinyTwitterBuilder(4_000), tinyTaxiBuilder(4_000)
+			if err := reg.Register("twitter", func() (*workload.Dataset, error) {
+				twBuilds.Add(1)
+				return tw()
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := reg.Register("taxi", func() (*workload.Dataset, error) {
+				txBuilds.Add(1)
+				return tx()
+			}); err != nil {
+				t.Fatal(err)
+			}
+			g, err := NewGateway(reg, OracleFactory, GatewayConfig{
+				Server:      ServerConfig{DefaultBudgetMs: 500},
+				Space:       core.HintOnlySpec(),
+				WarmWorkers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() { // request-driven first touch racing the warmup
+				defer wg.Done()
+				if _, err := g.Server("taxi"); err != nil {
+					t.Error(err)
+				}
+			}()
+			go func() { // concurrent second Warm must not rebuild anything
+				defer wg.Done()
+				if err := g.Warm(); err != nil {
+					t.Error(err)
+				}
+			}()
+			if err := g.Warm(); err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+			for _, name := range []string{"twitter", "taxi"} {
+				if st, _ := g.status(name); st != workload.StatusReady {
+					t.Errorf("dataset %s is %s after Warm, want ready", name, st)
+				}
+			}
+			if got := twBuilds.Load(); got != 1 {
+				t.Errorf("twitter built %d times, want 1", got)
+			}
+			if got := txBuilds.Load(); got != 1 {
+				t.Errorf("taxi built %d times, want 1", got)
+			}
+		})
+	}
+}
+
+// TestGatewayWarmFailureDoesNotStrand: a failing build must not abandon the
+// other datasets' claimed entries — serial warmup (WarmWorkers=1) was the
+// dangerous case, where an early error could leave later entries with a
+// never-closing done channel (permanent 503s and a deadlocked re-Warm).
+func TestGatewayWarmFailureDoesNotStrand(t *testing.T) {
+	for _, workers := range []int{1, 0} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			reg := workload.NewRegistry()
+			if err := reg.Register("broken", func() (*workload.Dataset, error) {
+				return nil, fmt.Errorf("synthetic build failure")
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := reg.Register("taxi", tinyTaxiBuilder(4_000)); err != nil {
+				t.Fatal(err)
+			}
+			g, err := NewGateway(reg, OracleFactory, GatewayConfig{
+				Server:      ServerConfig{DefaultBudgetMs: 500},
+				Space:       core.HintOnlySpec(),
+				WarmWorkers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Warm(); err == nil || !strings.Contains(err.Error(), "broken") {
+				t.Fatalf("Warm error = %v, want broken-dataset failure", err)
+			}
+			// The healthy dataset must have been built despite the failure…
+			if st, _ := g.status("taxi"); st != workload.StatusReady {
+				t.Errorf("taxi is %s after failed Warm, want ready", st)
+			}
+			// …and a retry must terminate (it would deadlock on a stranded
+			// entry), still reporting the cached failure.
+			done := make(chan error, 1)
+			go func() { done <- g.Warm() }()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Error("retried Warm = nil, want cached failure")
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("retried Warm deadlocked")
+			}
+		})
 	}
 }
 
