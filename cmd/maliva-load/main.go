@@ -11,7 +11,11 @@
 //	maliva-load                                   # in-process gateway, one cached pass
 //	maliva-load -datasets twitter,taxi -compare   # cross-dataset uncached vs cached
 //	maliva-load -agent maliva-agent.json          # drive a trained MDP snapshot
+//	maliva-load -replicas 1,2,4                   # replica scaling compare: one
+//	                                              # cached pass per count (1 = plain
+//	                                              # gateway, >1 = routed cluster)
 //	maliva-load -smoke                            # tiny CI pass (two datasets), fails on errors
+//	maliva-load -replicas 2 -smoke                # tiny CI pass through the cluster router
 package main
 
 import (
@@ -25,11 +29,13 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/maliva/maliva/internal/cluster"
 	"github.com/maliva/maliva/internal/core"
 	"github.com/maliva/maliva/internal/engine"
 	"github.com/maliva/maliva/internal/middleware"
@@ -73,7 +79,14 @@ type passReport struct {
 
 	Datasets []datasetPass `json:"datasets,omitempty"`
 
-	Server *middleware.GatewayMetricsSnapshot `json:"server_metrics,omitempty"`
+	// Replicas and ResultHitRate are set by -replicas scaling passes:
+	// ResultHitRate is gateway-wide for Replicas == 1 and cluster-wide
+	// (local + peer hits over all replicas) for Replicas > 1.
+	Replicas      int     `json:"replicas,omitempty"`
+	ResultHitRate float64 `json:"result_cache_hit_rate,omitempty"`
+
+	Server  *middleware.GatewayMetricsSnapshot `json:"server_metrics,omitempty"`
+	Cluster *cluster.Snapshot                  `json:"cluster_metrics,omitempty"`
 }
 
 // loadReport is the top-level JSON artifact (the BENCH_*.json trajectory).
@@ -88,6 +101,9 @@ type loadReport struct {
 	Workers   int      `json:"workers"`
 	BudgetMs  float64  `json:"budget_ms"`
 	ZipfS     float64  `json:"zipf_s"`
+
+	// ReplicaCounts is the -replicas scaling sweep, when one ran.
+	ReplicaCounts []int `json:"replica_counts,omitempty"`
 
 	Passes []passReport `json:"passes"`
 
@@ -112,6 +128,7 @@ func main() {
 		budget   = flag.Float64("budget", 500, "request budget_ms")
 		seed     = flag.Int64("seed", 11, "workload seed")
 		compare  = flag.Bool("compare", false, "run an uncached baseline pass, then a cached pass")
+		repList  = flag.String("replicas", "", "comma-separated replica counts for a scaling compare (e.g. 1,2,4): one cached pass per count — 1 drives a plain gateway, >1 an in-process cluster behind the consistent-hash router")
 		jsonPath = flag.String("json", "", "write the report to this file")
 		smoke    = flag.Bool("smoke", false, "tiny CI pass: small datasets, ~2s, exit non-zero on errors")
 	)
@@ -125,7 +142,9 @@ func main() {
 		*workers = 4
 		*duration = time.Second
 		*nShapes = 30
-		*compare = true
+		if *repList == "" {
+			*compare = true
+		}
 		if *datasets == "" {
 			*datasets = "twitter,taxi"
 		}
@@ -136,6 +155,29 @@ func main() {
 	names := splitNames(*datasets)
 	if len(names) == 0 {
 		fatal(fmt.Errorf("-datasets lists no datasets"))
+	}
+	var replicaCounts []int
+	if *repList != "" {
+		if *url != "" {
+			fatal(fmt.Errorf("-replicas builds in-process clusters; it cannot drive a remote -url"))
+		}
+		if *compare {
+			fatal(fmt.Errorf("-replicas and -compare are mutually exclusive (the replica sweep is its own compare)"))
+		}
+		for _, s := range strings.Split(*repList, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			r, err := strconv.Atoi(s)
+			if err != nil || r < 1 {
+				fatal(fmt.Errorf("-replicas: bad count %q", s))
+			}
+			replicaCounts = append(replicaCounts, r)
+		}
+		if len(replicaCounts) == 0 {
+			fatal(fmt.Errorf("-replicas lists no counts"))
+		}
 	}
 
 	rewriterName := "oracle"
@@ -181,7 +223,46 @@ func main() {
 		if *agent != "" {
 			factory = agentFactory(*agent)
 		}
-		if *compare {
+		if len(replicaCounts) > 0 {
+			// Replica scaling compare: one warm cached pass per count. The
+			// hit rate is measured over the timed pass only (counter deltas
+			// around it, after the warmup sweep) — cumulative rates would
+			// punish whichever deployment processes fewer requests per cold
+			// miss, which on a small box is an artifact of the pass length,
+			// not of cache behavior.
+			report.ReplicaCounts = replicaCounts
+			client := &http.Client{Timeout: 30 * time.Second}
+			for _, r := range replicaCounts {
+				passName := fmt.Sprintf("replicas-%d", r)
+				var rep passReport
+				if r == 1 {
+					srv := startGateway(names, built, *budget, false, factory)
+					warmSweep(client, srv.url, shapes)
+					before := fetchMetrics(client, srv.url)
+					rep = runPass(passName, srv.url, shapes, *workers, *duration, *zipfS, *seed, false)
+					rep.ResultHitRate = gatewayDeltaHitRate(before, rep.Server)
+					srv.close()
+				} else {
+					srv, cl := startCluster(r, names, built, *budget, factory)
+					warmSweep(client, srv.url, shapes)
+					before := cl.Snapshot()
+					rep = runPass(passName, srv.url, shapes, *workers, *duration, *zipfS, *seed, false)
+					srv.close()
+					snap := cl.Snapshot()
+					cl.Close()
+					// runPass decodes /metrics as a gateway snapshot, which a
+					// cluster endpoint is not; the structured cluster snapshot
+					// replaces it.
+					rep.Server = nil
+					rep.Cluster = &snap
+					rep.ResultHitRate = deltaRate(
+						snap.ResultHits-before.ResultHits,
+						snap.ResultMisses-before.ResultMisses)
+				}
+				rep.Replicas = r
+				report.Passes = append(report.Passes, rep)
+			}
+		} else if *compare {
 			base := startGateway(names, built, *budget, true, factory)
 			rep := runPass("uncached", base.url, shapes, *workers, *duration, *zipfS, *seed, false)
 			report.Passes = append(report.Passes, rep)
@@ -215,9 +296,31 @@ func main() {
 	for _, p := range report.Passes {
 		fmt.Printf("%-9s %7.0f req/s  p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms  max %7.1f ms  (%d requests, %d errors, %d rejected)\n",
 			p.Name, p.QPS, p.P50Ms, p.P95Ms, p.P99Ms, p.MaxMs, p.Requests, p.Errors, p.Rejected)
+		if p.Replicas > 0 {
+			fmt.Printf("  result-cache hit rate %.1f%%", 100*p.ResultHitRate)
+			if p.Cluster != nil {
+				var local, peer int64
+				for _, rs := range p.Cluster.Replicas {
+					local += rs.Cache.LocalHits
+					peer += rs.Cache.PeerHits
+				}
+				fmt.Printf("  (local hits %d, peer hits %d)", local, peer)
+			}
+			fmt.Println()
+		}
 		for _, d := range p.Datasets {
 			fmt.Printf("  %-12s %7.0f req/s  p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms  (%d requests)\n",
 				d.Name, d.QPS, d.P50Ms, d.P95Ms, d.P99Ms, d.Requests)
+		}
+	}
+	if len(replicaCounts) > 1 {
+		base := report.Passes[0]
+		for _, p := range report.Passes[1:] {
+			if base.QPS > 0 && p.P95Ms > 0 {
+				fmt.Printf("replicas %d vs %d: %.2fx QPS, %.2fx p95 (hit rate %.1f%% vs %.1f%%)\n",
+					p.Replicas, base.Replicas, p.QPS/base.QPS, base.P95Ms/p.P95Ms,
+					100*p.ResultHitRate, 100*base.ResultHitRate)
+			}
 		}
 	}
 	if report.QPSSpeedup > 0 {
@@ -249,6 +352,9 @@ func main() {
 			if hits, _ := hitRates(last.Server); hits == 0 {
 				fatal(fmt.Errorf("smoke: cached pass served no result-cache hits"))
 			}
+		}
+		if last.Cluster != nil && last.Cluster.ResultHitRate == 0 {
+			fatal(fmt.Errorf("smoke: cluster pass served no result-cache hits"))
 		}
 		for _, name := range names {
 			served := false
@@ -292,6 +398,42 @@ func hitRates(snap *middleware.GatewayMetricsSnapshot) (result, plan float64) {
 		plan = float64(ph) / float64(ph+pm)
 	}
 	return result, plan
+}
+
+// warmSweep touches every shape once so a measured pass starts from steady
+// state (the same sweep runPass runs when asked to warm up).
+func warmSweep(client *http.Client, url string, shapes []shape) {
+	for _, sh := range shapes {
+		_, _, _ = fire(client, url, sh)
+	}
+}
+
+// deltaRate is hits/(hits+misses) over counter deltas.
+func deltaRate(hits, misses int64) float64 {
+	if hits+misses <= 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// gatewayDeltaHitRate computes the result-cache hit rate between two
+// gateway snapshots (nil before means "from zero").
+func gatewayDeltaHitRate(before, after *middleware.GatewayMetricsSnapshot) float64 {
+	if after == nil {
+		return 0
+	}
+	var hits, misses int64
+	for _, m := range after.Datasets {
+		hits += m.ResultHits
+		misses += m.ResultMisses
+	}
+	if before != nil {
+		for _, m := range before.Datasets {
+			hits -= m.ResultHits
+			misses -= m.ResultMisses
+		}
+	}
+	return deltaRate(hits, misses)
 }
 
 // agentFactory loads a trained MDP policy snapshot per dataset (each Server
@@ -437,6 +579,35 @@ func startGateway(names []string, built map[string]*workload.Dataset, budget flo
 
 func (s *inprocGateway) close() {
 	_ = s.http.Close()
+}
+
+// startCluster serves every built dataset through an in-process R-replica
+// cluster behind the consistent-hash routing tier, over a loopback
+// listener. Replicas share the built datasets and (via the memoized
+// factory) the rewriters, so only the serving state is per replica — the
+// same sharing maliva-server -replicas uses.
+func startCluster(replicas int, names []string, built map[string]*workload.Dataset, budget float64, factory middleware.RewriterFactory) (*inprocGateway, *cluster.Cluster) {
+	cl, err := cluster.New(cluster.Config{
+		Replicas: replicas,
+		Names:    names,
+		Datasets: built,
+		Factory:  factory,
+		Server:   middleware.ServerConfig{DefaultBudgetMs: budget},
+		Space:    core.HintOnlySpec(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := cl.Warm(); err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: cl.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	return &inprocGateway{url: "http://" + ln.Addr().String(), http: hs, ln: ln}, cl
 }
 
 // dsAccum accumulates one worker's per-dataset measurements.

@@ -13,6 +13,14 @@
 //	  "min_lon": -124.4, "min_lat": 32.5, "max_lon": -114.1, "max_lat": 42.0,
 //	  "kind": "heatmap", "budget_ms": 500
 //	}'
+//
+// Cluster modes (internal/cluster):
+//
+//	maliva-server -replicas 4                 # 4 in-process replicas behind
+//	                                          # the consistent-hash router
+//	maliva-server -replica-id 0 \             # one process per replica;
+//	  -peer http://host0:8080 \               # peers share result caches
+//	  -peer http://host1:8080                 # through /cluster endpoints
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/maliva/maliva/internal/cluster"
 	"github.com/maliva/maliva/internal/core"
 	"github.com/maliva/maliva/internal/harness"
 	"github.com/maliva/maliva/internal/middleware"
@@ -31,12 +40,12 @@ import (
 	"github.com/maliva/maliva/internal/workload"
 )
 
-// datasetList collects repeated (or comma-separated) -dataset flags.
-type datasetList []string
+// stringList collects repeated (or comma-separated) flag values.
+type stringList []string
 
-func (d *datasetList) String() string { return strings.Join(*d, ",") }
+func (d *stringList) String() string { return strings.Join(*d, ",") }
 
-func (d *datasetList) Set(v string) error {
+func (d *stringList) Set(v string) error {
 	for _, name := range strings.Split(v, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -47,9 +56,9 @@ func (d *datasetList) Set(v string) error {
 	return nil
 }
 
-// agentMap collects repeated -agent flags: "dataset=path" pins a snapshot to
-// one dataset; a bare "path" is the fallback snapshot for every dataset
-// without a pinned one (the single-dataset spelling maliva-load -agent uses).
+// agentMap collects repeated path flags: "dataset=path" pins a path to one
+// dataset; a bare "path" is the fallback for every dataset without a pinned
+// one (the single-dataset spelling maliva-load -agent uses).
 type agentMap map[string]string
 
 func (a agentMap) String() string {
@@ -69,7 +78,7 @@ func (a agentMap) Set(v string) error {
 	return nil
 }
 
-// snapshotFor resolves the snapshot path serving a dataset, if any.
+// snapshotFor resolves the path serving a dataset, if any.
 func (a agentMap) snapshotFor(dataset string) (string, bool) {
 	if p, ok := a[dataset]; ok {
 		return p, true
@@ -78,19 +87,42 @@ func (a agentMap) snapshotFor(dataset string) (string, bool) {
 	return p, ok
 }
 
+// validatePins fails on a pinned dataset that is not served — a mistyped
+// pin would otherwise silently fall through.
+func (a agentMap) validatePins(flagName string, datasets stringList) {
+	for name := range a {
+		if name == "" {
+			continue
+		}
+		if !slices.Contains(datasets, name) {
+			fatal(fmt.Errorf("%s %s=%s pins a dataset that is not served (have: %s)",
+				flagName, name, a[name], datasets.String()))
+		}
+	}
+}
+
 func main() {
-	var datasets datasetList
+	var datasets stringList
 	flag.Var(&datasets, "dataset", "dataset to serve: twitter | taxi | tpch (repeatable or comma-separated; default twitter)")
 	agents := make(agentMap)
-	flag.Var(agents, "agent", "trained MDP policy snapshot (from maliva-train): 'dataset=path' pins one dataset, bare 'path' covers the rest; skips that dataset's startup training (repeatable)")
+	flag.Var(agents, "agent", "trained MDP policy snapshot (from maliva-train or -save-agent): 'dataset=path' pins one dataset, bare 'path' covers the rest; skips that dataset's startup training (repeatable)")
+	saves := make(agentMap)
+	flag.Var(saves, "save-agent", "persist the MDP policy trained at startup: 'dataset=path' or bare 'path' (repeatable); datasets that loaded an -agent snapshot skip training and are not re-saved")
+	var peers stringList
+	flag.Var(&peers, "peer", "full ordered replica URL list for a one-process-per-replica cluster, self included (repeatable); requires -replica-id")
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		budget      = flag.Float64("budget", 500, "default time budget in virtual ms")
 		queries     = flag.Int("queries", 400, "training workload size per dataset")
 		rows        = flag.Int("rows", 60_000, "stored rows per dataset")
 		rewriter    = flag.String("rewriter", "mdp", "rewriting strategy: mdp (trains per dataset at startup) or oracle")
-		lazy        = flag.Bool("lazy", false, "build datasets on first request (503 while warming) instead of at startup")
+		lazy        = flag.Bool("lazy", false, "build datasets on first request (503 while warming) instead of at startup; ignored with -replicas > 1")
 		warmWorkers = flag.Int("warm-workers", 0, "datasets warmed concurrently at startup (0 = GOMAXPROCS, 1 = serial)")
+
+		replicas    = flag.Int("replicas", 1, "in-process replica count; > 1 serves the consistent-hash routing tier over that many gateway replicas with a peer-shared result cache")
+		replicaID   = flag.Int("replica-id", -1, "this process's index into the -peer list")
+		peerTimeout = flag.Duration("peer-timeout", cluster.DefaultPeerTimeout, "timeout for one peer cache round trip")
+		peerSecret  = flag.String("peer-secret", "", "shared secret required on /cluster peer endpoints (all replicas must agree); without it anyone reaching the listener can read and poison the result cache")
 
 		planCache   = flag.Int("plan-cache", 0, "plan-cache entries per dataset (0 = default, negative = disable)")
 		resultCache = flag.Int("result-cache", 0, "result-cache entries per dataset (0 = default, negative = disable)")
@@ -103,71 +135,24 @@ func main() {
 	flag.Parse()
 
 	if len(datasets) == 0 {
-		datasets = datasetList{"twitter"}
+		datasets = stringList{"twitter"}
 	}
-	// A mistyped pin would otherwise silently fall through to the startup
-	// training the snapshot was meant to skip.
-	for name := range agents {
-		if name == "" {
-			continue
-		}
-		if !slices.Contains(datasets, name) {
-			fatal(fmt.Errorf("-agent %s=%s pins a dataset that is not served (have: %s)",
-				name, agents[name], datasets.String()))
-		}
+	agents.validatePins("-agent", datasets)
+	saves.validatePins("-save-agent", datasets)
+	// A bare save path with several datasets would have concurrently-warming
+	// trainers race os.WriteFile on one file (last writer wins at best,
+	// interleaved corruption at worst).
+	if _, bare := saves[""]; bare && len(datasets) > 1 {
+		fatal(fmt.Errorf("-save-agent with a bare path serves %d datasets into one file; use 'dataset=path' pins", len(datasets)))
 	}
-	reg := workload.NewRegistry()
-	for _, name := range datasets {
-		build, err := workload.StandardBuilder(name, *rows)
-		if err != nil {
-			fatal(err)
-		}
-		if err := reg.Register(name, build); err != nil {
-			fatal(err)
-		}
+	if *replicas > 1 && len(peers) > 0 {
+		fatal(fmt.Errorf("-replicas (in-process cluster) and -peer (multi-process cluster) are mutually exclusive"))
+	}
+	if len(peers) > 0 && (*replicaID < 0 || *replicaID >= len(peers)) {
+		fatal(fmt.Errorf("-replica-id %d outside the %d-entry -peer list", *replicaID, len(peers)))
 	}
 
-	var factory middleware.RewriterFactory
-	switch *rewriter {
-	case "oracle":
-		factory = middleware.OracleFactory
-	case "mdp":
-		factory = func(name string, ds *workload.Dataset) (core.Rewriter, error) {
-			if path, ok := agents.snapshotFor(name); ok {
-				t0 := time.Now()
-				a, err := core.LoadAgentFile(path)
-				if err != nil {
-					return nil, err
-				}
-				fmt.Fprintf(os.Stderr, "%s: loaded agent snapshot %s in %s\n",
-					name, path, time.Since(t0).Round(time.Millisecond))
-				return &core.MDPRewriter{Agent: a, QTE: qte.NewAccurateQTE(), Tag: "Accurate-QTE"}, nil
-			}
-			fmt.Fprintf(os.Stderr, "training MDP agent for %s...\n", ds.Name)
-			lab, err := harness.BuildLab(ds, harness.LabConfig{
-				NumQueries: *queries,
-				QuerySpec:  workload.QuerySpec{NumPreds: 3, Seed: 5},
-				Space:      core.HintOnlySpec(),
-				Budget:     *budget,
-				Seed:       9,
-				Progress:   os.Stderr,
-			})
-			if err != nil {
-				return nil, err
-			}
-			est := qte.NewAccurateQTE()
-			agent, score := lab.TrainAgent(harness.TrainAgentConfig{
-				Agent: core.DefaultAgentConfig(),
-				QTE:   est,
-				Seeds: []int64{7},
-			})
-			fmt.Fprintf(os.Stderr, "%s agent ready (validation score %.3f)\n", ds.Name, score)
-			return &core.MDPRewriter{Agent: agent, QTE: est, Tag: "Accurate-QTE"}, nil
-		}
-	default:
-		fatal(fmt.Errorf("unknown -rewriter %q (want mdp or oracle)", *rewriter))
-	}
-
+	factory := buildFactory(*rewriter, agents, saves, *queries, *budget)
 	scfg := middleware.ServerConfig{
 		DefaultBudgetMs: *budget,
 		PlanCacheSize:   *planCache,
@@ -181,28 +166,182 @@ func main() {
 		scfg.PlanCacheSize = -1
 		scfg.ResultCacheSize = -1
 	}
-	gw, err := middleware.NewGateway(reg, factory, middleware.GatewayConfig{
-		Server:      scfg,
-		Space:       core.HintOnlySpec(),
-		WarmWorkers: *warmWorkers,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	if !*lazy {
+
+	var handler http.Handler
+	switch {
+	case *replicas > 1:
+		// In-process cluster: datasets are built eagerly (replicas share
+		// the immutable values) and each replica warms its own gateway.
 		t0 := time.Now()
-		if err := gw.Warm(); err != nil {
+		built := buildDatasets(datasets, *rows)
+		cl, err := cluster.New(cluster.Config{
+			Replicas:    *replicas,
+			Names:       datasets,
+			Datasets:    built,
+			Factory:     factory,
+			Server:      scfg,
+			Space:       core.HintOnlySpec(),
+			WarmWorkers: *warmWorkers,
+		})
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "warmed %d dataset(s) in %s\n",
-			len(datasets), time.Since(t0).Round(time.Millisecond))
+		if err := cl.Warm(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "warmed %d replica(s) x %d dataset(s) in %s\n",
+			*replicas, len(datasets), time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr,
+			"maliva cluster router listening on %s (replicas=%d, datasets=%s, rewriter=%s)\n",
+			*addr, *replicas, datasets.String(), *rewriter)
+		handler = cl.Handler()
+
+	case len(peers) > 0:
+		// One process per replica: this node serves its gateway plus the
+		// /cluster peer endpoints; the other processes are reached over
+		// HTTP. Routing across replicas is the load balancer's job — any
+		// replica can serve any key through the peer-shared cache.
+		ring := cluster.NewRing(len(peers), 0)
+		node, err := cluster.NewNode(*replicaID, ring, newRegistry(datasets, *rows), factory, middleware.GatewayConfig{
+			Server:      scfg,
+			Space:       core.HintOnlySpec(),
+			WarmWorkers: *warmWorkers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		pcs := make([]cluster.PeerClient, len(peers))
+		for i, u := range peers {
+			if i != *replicaID {
+				pcs[i] = cluster.NewHTTPPeer(strings.TrimSuffix(u, "/"), *peerTimeout, *peerSecret)
+			}
+		}
+		node.SetPeers(pcs)
+		node.SetPeerSecret(*peerSecret)
+		if !*lazy {
+			t0 := time.Now()
+			if err := node.Warm(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "warmed %d dataset(s) in %s\n", len(datasets), time.Since(t0).Round(time.Millisecond))
+		}
+		fmt.Fprintf(os.Stderr,
+			"maliva replica %d/%d listening on %s (datasets=%s, rewriter=%s)\n",
+			*replicaID, len(peers), *addr, datasets.String(), *rewriter)
+		handler = node.Handler()
+
+	default:
+		gw, err := middleware.NewGateway(newRegistry(datasets, *rows), factory, middleware.GatewayConfig{
+			Server:      scfg,
+			Space:       core.HintOnlySpec(),
+			WarmWorkers: *warmWorkers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if !*lazy {
+			t0 := time.Now()
+			if err := gw.Warm(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "warmed %d dataset(s) in %s\n",
+				len(datasets), time.Since(t0).Round(time.Millisecond))
+		}
+		fmt.Fprintf(os.Stderr,
+			"maliva gateway listening on %s (datasets=%s, default=%s, rewriter=%s, lazy=%v)\n",
+			*addr, datasets.String(), gw.DefaultDataset(), *rewriter, *lazy)
+		handler = gw.Handler()
 	}
-	fmt.Fprintf(os.Stderr,
-		"maliva gateway listening on %s (datasets=%s, default=%s, rewriter=%s, lazy=%v)\n",
-		*addr, datasets.String(), gw.DefaultDataset(), *rewriter, *lazy)
-	server := &http.Server{Addr: *addr, Handler: gw.Handler(), ReadHeaderTimeout: 5 * time.Second}
+
+	server := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	if err := server.ListenAndServe(); err != nil {
 		fatal(err)
+	}
+}
+
+// newRegistry registers the standard builders for the requested datasets.
+func newRegistry(datasets stringList, rows int) *workload.Registry {
+	reg := workload.NewRegistry()
+	for _, name := range datasets {
+		build, err := workload.StandardBuilder(name, rows)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.Register(name, build); err != nil {
+			fatal(err)
+		}
+	}
+	return reg
+}
+
+// buildDatasets generates the requested datasets eagerly (the in-process
+// cluster shares built values across replicas).
+func buildDatasets(datasets stringList, rows int) map[string]*workload.Dataset {
+	built := make(map[string]*workload.Dataset, len(datasets))
+	for _, name := range datasets {
+		build, err := workload.StandardBuilder(name, rows)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "building %d-row dataset %s...\n", rows, name)
+		ds, err := build()
+		if err != nil {
+			fatal(err)
+		}
+		built[name] = ds
+	}
+	return built
+}
+
+// buildFactory resolves the per-dataset rewriter factory: oracle, snapshot
+// load, or startup MDP training (optionally persisted via -save-agent).
+func buildFactory(rewriter string, agents, saves agentMap, queries int, budget float64) middleware.RewriterFactory {
+	switch rewriter {
+	case "oracle":
+		return middleware.OracleFactory
+	case "mdp":
+		return func(name string, ds *workload.Dataset) (core.Rewriter, error) {
+			if path, ok := agents.snapshotFor(name); ok {
+				t0 := time.Now()
+				a, err := core.LoadAgentFile(path)
+				if err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(os.Stderr, "%s: loaded agent snapshot %s in %s\n",
+					name, path, time.Since(t0).Round(time.Millisecond))
+				return &core.MDPRewriter{Agent: a, QTE: qte.NewAccurateQTE(), Tag: "Accurate-QTE"}, nil
+			}
+			fmt.Fprintf(os.Stderr, "training MDP agent for %s...\n", ds.Name)
+			lab, err := harness.BuildLab(ds, harness.LabConfig{
+				NumQueries: queries,
+				QuerySpec:  workload.QuerySpec{NumPreds: 3, Seed: 5},
+				Space:      core.HintOnlySpec(),
+				Budget:     budget,
+				Seed:       9,
+				Progress:   os.Stderr,
+			})
+			if err != nil {
+				return nil, err
+			}
+			est := qte.NewAccurateQTE()
+			agent, score := lab.TrainAgent(harness.TrainAgentConfig{
+				Agent: core.DefaultAgentConfig(),
+				QTE:   est,
+				Seeds: []int64{7},
+			})
+			fmt.Fprintf(os.Stderr, "%s agent ready (validation score %.3f)\n", ds.Name, score)
+			if path, ok := saves.snapshotFor(name); ok {
+				if err := core.SaveAgentFile(path, agent); err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(os.Stderr, "%s: policy snapshot saved to %s (reload with -agent %s=%s)\n",
+					name, path, name, path)
+			}
+			return &core.MDPRewriter{Agent: agent, QTE: est, Tag: "Accurate-QTE"}, nil
+		}
+	default:
+		fatal(fmt.Errorf("unknown -rewriter %q (want mdp or oracle)", rewriter))
+		return nil
 	}
 }
 

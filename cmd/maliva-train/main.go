@@ -7,7 +7,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -72,14 +71,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "trained in %s, validation score %.3f\n",
 		time.Since(start).Round(time.Millisecond), valScore)
 
-	data, err := json.MarshalIndent(agent, "", " ")
-	if err != nil {
+	if err := core.SaveAgentFile(*out, agent); err != nil {
 		fatal(err)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "policy saved to %s (%d bytes)\n", *out, len(data))
+	fmt.Fprintf(os.Stderr, "policy saved to %s\n", *out)
 }
 
 func buildDataset(name string, small bool) (*workload.Dataset, error) {

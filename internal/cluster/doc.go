@@ -1,0 +1,35 @@
+// Package cluster scales the Maliva serving layer past one gateway: a
+// replica-aware routing tier in front of N middleware.Gateway replicas,
+// with a groupcache-style peer protocol that turns N private result caches
+// into one cluster-wide cache.
+//
+// The pieces, front to back:
+//
+//   - Ring — a consistent-hash ring (64 virtual nodes per replica by
+//     default) mapping every result-cache key to exactly one owning
+//     replica, with a deterministic failover sequence per key.
+//   - Router — the HTTP routing tier. It hashes each /viz request by the
+//     fields that determine its result-cache key (dataset, predicates,
+//     kind, grid, budget — normalized exactly like the server normalizes
+//     them) and forwards the original body to the owner, so cache hits
+//     concentrate on one replica per key instead of fragmenting N ways. A
+//     down owner fails over to the next replica on the ring.
+//   - Node — one replica: a complete gateway (its own servers, plan
+//     caches, lookup caches, admission pool) whose per-dataset result
+//     caches are wrapped with the peer-shared cache, plus the /cluster
+//     fetch and fill endpoints other replicas talk to.
+//   - peerCache — the middleware.ResultCache wrapper: local miss → fetch
+//     from the key's owner (single-flight per key), peer error → local
+//     compute (a budget never waits on a dead peer), and computed results
+//     a replica doesn't own are offered to their owner asynchronously, so
+//     one cold execution fills the whole cluster.
+//   - PeerClient — the peer transport: direct pointer exchange for
+//     in-process replicas (maliva-server -replicas N), JSON over HTTP for
+//     one-process-per-replica deployments (maliva-server -peer).
+//
+// Determinism is the load-bearing invariant, inherited from the layers
+// below (see docs/ARCHITECTURE.md): every replica computes bit-identical
+// responses for equal keys, so an R-replica cluster's responses are
+// byte-identical to a single standalone gateway's no matter which replica
+// served from which cache — pinned by TestClusterByteIdenticalToGateway.
+package cluster

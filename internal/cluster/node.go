@@ -1,0 +1,274 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"github.com/maliva/maliva/internal/middleware"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// fillReq is one queued best-effort fill: a response this replica computed
+// for a key another replica owns.
+type fillReq struct {
+	dataset string
+	owner   int
+	key     middleware.ResultKey
+	resp    *middleware.Response
+}
+
+// fillQueueCap bounds the asynchronous fill queue. Fills are an
+// optimization (they migrate results to their owning replica after a
+// failover or direct hit); under backpressure dropping them is strictly
+// safe — the owner just recomputes on its next cold request.
+const fillQueueCap = 256
+
+// Node is one cluster replica: a complete middleware.Gateway (its own
+// servers, plan caches, lookup caches, admission pool) whose per-dataset
+// result caches are wrapped with the peer-shared peerCache, plus the HTTP
+// peer endpoints other replicas fetch from. Nodes are built two-phase:
+// NewNode constructs the gateway, SetPeers wires the (by then fully
+// constructed) peer set before any traffic flows.
+type Node struct {
+	id      int
+	ring    *Ring
+	gw      *middleware.Gateway
+	handler http.Handler
+
+	mu     sync.RWMutex
+	peers  []PeerClient // index id is nil (self)
+	caches map[string]*peerCache
+	secret string
+
+	stats cacheStats
+	down  atomic.Bool
+
+	fills    chan fillReq
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewNode builds replica id of the ring over its own registry and gateway
+// configuration. The gateway's WrapResultCache hook is taken by the node
+// (that is where the peer cache lives); setting it in gcfg is an error.
+// Dataset builders in reg may return shared *workload.Dataset values across
+// nodes — datasets are immutable once built.
+func NewNode(id int, ring *Ring, reg *workload.Registry, factory middleware.RewriterFactory, gcfg middleware.GatewayConfig) (*Node, error) {
+	if id < 0 || id >= ring.Replicas() {
+		return nil, fmt.Errorf("cluster: replica id %d outside ring of %d", id, ring.Replicas())
+	}
+	if gcfg.WrapResultCache != nil {
+		return nil, fmt.Errorf("cluster: GatewayConfig.WrapResultCache is owned by the node")
+	}
+	n := &Node{
+		id:     id,
+		ring:   ring,
+		caches: make(map[string]*peerCache),
+		fills:  make(chan fillReq, fillQueueCap),
+		stop:   make(chan struct{}),
+	}
+	gcfg.WrapResultCache = func(dataset string, local middleware.ResultCache) middleware.ResultCache {
+		pc := &peerCache{dataset: dataset, node: n, local: local}
+		n.mu.Lock()
+		n.caches[dataset] = pc
+		n.mu.Unlock()
+		return pc
+	}
+	gw, err := middleware.NewGateway(reg, factory, gcfg)
+	if err != nil {
+		return nil, err
+	}
+	n.gw = gw
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/fetch", n.serveFetch)
+	mux.HandleFunc("POST /cluster/fill", n.serveFill)
+	mux.Handle("/", gw.Handler())
+	n.handler = mux
+
+	go n.fillLoop()
+	return n, nil
+}
+
+// SetPeers installs the replica's view of the other replicas. peers must be
+// indexed by replica id (the self slot is ignored). Call once, before
+// serving traffic.
+func (n *Node) SetPeers(peers []PeerClient) {
+	n.mu.Lock()
+	n.peers = peers
+	n.mu.Unlock()
+}
+
+// SetPeerSecret requires every /cluster request to carry the shared secret
+// in PeerSecretHeader (403 otherwise). One-process-per-replica deployments
+// serve the peer endpoints on the public listener, where an open fill
+// endpoint would let any client poison the result cache; in-process
+// clusters never cross HTTP and don't need it. Empty disables the check.
+// Call before serving traffic.
+func (n *Node) SetPeerSecret(secret string) {
+	n.mu.Lock()
+	n.secret = secret
+	n.mu.Unlock()
+}
+
+// authorizePeer enforces the shared secret on a /cluster request.
+func (n *Node) authorizePeer(w http.ResponseWriter, r *http.Request) bool {
+	n.mu.RLock()
+	secret := n.secret
+	n.mu.RUnlock()
+	if secret != "" && r.Header.Get(PeerSecretHeader) != secret {
+		http.Error(w, "bad peer secret", http.StatusForbidden)
+		return false
+	}
+	return true
+}
+
+// peer returns the client for a replica, or nil for self/unwired.
+func (n *Node) peer(id int) PeerClient {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if id == n.id || id < 0 || id >= len(n.peers) {
+		return nil
+	}
+	return n.peers[id]
+}
+
+// ID returns the node's replica index on the ring.
+func (n *Node) ID() int { return n.id }
+
+// Gateway returns the node's gateway (metrics, Warm, in-process embedding).
+func (n *Node) Gateway() *middleware.Gateway { return n.gw }
+
+// Warm eagerly builds every dataset's serving state on this node.
+func (n *Node) Warm(names ...string) error { return n.gw.Warm(names...) }
+
+// Down reports whether the replica is marked dead.
+func (n *Node) Down() bool { return n.down.Load() }
+
+// SetDown marks the replica dead (true) or alive (false). A dead in-process
+// replica answers 503 on every route and errors on peer calls — the same
+// view the cluster has of a crashed remote process. Tests and operational
+// drills use it to exercise failover.
+func (n *Node) SetDown(v bool) { n.down.Store(v) }
+
+// Close stops the background fill worker. The node keeps serving; only
+// cross-replica fill delivery stops.
+func (n *Node) Close() { n.stopOnce.Do(func() { close(n.stop) }) }
+
+// ServeHTTP serves the node's full surface: the gateway routes plus the
+// /cluster peer endpoints, behind the down switch.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if n.Down() {
+		http.Error(w, fmt.Sprintf("replica %d is down", n.id), http.StatusServiceUnavailable)
+		return
+	}
+	n.handler.ServeHTTP(w, r)
+}
+
+// Handler returns the node as an http.Handler (what a one-process-per-
+// replica deployment listens on).
+func (n *Node) Handler() http.Handler { return n }
+
+// cacheFor returns the dataset's peer cache, or nil before its server has
+// been built on this node.
+func (n *Node) cacheFor(dataset string) *peerCache {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.caches[dataset]
+}
+
+// fetchLocal answers a peer's fetch from this node's LOCAL cache only —
+// never recursing into the peer path, so fetch chains cannot form.
+func (n *Node) fetchLocal(dataset string, key middleware.ResultKey) (*middleware.Response, bool) {
+	pc := n.cacheFor(dataset)
+	if pc == nil {
+		return nil, false
+	}
+	n.stats.fetchesServed.Add(1)
+	resp := pc.local.Get(key)
+	return resp, resp != nil
+}
+
+// fillLocal accepts a peer's computed response into this node's local cache.
+func (n *Node) fillLocal(dataset string, key middleware.ResultKey, resp *middleware.Response) {
+	pc := n.cacheFor(dataset)
+	if pc == nil || resp == nil {
+		return
+	}
+	pc.local.Put(key, resp)
+	n.stats.fillsReceived.Add(1)
+}
+
+// enqueueFill queues a best-effort fill toward the key's owner; drops when
+// the queue is full (the request path never blocks on fill delivery).
+func (n *Node) enqueueFill(f fillReq) {
+	select {
+	case n.fills <- f:
+	default:
+		n.stats.fillsDropped.Add(1)
+	}
+}
+
+// fillLoop delivers queued fills to their owners in the background.
+func (n *Node) fillLoop() {
+	for {
+		select {
+		case <-n.stop:
+			return
+		case f := <-n.fills:
+			peer := n.peer(f.owner)
+			if peer == nil {
+				n.stats.fillsDropped.Add(1)
+				continue
+			}
+			if err := peer.FillResult(f.dataset, f.key, f.resp); err != nil {
+				n.stats.fillsDropped.Add(1)
+			} else {
+				n.stats.fillsSent.Add(1)
+			}
+		}
+	}
+}
+
+// serveFetch answers POST /cluster/fetch?dataset=<name>: body is a
+// middleware.ResultKey; 200 + Response JSON on a local hit, 204 on a miss.
+func (n *Node) serveFetch(w http.ResponseWriter, r *http.Request) {
+	if !n.authorizePeer(w, r) {
+		return
+	}
+	var key middleware.ResultKey
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(&key); err != nil {
+		http.Error(w, "bad fetch body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, ok := n.fetchLocal(r.URL.Query().Get("dataset"), key)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// serveFill accepts POST /cluster/fill?dataset=<name>: body is a peerFill;
+// always 204 (fills are best effort on both sides).
+func (n *Node) serveFill(w http.ResponseWriter, r *http.Request) {
+	if !n.authorizePeer(w, r) {
+		return
+	}
+	var f peerFill
+	r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(r.Body).Decode(&f); err != nil {
+		http.Error(w, "bad fill body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	n.fillLocal(r.URL.Query().Get("dataset"), f.Key, f.Response)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// CacheSnapshot returns the node's peer-cache counters.
+func (n *Node) CacheSnapshot() CacheSnapshot { return n.stats.snapshot() }

@@ -1,0 +1,355 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/maliva/maliva/internal/engine"
+	"github.com/maliva/maliva/internal/middleware"
+)
+
+// wireRequest mirrors the /viz JSON wire format (middleware's httpRequest)
+// for routing purposes only: the router never interprets the request beyond
+// hashing the fields that determine its result-cache key. The original body
+// bytes — not a re-encoding — are what gets forwarded.
+type wireRequest struct {
+	Keyword  string  `json:"keyword"`
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	MinLon   float64 `json:"min_lon"`
+	MinLat   float64 `json:"min_lat"`
+	MaxLon   float64 `json:"max_lon"`
+	MaxLat   float64 `json:"max_lat"`
+	Kind     string  `json:"kind"`
+	GridW    int     `json:"grid_w"`
+	GridH    int     `json:"grid_h"`
+	BudgetMs float64 `json:"budget_ms"`
+}
+
+// routingKey hashes one /viz request to its position on the ring. The hash
+// covers exactly the request fields that determine the result-cache key —
+// dataset, predicates (keyword/time/region), kind, grid, budget — normalized
+// the way the server normalizes them (kind and grid defaults, budget ≤ 0 as
+// one class, sub-area regions as one class). Rewriting is deterministic per
+// (dataset, query, budget), so equal result keys get equal routing keys and
+// every distinct result has exactly one owning replica. The converse can
+// fail in benign ways (e.g. two spellings of the same instant, or naming the
+// default dataset explicitly): those route to different owners at worst,
+// and the peer protocol still converges them. An unparseable body hashes
+// raw, so even error responses route deterministically.
+func routingKey(dataset string, body []byte) uint64 {
+	h := hash64(dataset)
+	var wr wireRequest
+	if err := json.Unmarshal(body, &wr); err != nil {
+		return mix64(h, hash64(string(body)))
+	}
+	h = mix64(h, hash64(wr.Keyword))
+	h = mix64(h, timeHash(wr.From))
+	h = mix64(h, timeHash(wr.To))
+	region := engine.Rect{MinLon: wr.MinLon, MinLat: wr.MinLat, MaxLon: wr.MaxLon, MaxLat: wr.MaxLat}
+	if region.Area() <= 0 {
+		region = engine.Rect{} // the server substitutes the dataset extent
+	}
+	h = mix64(h, math.Float64bits(region.MinLon))
+	h = mix64(h, math.Float64bits(region.MinLat))
+	h = mix64(h, math.Float64bits(region.MaxLon))
+	h = mix64(h, math.Float64bits(region.MaxLat))
+	kind := wr.Kind
+	if kind != string(middleware.VizScatter) {
+		kind = string(middleware.VizHeatmap)
+	}
+	h = mix64(h, hash64(kind))
+	gw, gh := wr.GridW, wr.GridH
+	if gw <= 0 {
+		gw = 64
+	}
+	if gh <= 0 {
+		gh = 64
+	}
+	h = mix64(h, uint64(gw)<<32|uint64(uint32(gh)))
+	budget := wr.BudgetMs
+	if budget <= 0 {
+		budget = 0 // any non-positive budget resolves to the server default
+	}
+	h = mix64(h, math.Float64bits(budget))
+	return h
+}
+
+// timeHash hashes an RFC 3339 timestamp by its instant (the server keys on
+// UnixMilli, so "+00:00" and "Z" spellings must agree); unparseable strings
+// hash raw, which still routes identical bodies identically.
+func timeHash(s string) uint64 {
+	if s == "" {
+		return hash64("")
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return uint64(t.UnixMilli())
+	}
+	return hash64(s)
+}
+
+// Router is the replica-aware routing tier: it fronts N replicas and sends
+// each /viz request to the replica owning its result key on the consistent
+// hash ring, so cache hits concentrate on one replica per key instead of
+// fragmenting N ways. A down owner fails over to the next replica in the
+// key's ring sequence (which then serves from its own cache, a peer fetch,
+// or local compute — never an error, as long as one replica lives).
+type Router struct {
+	ring  *Ring
+	nodes []*Node
+	start time.Time
+
+	routed    []atomic.Int64 // per replica: requests sent there
+	failovers []atomic.Int64 // per replica: requests absorbed for a down owner
+	allDown   atomic.Int64
+}
+
+// NewRouter builds a router over the ring's replicas. len(nodes) must match
+// the ring.
+func NewRouter(ring *Ring, nodes []*Node) (*Router, error) {
+	if len(nodes) != ring.Replicas() {
+		return nil, fmt.Errorf("cluster: router has %d nodes for a ring of %d", len(nodes), ring.Replicas())
+	}
+	return &Router{
+		ring:      ring,
+		nodes:     nodes,
+		start:     time.Now(),
+		routed:    make([]atomic.Int64, len(nodes)),
+		failovers: make([]atomic.Int64, len(nodes)),
+	}, nil
+}
+
+// Handler returns the router's HTTP surface:
+//
+//	POST /viz, /query        — routed by result-key hash, with failover
+//	GET  /datasets           — forwarded to the first live replica
+//	GET  /healthz            — cluster rollup; ?replica=i forwards
+//	GET  /metrics            — cluster text with replica="i" labels;
+//	                           ?format=json → Snapshot; ?replica=i forwards
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /viz", rt.serveViz)
+	mux.HandleFunc("POST /query", rt.serveViz)
+	mux.HandleFunc("GET /datasets", rt.forwardAnyLive)
+	mux.HandleFunc("GET /healthz", rt.serveHealthz)
+	mux.HandleFunc("GET /metrics", rt.serveMetrics)
+	return mux
+}
+
+// serveViz routes one visualization request to its owner replica.
+func (rt *Router) serveViz(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := routingKey(r.URL.Query().Get("dataset"), body)
+	seq := rt.ring.Sequence(key)
+	for i, idx := range seq {
+		n := rt.nodes[idx]
+		if n.Down() {
+			continue
+		}
+		rt.routed[idx].Add(1)
+		if i > 0 {
+			rt.failovers[idx].Add(1)
+		}
+		r2 := r.Clone(r.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+		n.ServeHTTP(w, r2)
+		return
+	}
+	rt.allDown.Add(1)
+	http.Error(w, "no live replica", http.StatusServiceUnavailable)
+}
+
+// forwardAnyLive forwards a read-only request to the first live replica
+// (every replica answers registry-level endpoints identically).
+func (rt *Router) forwardAnyLive(w http.ResponseWriter, r *http.Request) {
+	for _, n := range rt.nodes {
+		if !n.Down() {
+			n.ServeHTTP(w, r)
+			return
+		}
+	}
+	http.Error(w, "no live replica", http.StatusServiceUnavailable)
+}
+
+// replicaParam resolves an optional ?replica=i forward target.
+func (rt *Router) replicaParam(w http.ResponseWriter, r *http.Request) (*Node, bool, bool) {
+	s := r.URL.Query().Get("replica")
+	if s == "" {
+		return nil, false, true
+	}
+	i, err := strconv.Atoi(s)
+	if err != nil || i < 0 || i >= len(rt.nodes) {
+		http.Error(w, fmt.Sprintf("unknown replica %q", s), http.StatusNotFound)
+		return nil, true, false
+	}
+	return rt.nodes[i], true, true
+}
+
+func (rt *Router) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	if n, set, ok := rt.replicaParam(w, r); !ok {
+		return
+	} else if set {
+		n.ServeHTTP(w, r)
+		return
+	}
+	type replicaHealth struct {
+		Replica int    `json:"replica"`
+		Status  string `json:"status"`
+	}
+	out := struct {
+		Status    string          `json:"status"`
+		UptimeSec float64         `json:"uptime_sec"`
+		Replicas  []replicaHealth `json:"replicas"`
+	}{Status: "ok", UptimeSec: time.Since(rt.start).Seconds()}
+	live := 0
+	for i, n := range rt.nodes {
+		st := "ok"
+		if n.Down() {
+			st = "down"
+		} else {
+			live++
+		}
+		out.Replicas = append(out.Replicas, replicaHealth{Replica: i, Status: st})
+	}
+	code := http.StatusOK
+	if live == 0 {
+		out.Status = "down"
+		code = http.StatusServiceUnavailable
+	} else if live < len(rt.nodes) {
+		out.Status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// ReplicaSnapshot is one replica's slice of the cluster snapshot.
+type ReplicaSnapshot struct {
+	Replica   int                               `json:"replica"`
+	Alive     bool                              `json:"alive"`
+	Routed    int64                             `json:"routed"`
+	Failovers int64                             `json:"failovers_absorbed"`
+	Cache     CacheSnapshot                     `json:"cache"`
+	Gateway   middleware.GatewayMetricsSnapshot `json:"gateway"`
+}
+
+// Snapshot is the JSON form of GET /metrics?format=json on the router: the
+// routing counters, each replica's peer-cache and gateway metrics, and the
+// cluster-wide result-cache hit rate (peer hits count as hits — they skip
+// execution exactly like local ones).
+type Snapshot struct {
+	UptimeSec     float64           `json:"uptime_sec"`
+	Replicas      []ReplicaSnapshot `json:"replicas"`
+	Routed        int64             `json:"routed"`
+	NoLiveReplica int64             `json:"no_live_replica"`
+	ResultHits    int64             `json:"result_cache_hits"`
+	ResultMisses  int64             `json:"result_cache_misses"`
+	ResultHitRate float64           `json:"result_cache_hit_rate"`
+}
+
+// Snapshot captures the cluster counters.
+func (rt *Router) Snapshot() Snapshot {
+	snap := Snapshot{
+		UptimeSec:     time.Since(rt.start).Seconds(),
+		NoLiveReplica: rt.allDown.Load(),
+	}
+	for i, n := range rt.nodes {
+		rs := ReplicaSnapshot{
+			Replica:   i,
+			Alive:     !n.Down(),
+			Routed:    rt.routed[i].Load(),
+			Failovers: rt.failovers[i].Load(),
+			Cache:     n.CacheSnapshot(),
+			Gateway:   n.Gateway().Snapshot(),
+		}
+		snap.Routed += rs.Routed
+		for _, m := range rs.Gateway.Datasets {
+			snap.ResultHits += m.ResultHits
+			snap.ResultMisses += m.ResultMisses
+		}
+		snap.Replicas = append(snap.Replicas, rs)
+	}
+	if total := snap.ResultHits + snap.ResultMisses; total > 0 {
+		snap.ResultHitRate = float64(snap.ResultHits) / float64(total)
+	}
+	return snap
+}
+
+func (rt *Router) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if n, set, ok := rt.replicaParam(w, r); !ok {
+		return
+	} else if set {
+		n.ServeHTTP(w, r)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rt.Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	rt.WritePrometheus(w)
+}
+
+// WritePrometheus renders the cluster counters in Prometheus text format:
+// router and peer-cache series carry a replica="i" label, and every
+// replica's per-dataset gateway series carry replica="i",dataset="name".
+func (rt *Router) WritePrometheus(w io.Writer) {
+	snap := rt.Snapshot()
+	fmt.Fprintf(w, "maliva_cluster_uptime_seconds %g\n", snap.UptimeSec)
+	fmt.Fprintf(w, "maliva_cluster_replicas %d\n", len(rt.nodes))
+	fmt.Fprintf(w, "maliva_cluster_no_live_replica_total %d\n", snap.NoLiveReplica)
+	fmt.Fprintf(w, "maliva_cluster_result_cache_hit_rate %g\n", snap.ResultHitRate)
+	for _, rs := range snap.Replicas {
+		l := fmt.Sprintf("replica=%q", strconv.Itoa(rs.Replica))
+		alive := 0
+		if rs.Alive {
+			alive = 1
+		}
+		fmt.Fprintf(w, "maliva_cluster_replica_alive{%s} %d\n", l, alive)
+		fmt.Fprintf(w, "maliva_cluster_routed_total{%s} %d\n", l, rs.Routed)
+		fmt.Fprintf(w, "maliva_cluster_failovers_absorbed_total{%s} %d\n", l, rs.Failovers)
+		c := rs.Cache
+		fmt.Fprintf(w, "maliva_cluster_result_local_hits_total{%s} %d\n", l, c.LocalHits)
+		fmt.Fprintf(w, "maliva_cluster_peer_hits_total{%s} %d\n", l, c.PeerHits)
+		fmt.Fprintf(w, "maliva_cluster_peer_misses_total{%s} %d\n", l, c.PeerMisses)
+		fmt.Fprintf(w, "maliva_cluster_peer_errors_total{%s} %d\n", l, c.PeerErrors)
+		fmt.Fprintf(w, "maliva_cluster_peer_fetches_coalesced_total{%s} %d\n", l, c.FetchesCoalesced)
+		fmt.Fprintf(w, "maliva_cluster_peer_fetches_served_total{%s} %d\n", l, c.FetchesServed)
+		fmt.Fprintf(w, "maliva_cluster_fills_sent_total{%s} %d\n", l, c.FillsSent)
+		fmt.Fprintf(w, "maliva_cluster_fills_received_total{%s} %d\n", l, c.FillsReceived)
+		fmt.Fprintf(w, "maliva_cluster_fills_dropped_total{%s} %d\n", l, c.FillsDropped)
+	}
+	// Per-replica, per-dataset gateway series.
+	for _, rs := range snap.Replicas {
+		names := make([]string, 0, len(rs.Gateway.Gateway.Datasets))
+		for name, st := range rs.Gateway.Gateway.Datasets {
+			if st == "ready" {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			srv, err := rt.nodes[rs.Replica].Gateway().Server(name)
+			if err != nil {
+				continue
+			}
+			srv.Metrics().WritePrometheusLabeled(w,
+				fmt.Sprintf("replica=%q,dataset=%q", strconv.Itoa(rs.Replica), name))
+		}
+	}
+}

@@ -288,8 +288,24 @@ func (a *Agent) MarshalJSON() ([]byte, error) {
 	return json.Marshal(agentJSON{NumOpts: a.NumOpts, Net: netB})
 }
 
-// LoadAgentFile reads a policy snapshot saved by cmd/maliva-train (an
-// Agent marshaled to JSON) and restores it with the default hyperparameters
+// SaveAgentFile writes a policy snapshot readable by LoadAgentFile — the
+// same JSON format cmd/maliva-train emits, so a snapshot persisted by a
+// serving binary after startup training (maliva-server -save-agent) is
+// interchangeable with one produced by the offline trainer.
+func SaveAgentFile(path string, a *Agent) error {
+	data, err := json.MarshalIndent(a, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: serializing agent snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("core: writing agent snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadAgentFile reads a policy snapshot saved by SaveAgentFile or
+// cmd/maliva-train (an Agent marshaled to JSON) and restores it with the default hyperparameters
 // — the loaded agent is used for inference, so the training knobs are
 // irrelevant. Callers that keep training should use LoadAgent directly.
 func LoadAgentFile(path string) (*Agent, error) {

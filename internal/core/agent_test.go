@@ -139,6 +139,27 @@ func TestLoadAgentFile(t *testing.T) {
 	if _, err := LoadAgentFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("expected error for missing file")
 	}
+
+	// SaveAgentFile writes the same format (the maliva-server -save-agent
+	// persist-after-train path): decisions survive a save/load round trip.
+	saved := filepath.Join(t.TempDir(), "saved.json")
+	if err := SaveAgentFile(saved, agent); err != nil {
+		t.Fatal(err)
+	}
+	fromSave, err := LoadAgentFile(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctx := range contexts {
+		a := agent.Rewrite(NewEnv(envCfg, ctx))
+		b := fromSave.Rewrite(NewEnv(envCfg, ctx))
+		if a.Option != b.Option {
+			t.Fatalf("decisions differ after SaveAgentFile round trip: %d vs %d", a.Option, b.Option)
+		}
+	}
+	if err := SaveAgentFile(filepath.Join(t.TempDir(), "no-such-dir", "x.json"), agent); err == nil {
+		t.Error("expected error for unwritable path")
+	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)

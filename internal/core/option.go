@@ -1,9 +1,3 @@
-// Package core implements Maliva's contribution: MDP-based query rewriting
-// under a time constraint. It defines rewriting options (query-hint sets and
-// approximation rules, Def. 2.1/2.2 in the paper), the per-query context that
-// captures ground truth for training, the MDP model (states, actions,
-// transitions, rewards — §4), the deep-Q agent (Algorithm 1/2 — §5), and the
-// quality-aware one-stage/two-stage rewriters (§6).
 package core
 
 import (

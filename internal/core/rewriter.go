@@ -93,8 +93,17 @@ func (r *MDPRewriter) Name() string {
 	return "MDP (" + r.QTE.Name() + ")"
 }
 
-// Rewrite implements Rewriter.
+// Rewrite implements Rewriter. A policy is trained for one option-space
+// shape — the Q-network's state encoding sizes with |Ω| — so a query whose
+// predicate count yields a different option count cannot go through the
+// agent (the forward pass would panic mid-request). Such queries degrade
+// to the no-rewrite baseline: correct and budget-accounted, just
+// unoptimized. Serving binaries train on 3-predicate workloads, so this is
+// the path 1/2-predicate frontend requests take.
 func (r *MDPRewriter) Rewrite(ctx *QueryContext, budget float64) Outcome {
+	if r.Agent.NumOpts != len(ctx.Options) {
+		return BaselineRewriter{}.Rewrite(ctx, budget)
+	}
 	env := NewEnv(EnvConfig{Budget: budget, QTE: r.QTE, Beta: r.betaOrDefault(), InitialCostJitter: r.Jitter}, ctx)
 	return r.Agent.Rewrite(env)
 }

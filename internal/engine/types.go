@@ -1,11 +1,3 @@
-// Package engine implements the database substrate used by Maliva: an
-// in-memory columnar store with B+-tree, R-tree and inverted indexes, a
-// cost-based optimizer with realistic estimation errors, query hints,
-// sample tables, and a deterministic virtual-time cost model.
-//
-// The engine executes queries for real on (scaled-down) data, while the
-// reported execution time is a deterministic function of the work performed,
-// converted to paper-scale milliseconds. See DESIGN.md §3.
 package engine
 
 import "fmt"

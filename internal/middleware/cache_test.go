@@ -200,7 +200,7 @@ func TestResultCacheTTL(t *testing.T) {
 	now := time.Unix(1000, 0)
 	clock := func() time.Time { return now }
 	c := newResultCache(8, 10*time.Second, clock)
-	key := resultKey{sql: "SELECT 1", kind: VizHeatmap, gridW: 8, gridH: 8, budget: 500}
+	key := ResultKey{SQL: "SELECT 1", Kind: VizHeatmap, GridW: 8, GridH: 8, Budget: 500}
 	resp := &Response{Kind: VizHeatmap}
 
 	c.put(key, resp)
@@ -235,7 +235,7 @@ func TestResultCacheTTL(t *testing.T) {
 // eviction, and distinct budgets/grids/regions are distinct keys.
 func TestResultCacheLRU(t *testing.T) {
 	c := newResultCache(2, time.Minute, nil)
-	k := func(b float64) resultKey { return resultKey{sql: "q", budget: b} }
+	k := func(b float64) ResultKey { return ResultKey{SQL: "q", Budget: b} }
 	r1, r2, r3 := &Response{}, &Response{}, &Response{}
 
 	c.put(k(1), r1)
@@ -256,7 +256,7 @@ func TestResultCacheLRU(t *testing.T) {
 	}
 
 	// Region variation keys separately.
-	kr := resultKey{sql: "q", region: engine.Rect{MaxLon: 1}}
+	kr := ResultKey{SQL: "q", Region: engine.Rect{MaxLon: 1}}
 	if c.get(kr) != nil {
 		t.Error("distinct region aliased an existing key")
 	}
@@ -268,8 +268,8 @@ func TestResultCacheDisabled(t *testing.T) {
 	if c != nil {
 		t.Fatal("negative cap should disable the cache")
 	}
-	c.put(resultKey{sql: "q"}, &Response{})
-	if c.get(resultKey{sql: "q"}) != nil {
+	c.put(ResultKey{SQL: "q"}, &Response{})
+	if c.get(ResultKey{SQL: "q"}) != nil {
 		t.Fatal("disabled cache returned a response")
 	}
 	if c.len() != 0 {

@@ -46,6 +46,13 @@ type GatewayConfig struct {
 	// start). 0 means GOMAXPROCS, 1 forces serial warmup. Lazily-built
 	// datasets (first request touch) are unaffected.
 	WarmWorkers int
+	// WrapResultCache, when set, wraps each dataset's result cache as its
+	// Server is built (internal/cluster installs the peer-shared cache
+	// here). It runs once per dataset, on the build goroutine, with the
+	// dataset's registry name and its freshly-built local cache — and not
+	// at all when the result cache is disabled (see
+	// ServerConfig.WrapResultCache).
+	WrapResultCache func(dataset string, local ResultCache) ResultCache
 }
 
 // gatewayEntry is one dataset's serving slot: warming until done closes,
@@ -186,6 +193,11 @@ func (g *Gateway) build(name string, e *gatewayEntry) {
 	}
 	scfg := g.cfg.Server
 	scfg.MaxConcurrent = -1 // admission is gateway-scoped, not per server
+	if wrap := g.cfg.WrapResultCache; wrap != nil {
+		scfg.WrapResultCache = func(local ResultCache) ResultCache {
+			return wrap(name, local)
+		}
+	}
 	srv, err := NewServerWithConfig(ds, rw, g.cfg.Space, scfg)
 	if err != nil {
 		e.err = err

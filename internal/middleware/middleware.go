@@ -1,25 +1,3 @@
-// Package middleware implements the paper's Fig. 5 architecture: a
-// visualization middleware that translates frontend requests into SQL
-// queries, rewrites them with the MDP-based Query Rewriter so the total
-// response time stays within a budget, executes them on the backend engine,
-// and returns binned visualization results.
-//
-// The serving layer is built for concurrent traffic:
-//
-//   - a signature-keyed plan cache memoizes the ground-truth context and the
-//     rewriter's per-budget decision, with single-flight coalescing so N
-//     identical in-flight requests build the context once;
-//   - a TTL'd result cache returns finished binned responses for repeated
-//     (rewritten SQL, grid, region, budget) shapes — the overlap a pan/zoom
-//     session generates;
-//   - a server-scope engine.LookupCache shares index scans across requests
-//     over the immutable dataset;
-//   - admission control bounds concurrency and queueing so overload sheds
-//     load (HTTP 429/503) instead of queueing unboundedly.
-//
-// Every cache layer is deterministic: cached responses are bit-identical to
-// what the cold path would produce, because all engine randomness derives
-// from per-query/per-plan fingerprints.
 package middleware
 
 import (
@@ -111,6 +89,15 @@ type ServerConfig struct {
 	// effective per-request deadline is min(QueueTimeout, its budget_ms
 	// as real time). Default 1s.
 	QueueTimeout time.Duration
+	// WrapResultCache, when set, wraps the server's built-in result cache
+	// before first use — the extension point internal/cluster uses to layer
+	// a peer-aware cache (local miss → fetch from the key's owning replica)
+	// over the local sharded cache. It must return a ResultCache honoring
+	// the same contract; returning the argument unchanged is a no-op. Not
+	// called when the result cache is disabled (ResultCacheSize < 0):
+	// layering peer round trips over a cache that drops everything would
+	// cost latency and never hit.
+	WrapResultCache func(local ResultCache) ResultCache
 	// Now overrides the result-cache clock (tests). Default time.Now.
 	Now func() time.Time
 }
@@ -167,7 +154,7 @@ type Server struct {
 
 	lookups *engine.LookupCache
 	plans   *shardedPlanCache
-	results *shardedResultCache
+	results ResultCache
 	admit   *admission
 	metrics *Metrics
 
@@ -204,6 +191,12 @@ func NewServerWithConfig(ds *workload.Dataset, rw core.Rewriter, space core.Spac
 		results:  newShardedResultCache(cfg.ResultCacheSize, cfg.CacheShards, cfg.ResultTTL, cfg.Now),
 		admit:    newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
 		metrics:  NewMetrics(),
+	}
+	if cfg.WrapResultCache != nil && s.results.(*shardedResultCache) != nil {
+		s.results = cfg.WrapResultCache(s.results)
+		if s.results == nil {
+			return nil, fmt.Errorf("middleware: WrapResultCache returned a nil ResultCache")
+		}
 	}
 	for _, col := range ds.FilterCols {
 		if !t.HasColumn(col) {
@@ -354,12 +347,13 @@ func (s *Server) handle(req Request) (*Response, bool, error) {
 	}
 
 	// Result cache: repeated (rewritten SQL, kind, grid, region, budget)
-	// shapes skip execution and binning entirely.
-	rkey := resultKey{
-		sql: rq.SQL(hint), kind: kind, gridW: gw, gridH: gh,
-		region: s.regionOrExtent(req), budget: budget,
+	// shapes skip execution and binning entirely. In a cluster, Get may be
+	// answered by the key's owning replica's cache (see internal/cluster).
+	rkey := ResultKey{
+		SQL: rq.SQL(hint), Kind: kind, GridW: gw, GridH: gh,
+		Region: s.regionOrExtent(req), Budget: budget,
 	}
-	if resp := s.results.get(rkey); resp != nil {
+	if resp := s.results.Get(rkey); resp != nil {
 		s.metrics.resultHits.Add(1)
 		s.noteOutcome(resp)
 		return resp, true, nil
@@ -377,7 +371,7 @@ func (s *Server) handle(req Request) (*Response, bool, error) {
 		GridH: gh,
 		Trace: Trace{
 			SQL:          sig,
-			RewrittenSQL: rkey.sql,
+			RewrittenSQL: rkey.SQL,
 			Option:       optLabel,
 			BudgetMs:     budget,
 			PlanMs:       out.PlanMs,
@@ -392,13 +386,17 @@ func (s *Server) handle(req Request) (*Response, bool, error) {
 	case VizScatter:
 		resp.Points = res.Points
 	default:
-		grid := viz.NewGrid(rkey.region, gw, gh)
+		grid := viz.NewGrid(rkey.Region, gw, gh)
 		resp.Bins = grid.Counts(res.Points, res.Weight)
 	}
-	s.results.put(rkey, resp)
+	s.results.Put(rkey, resp)
 	s.noteOutcome(resp)
 	return resp, false, nil
 }
+
+// ResultCache exposes the server's (possibly wrapped) result cache for
+// diagnostics — cluster peer endpoints answer fetches from it directly.
+func (s *Server) ResultCache() ResultCache { return s.results }
 
 // noteOutcome updates per-response serving metrics.
 func (s *Server) noteOutcome(resp *Response) {

@@ -2,28 +2,70 @@ package middleware
 
 import (
 	"container/list"
+	"math"
 	"sync"
 	"time"
 
 	"github.com/maliva/maliva/internal/engine"
 )
 
-// resultKey identifies one binned visualization result: the rewritten SQL
+// ResultKey identifies one binned visualization result: the rewritten SQL
 // that produced it, the visualization kind and grid, the binning region,
 // and the effective budget (the trace embeds budget-dependent fields, so
 // responses are only shared between requests with the same budget).
-type resultKey struct {
-	sql    string
-	kind   VizKind
-	gridW  int
-	gridH  int
-	region engine.Rect
-	budget float64
+//
+// The key is exported (with JSON tags) because it is also the unit of
+// cross-replica result sharing: internal/cluster routes requests and
+// addresses peer-cache fetches by ResultKey, so every distinct result has
+// exactly one owning replica. Every field is a deterministic function of the
+// request and the dataset, never of which replica computed it.
+type ResultKey struct {
+	SQL    string      `json:"sql"`
+	Kind   VizKind     `json:"kind"`
+	GridW  int         `json:"grid_w"`
+	GridH  int         `json:"grid_h"`
+	Region engine.Rect `json:"region"`
+	Budget float64     `json:"budget"`
+}
+
+// Hash spreads a result key over shards (and, in internal/cluster, over the
+// replica hash ring): the rewritten SQL dominates, the remaining fields
+// disambiguate grid/kind/region/budget variants that share SQL text.
+func (k ResultKey) Hash() uint64 {
+	h := fnv64(k.SQL)
+	h = mixShard(h, fnv64(string(k.Kind)))
+	h = mixShard(h, uint64(k.GridW)<<32|uint64(uint32(k.GridH)))
+	h = mixShard(h, math.Float64bits(k.Region.MinLon))
+	h = mixShard(h, math.Float64bits(k.Region.MinLat))
+	h = mixShard(h, math.Float64bits(k.Region.MaxLon))
+	h = mixShard(h, math.Float64bits(k.Region.MaxLat))
+	h = mixShard(h, math.Float64bits(k.Budget))
+	return h
+}
+
+// ResultCache is the pluggable result-cache surface the Server executes
+// against. The built-in implementation is the sharded TTL'd LRU; a cluster
+// deployment wraps it (per dataset, via GatewayConfig.WrapResultCache) with
+// a peer-aware cache that consults the key's owning replica on a miss.
+//
+// Contract: Get returns nil on a miss; a non-nil Response must be treated as
+// immutable by the caller and must be bit-identical to what the cold compute
+// path would produce for the same key. Put must tolerate duplicate and
+// concurrent inserts of the same key (values for equal keys are identical by
+// construction, so last-write-wins is safe). Implementations must be safe
+// for concurrent use.
+type ResultCache interface {
+	// Get returns the cached response for key, or nil.
+	Get(key ResultKey) *Response
+	// Put stores a response under key.
+	Put(key ResultKey, resp *Response)
+	// Len reports how many responses are cached (diagnostics and tests).
+	Len() int
 }
 
 // resultEntry is a cached response with its expiry.
 type resultEntry struct {
-	key     resultKey
+	key     ResultKey
 	resp    *Response
 	expires time.Time
 }
@@ -38,7 +80,7 @@ type resultCache struct {
 	cap     int
 	ttl     time.Duration
 	now     func() time.Time
-	entries map[resultKey]*list.Element // of *resultEntry
+	entries map[ResultKey]*list.Element // of *resultEntry
 	lru     *list.List
 }
 
@@ -58,14 +100,14 @@ func newResultCache(cap int, ttl time.Duration, now func() time.Time) *resultCac
 		cap:     cap,
 		ttl:     ttl,
 		now:     now,
-		entries: make(map[resultKey]*list.Element),
+		entries: make(map[ResultKey]*list.Element),
 		lru:     list.New(),
 	}
 }
 
 // get returns the cached response for key, or nil. Expired entries are
 // dropped lazily on access.
-func (c *resultCache) get(key resultKey) *Response {
+func (c *resultCache) get(key ResultKey) *Response {
 	if c == nil {
 		return nil
 	}
@@ -87,7 +129,7 @@ func (c *resultCache) get(key resultKey) *Response {
 
 // put stores a response, refreshing the TTL if the key already exists and
 // evicting the least-recently-used entries beyond capacity.
-func (c *resultCache) put(key resultKey, resp *Response) {
+func (c *resultCache) put(key ResultKey, resp *Response) {
 	if c == nil {
 		return
 	}

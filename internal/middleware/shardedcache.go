@@ -1,7 +1,6 @@
 package middleware
 
 import (
-	"math"
 	"time"
 
 	"github.com/maliva/maliva/internal/core"
@@ -28,21 +27,6 @@ func fnv64(s string) uint64 {
 func mixShard(h, v uint64) uint64 {
 	h ^= v
 	h *= 1099511628211
-	return h
-}
-
-// hash spreads a result key over shards: the rewritten SQL dominates, the
-// remaining fields disambiguate grid/kind/region/budget variants that share
-// SQL text.
-func (k resultKey) hash() uint64 {
-	h := fnv64(k.sql)
-	h = mixShard(h, fnv64(string(k.kind)))
-	h = mixShard(h, uint64(k.gridW)<<32|uint64(uint32(k.gridH)))
-	h = mixShard(h, math.Float64bits(k.region.MinLon))
-	h = mixShard(h, math.Float64bits(k.region.MinLat))
-	h = mixShard(h, math.Float64bits(k.region.MaxLon))
-	h = mixShard(h, math.Float64bits(k.region.MaxLat))
-	h = mixShard(h, math.Float64bits(k.budget))
 	return h
 }
 
@@ -104,7 +88,9 @@ func (c *shardedPlanCache) len() int {
 	return n
 }
 
-// shardedResultCache shards the TTL'd response cache the same way.
+// shardedResultCache shards the TTL'd response cache the same way. It is
+// the built-in ResultCache implementation; a nil *shardedResultCache is the
+// disabled cache (Get misses, Put drops) and still satisfies the interface.
 type shardedResultCache struct {
 	shards []*resultCache
 }
@@ -123,26 +109,28 @@ func newShardedResultCache(capacity, shards int, ttl time.Duration, now func() t
 	return c
 }
 
-func (c *shardedResultCache) shard(key resultKey) *resultCache {
-	return c.shards[key.hash()%uint64(len(c.shards))]
+func (c *shardedResultCache) shard(key ResultKey) *resultCache {
+	return c.shards[key.Hash()%uint64(len(c.shards))]
 }
 
-func (c *shardedResultCache) get(key resultKey) *Response {
+// Get implements ResultCache.
+func (c *shardedResultCache) Get(key ResultKey) *Response {
 	if c == nil {
 		return nil
 	}
 	return c.shard(key).get(key)
 }
 
-func (c *shardedResultCache) put(key resultKey, resp *Response) {
+// Put implements ResultCache.
+func (c *shardedResultCache) Put(key ResultKey, resp *Response) {
 	if c == nil {
 		return
 	}
 	c.shard(key).put(key, resp)
 }
 
-// len sums the shard sizes (for tests).
-func (c *shardedResultCache) len() int {
+// Len sums the shard sizes.
+func (c *shardedResultCache) Len() int {
 	if c == nil {
 		return 0
 	}

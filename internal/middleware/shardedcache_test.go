@@ -67,21 +67,21 @@ func TestShardedResultCacheBasics(t *testing.T) {
 	now := time.Unix(1000, 0)
 	clock := func() time.Time { return now }
 	c := newShardedResultCache(64, 8, 10*time.Second, clock)
-	keys := make([]resultKey, 24)
+	keys := make([]ResultKey, 24)
 	resps := make([]*Response, len(keys))
 	for i := range keys {
-		keys[i] = resultKey{sql: fmt.Sprintf("SELECT %d", i), kind: VizHeatmap, gridW: 8, gridH: 8, budget: float64(i)}
+		keys[i] = ResultKey{SQL: fmt.Sprintf("SELECT %d", i), Kind: VizHeatmap, GridW: 8, GridH: 8, Budget: float64(i)}
 		resps[i] = &Response{GridW: i}
-		c.put(keys[i], resps[i])
+		c.Put(keys[i], resps[i])
 	}
 	for i, k := range keys {
-		if got := c.get(k); got != resps[i] {
+		if got := c.Get(k); got != resps[i] {
 			t.Fatalf("key %d: got %v, want %v", i, got, resps[i])
 		}
 	}
 	now = now.Add(11 * time.Second)
 	for i, k := range keys {
-		if got := c.get(k); got != nil {
+		if got := c.Get(k); got != nil {
 			t.Fatalf("key %d served after TTL", i)
 		}
 	}
@@ -159,13 +159,13 @@ func BenchmarkPlanCacheContention(b *testing.B) {
 // BenchmarkResultCacheContention is the same comparison for the result
 // cache, mixing gets with the occasional put the way warm serving does.
 func BenchmarkResultCacheContention(b *testing.B) {
-	keys := make([]resultKey, 256)
+	keys := make([]ResultKey, 256)
 	for i := range keys {
-		keys[i] = resultKey{sql: fmt.Sprintf("SELECT %d;", i), kind: VizHeatmap, gridW: 32, gridH: 16, budget: 500}
+		keys[i] = ResultKey{SQL: fmt.Sprintf("SELECT %d;", i), Kind: VizHeatmap, GridW: 32, GridH: 16, Budget: 500}
 	}
 	resp := &Response{Kind: VizHeatmap}
 
-	run := func(b *testing.B, get func(resultKey) *Response, put func(resultKey, *Response)) {
+	run := func(b *testing.B, get func(ResultKey) *Response, put func(ResultKey, *Response)) {
 		b.Helper()
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -191,9 +191,9 @@ func BenchmarkResultCacheContention(b *testing.B) {
 	b.Run("sharded", func(b *testing.B) {
 		c := newShardedResultCache(1024, defaultCacheShards, time.Minute, nil)
 		for _, k := range keys {
-			c.put(k, resp)
+			c.Put(k, resp)
 		}
-		run(b, c.get, c.put)
+		run(b, c.Get, c.Put)
 	})
 }
 

@@ -1,11 +1,3 @@
-// Package workload generates the paper's three evaluation datasets (Table 1)
-// at simulator scale, plus the §7.1 random query workloads with zoom-level
-// range conditions, train/validation/evaluation splits, and viable-plan
-// bucketing (Tables 2–3).
-//
-// Scaling: each generated table stores Rows rows with a ScaleFactor chosen
-// so Rows × ScaleFactor equals the paper's record count; the engine's
-// virtual clock reports execution times at that real scale.
 package workload
 
 import (

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# check_docs.sh — the docs gate (gofmt-style: quiet on success, lists
+# problems and exits non-zero on failure).
+#
+# Checks:
+#   1. README.md references docs/ARCHITECTURE.md (the architecture doc must
+#      stay discoverable, not just exist).
+#   2. Every relative markdown link in README.md and docs/*.md points at a
+#      file that exists.
+#   3. Every internal/ package ships a doc.go package overview.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+if ! grep -q 'docs/ARCHITECTURE\.md' README.md; then
+  echo "README.md no longer references docs/ARCHITECTURE.md" >&2
+  fail=1
+fi
+
+# Relative markdown links: [text](path) where path is not a URL or anchor.
+check_links() {
+  local file="$1" dir
+  dir=$(dirname "$file")
+  # One link per line; strip anchors; ignore absolute URLs. (grep exits 1
+  # on link-free files — that is a pass, not a failure.)
+  { grep -oE '\]\(([^)#]+)(#[^)]*)?\)' "$file" || true; } \
+    | sed -E 's/^\]\(//; s/#[^)]*//; s/\)$//' \
+    | while read -r target; do
+        case "$target" in
+          http://*|https://*|mailto:*|"") continue ;;
+        esac
+        if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+          echo "$file: broken relative link: $target" >&2
+          echo broken >> "$BROKEN_MARKER"
+        fi
+      done
+}
+
+BROKEN_MARKER=$(mktemp)
+trap 'rm -f "$BROKEN_MARKER"' EXIT
+for f in README.md docs/*.md; do
+  [ -e "$f" ] && check_links "$f"
+done
+if [ -s "$BROKEN_MARKER" ]; then
+  fail=1
+fi
+
+for pkg in internal/*/; do
+  [ -d "$pkg" ] || continue
+  if [ ! -e "${pkg}doc.go" ]; then
+    # Packages whose package comment lives in a regular file are fine;
+    # flag only packages with no package comment at all.
+    if ! grep -rlq '^// Package' "$pkg"*.go 2>/dev/null; then
+      echo "$pkg has no package comment (add a doc.go)" >&2
+      fail=1
+    fi
+  fi
+done
+
+exit "$fail"
