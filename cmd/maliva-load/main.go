@@ -16,6 +16,11 @@
 //	                                              # gateway, >1 = routed cluster)
 //	maliva-load -smoke                            # tiny CI pass (two datasets), fails on errors
 //	maliva-load -replicas 2 -smoke                # tiny CI pass through the cluster router
+//	maliva-load -replicas 3 -churn                # replica-churn drill: a healthy control
+//	                                              # pass, then a pass that kills/drains
+//	                                              # replicas mid-run; every 200 is checked
+//	                                              # byte-identical against a reference
+//	                                              # gateway and availability is asserted
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
@@ -79,6 +85,15 @@ type passReport struct {
 
 	Datasets []datasetPass `json:"datasets,omitempty"`
 
+	// Churn-drill fields (maliva-load -churn): Availability is the fraction
+	// of requests answered 200 (503s during churn are the complement),
+	// Mismatches counts 200s whose bytes diverged from the reference
+	// gateway — the invariant the drill exists to check — and ChurnEvents
+	// logs the lifecycle timeline the pass injected.
+	Availability float64  `json:"availability,omitempty"`
+	Mismatches   int64    `json:"mismatched_responses,omitempty"`
+	ChurnEvents  []string `json:"churn_events,omitempty"`
+
 	// Replicas and ResultHitRate are set by -replicas scaling passes:
 	// ResultHitRate is gateway-wide for Replicas == 1 and cluster-wide
 	// (local + peer hits over all replicas) for Replicas > 1.
@@ -113,6 +128,13 @@ type loadReport struct {
 	P50SpeedupX   float64 `json:"p50_speedup_x,omitempty"`
 	ResultHitRate float64 `json:"result_cache_hit_rate,omitempty"`
 	PlanHitRate   float64 `json:"plan_cache_hit_rate,omitempty"`
+
+	// Churn-drill headline numbers (churn mode only): availability under
+	// churn, the churn-pass p95 as a multiple of the healthy control's, and
+	// total byte-identity violations across both passes.
+	ChurnAvailability float64 `json:"churn_availability,omitempty"`
+	ChurnP95FactorX   float64 `json:"churn_p95_factor_x,omitempty"`
+	ChurnMismatches   int64   `json:"churn_mismatches,omitempty"`
 }
 
 func main() {
@@ -131,6 +153,7 @@ func main() {
 		repList  = flag.String("replicas", "", "comma-separated replica counts for a scaling compare (e.g. 1,2,4): one cached pass per count — 1 drives a plain gateway, >1 an in-process cluster behind the consistent-hash router")
 		jsonPath = flag.String("json", "", "write the report to this file")
 		smoke    = flag.Bool("smoke", false, "tiny CI pass: small datasets, ~2s, exit non-zero on errors")
+		churn    = flag.Bool("churn", false, "replica-churn drill over the -replicas count (default 3): a healthy control pass, then a pass with replicas killed/drained/revived mid-run; fails on any non-identical 200 or availability below 99%")
 	)
 	flag.Parse()
 
@@ -142,7 +165,7 @@ func main() {
 		*workers = 4
 		*duration = time.Second
 		*nShapes = 30
-		if *repList == "" {
+		if *repList == "" && !*churn {
 			*compare = true
 		}
 		if *datasets == "" {
@@ -155,6 +178,14 @@ func main() {
 	names := splitNames(*datasets)
 	if len(names) == 0 {
 		fatal(fmt.Errorf("-datasets lists no datasets"))
+	}
+	if *churn {
+		if *url != "" {
+			fatal(fmt.Errorf("-churn builds in-process clusters; it cannot drive a remote -url"))
+		}
+		if *compare {
+			fatal(fmt.Errorf("-churn and -compare are mutually exclusive (churn runs its own control pass)"))
+		}
 	}
 	var replicaCounts []int
 	if *repList != "" {
@@ -223,7 +254,17 @@ func main() {
 		if *agent != "" {
 			factory = agentFactory(*agent)
 		}
-		if len(replicaCounts) > 0 {
+		if *churn {
+			r := 3
+			if len(replicaCounts) > 0 {
+				r = replicaCounts[0]
+			}
+			if r < 2 {
+				fatal(fmt.Errorf("-churn needs at least 2 replicas (got %d)", r))
+			}
+			report.ReplicaCounts = []int{r}
+			runChurn(&report, r, names, built, shapes, factory, *budget, *workers, *duration, *zipfS, *seed)
+		} else if len(replicaCounts) > 0 {
 			// Replica scaling compare: one warm cached pass per count. The
 			// hit rate is measured over the timed pass only (counter deltas
 			// around it, after the warmup sweep) — cumulative rates would
@@ -243,7 +284,7 @@ func main() {
 					rep.ResultHitRate = gatewayDeltaHitRate(before, rep.Server)
 					srv.close()
 				} else {
-					srv, cl := startCluster(r, names, built, *budget, factory)
+					srv, cl := startCluster(r, names, built, *budget, factory, cluster.HealthConfig{})
 					warmSweep(client, srv.url, shapes)
 					before := cl.Snapshot()
 					rep = runPass(passName, srv.url, shapes, *workers, *duration, *zipfS, *seed, false)
@@ -308,10 +349,17 @@ func main() {
 			}
 			fmt.Println()
 		}
+		if p.Availability > 0 {
+			fmt.Printf("  availability %.2f%%  mismatches %d\n", 100*p.Availability, p.Mismatches)
+		}
 		for _, d := range p.Datasets {
 			fmt.Printf("  %-12s %7.0f req/s  p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms  (%d requests)\n",
 				d.Name, d.QPS, d.P50Ms, d.P95Ms, d.P99Ms, d.Requests)
 		}
+	}
+	if *churn && len(report.Passes) >= 2 {
+		fmt.Printf("churn vs control: availability %.2f%%, p95 %.2fx, mismatches %d\n",
+			100*report.ChurnAvailability, report.ChurnP95FactorX, report.ChurnMismatches)
 	}
 	if len(replicaCounts) > 1 {
 		base := report.Passes[0]
@@ -346,6 +394,14 @@ func main() {
 			fatal(fmt.Errorf("pass %q saw %d request errors", p.Name, p.Errors))
 		}
 	}
+	if *churn {
+		if report.ChurnMismatches > 0 {
+			fatal(fmt.Errorf("churn: %d responses diverged from the reference gateway", report.ChurnMismatches))
+		}
+		if report.ChurnAvailability < 0.99 {
+			fatal(fmt.Errorf("churn: availability %.2f%% below the 99%% floor", 100*report.ChurnAvailability))
+		}
+	}
 	if *smoke {
 		last := report.Passes[len(report.Passes)-1]
 		if last.Server != nil {
@@ -368,6 +424,72 @@ func main() {
 			}
 		}
 	}
+}
+
+// runChurn runs the replica-churn drill: collect reference truth from a
+// standalone gateway, then drive an R-replica cluster through a healthy
+// control pass and a churn pass whose timeline kills, revives, drains, and
+// rejoins replicas mid-run — verifying every 200 byte-for-byte against the
+// reference along the way. Two invariants ride on this: responses never
+// diverge no matter which replica absorbs a failed-over request, and
+// availability holds because losing 1 of R replicas only fails over ~1/R of
+// the key space.
+func runChurn(report *loadReport, r int, names []string, built map[string]*workload.Dataset, shapes []shape, factory middleware.RewriterFactory, budget float64, workers int, d time.Duration, zipfS float64, seed int64) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	ref := startGateway(names, built, budget, false, factory)
+	expected := make([][]byte, len(shapes))
+	for i, sh := range shapes {
+		code, data, err := fireRaw(client, ref.url, sh)
+		if err != nil || code != http.StatusOK {
+			fatal(fmt.Errorf("churn reference: shape %d got status %d, err %v", i, code, err))
+		}
+		expected[i] = data
+	}
+	ref.close()
+
+	// Probe cadence scaled to the pass, so demotion and rejoin both land
+	// well inside the measured window.
+	health := cluster.HealthConfig{Interval: d / 50, FailAfter: 1, RejoinAfter: 1}
+	if health.Interval < 10*time.Millisecond {
+		health.Interval = 10 * time.Millisecond
+	}
+
+	run := func(name string, mkEvents func(cl *cluster.Cluster) []churnEvent) passReport {
+		srv, cl := startCluster(r, names, built, budget, factory, health)
+		var events []churnEvent
+		if mkEvents != nil {
+			events = mkEvents(cl)
+		}
+		rep := runChurnPass(name, srv.url, shapes, expected, workers, d, zipfS, seed, events)
+		srv.close()
+		snap := cl.Snapshot()
+		cl.Close()
+		rep.Server = nil
+		rep.Cluster = &snap
+		rep.Replicas = r
+		rep.ResultHitRate = snap.ResultHitRate
+		return rep
+	}
+
+	ctrl := run("churn-control", nil)
+	kill, drain := 1, r-1 // distinct victims; replica 0 always stays live
+	if drain == kill {
+		drain = 1 // two-replica cluster: one victim plays both parts
+	}
+	churnRep := run("churn", func(cl *cluster.Cluster) []churnEvent {
+		return []churnEvent{
+			{at: d / 4, label: fmt.Sprintf("kill replica %d", kill), action: func() { cl.Kill(kill) }},
+			{at: d / 2, label: fmt.Sprintf("revive replica %d", kill), action: func() { cl.Revive(kill) }},
+			{at: d * 13 / 20, label: fmt.Sprintf("drain replica %d", drain), action: func() { cl.Drain(drain) }},
+			{at: d * 17 / 20, label: fmt.Sprintf("rejoin replica %d", drain), action: func() { cl.Rejoin(drain) }},
+		}
+	})
+	report.Passes = append(report.Passes, ctrl, churnRep)
+	report.ChurnAvailability = churnRep.Availability
+	if ctrl.P95Ms > 0 {
+		report.ChurnP95FactorX = churnRep.P95Ms / ctrl.P95Ms
+	}
+	report.ChurnMismatches = ctrl.Mismatches + churnRep.Mismatches
 }
 
 // splitNames parses the -datasets list.
@@ -586,7 +708,7 @@ func (s *inprocGateway) close() {
 // listener. Replicas share the built datasets and (via the memoized
 // factory) the rewriters, so only the serving state is per replica — the
 // same sharing maliva-server -replicas uses.
-func startCluster(replicas int, names []string, built map[string]*workload.Dataset, budget float64, factory middleware.RewriterFactory) (*inprocGateway, *cluster.Cluster) {
+func startCluster(replicas int, names []string, built map[string]*workload.Dataset, budget float64, factory middleware.RewriterFactory, health cluster.HealthConfig) (*inprocGateway, *cluster.Cluster) {
 	cl, err := cluster.New(cluster.Config{
 		Replicas: replicas,
 		Names:    names,
@@ -594,6 +716,7 @@ func startCluster(replicas int, names []string, built map[string]*workload.Datas
 		Factory:  factory,
 		Server:   middleware.ServerConfig{DefaultBudgetMs: budget},
 		Space:    core.HintOnlySpec(),
+		Health:   health,
 	})
 	if err != nil {
 		fatal(err)
@@ -682,6 +805,15 @@ func runPass(name, url string, shapes []shape, workers int, d time.Duration, zip
 	elapsed := time.Since(start)
 	close(accCh)
 
+	rep := mergeAccum(name, elapsed, accCh)
+	if snap := fetchMetrics(client, url); snap != nil {
+		rep.Server = snap
+	}
+	return rep
+}
+
+// mergeAccum folds the workers' per-dataset accumulators into one report.
+func mergeAccum(name string, elapsed time.Duration, accCh chan map[string]*dsAccum) passReport {
 	merged := make(map[string]*dsAccum)
 	for acc := range accCh {
 		for ds, a := range acc {
@@ -735,8 +867,105 @@ func runPass(name, url string, shapes []shape, workers int, d time.Duration, zip
 		}
 		rep.AvgMs = sum / float64(len(all))
 	}
-	if snap := fetchMetrics(client, url); snap != nil {
-		rep.Server = snap
+	return rep
+}
+
+// churnEvent is one scheduled lifecycle action inside a churn pass.
+type churnEvent struct {
+	at     time.Duration
+	label  string
+	action func()
+}
+
+// runChurnPass is runPass with per-request verification: every 200 must be
+// byte-identical to the reference gateway's answer for the same shape, and
+// 503s tally as unavailability rather than errors. events fire at fixed
+// offsets into the measured window.
+func runChurnPass(name, url string, shapes []shape, expected [][]byte, workers int, d time.Duration, zipfS float64, seed int64, events []churnEvent) passReport {
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        workers * 2,
+			MaxIdleConnsPerHost: workers * 2,
+		},
+	}
+	warmSweep(client, url, shapes)
+
+	var (
+		stop       atomic.Bool
+		mismatches atomic.Int64
+		wg, evWG   sync.WaitGroup
+	)
+	accCh := make(chan map[string]*dsAccum, workers)
+	start := time.Now()
+
+	if len(events) > 0 {
+		evWG.Add(1)
+		go func() {
+			defer evWG.Done()
+			for _, ev := range events {
+				if wait := time.Until(start.Add(ev.at)); wait > 0 {
+					time.Sleep(wait)
+				}
+				if stop.Load() {
+					return
+				}
+				ev.action()
+				fmt.Fprintf(os.Stderr, "%s: %s at +%s\n", name, ev.label, time.Since(start).Round(time.Millisecond))
+			}
+		}()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(shapes)-1))
+			acc := make(map[string]*dsAccum)
+			for !stop.Load() {
+				idx := int(zipf.Uint64())
+				sh := shapes[idx]
+				a := acc[sh.dataset]
+				if a == nil {
+					a = &dsAccum{lats: make([]float64, 0, 4096)}
+					acc[sh.dataset] = a
+				}
+				t0 := time.Now()
+				code, data, err := fireRaw(client, url, sh)
+				lat := time.Since(t0)
+				a.total++
+				switch {
+				case err != nil:
+					a.errors++
+				case code == http.StatusOK:
+					if !bytes.Equal(data, expected[idx]) {
+						mismatches.Add(1)
+					}
+					a.lats = append(a.lats, float64(lat)/float64(time.Millisecond))
+				case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+					a.rejected++
+				default:
+					a.errors++
+				}
+			}
+			accCh <- acc
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	evWG.Wait()
+	elapsed := time.Since(start)
+	close(accCh)
+
+	rep := mergeAccum(name, elapsed, accCh)
+	rep.Mismatches = mismatches.Load()
+	if rep.Requests > 0 {
+		rep.Availability = float64(rep.Requests-rep.Rejected-rep.Errors) / float64(rep.Requests)
+	}
+	for _, ev := range events {
+		rep.ChurnEvents = append(rep.ChurnEvents, fmt.Sprintf("+%s %s", ev.at.Round(time.Millisecond), ev.label))
 	}
 	return rep
 }
@@ -751,6 +980,21 @@ func fire(client *http.Client, url string, sh shape) (code int, ok bool, err err
 	var sink json.RawMessage
 	_ = json.NewDecoder(resp.Body).Decode(&sink)
 	return resp.StatusCode, resp.StatusCode == http.StatusOK, nil
+}
+
+// fireRaw posts one request and returns the full response bytes (what the
+// churn drill compares against the reference gateway).
+func fireRaw(client *http.Client, url string, sh shape) (code int, body []byte, err error) {
+	resp, err := client.Post(url+"/viz?dataset="+sh.dataset, "application/json", bytes.NewReader(sh.body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, data, nil
 }
 
 // fetchMetrics grabs the gateway's own counters.

@@ -124,6 +124,15 @@ func main() {
 		peerTimeout = flag.Duration("peer-timeout", cluster.DefaultPeerTimeout, "timeout for one peer cache round trip")
 		peerSecret  = flag.String("peer-secret", "", "shared secret required on /cluster peer endpoints (all replicas must agree); without it anyone reaching the listener can read and poison the result cache")
 
+		probeInterval    = flag.Duration("probe-interval", 0, "router health-probe interval per replica (0 = default 500ms)")
+		probeFailAfter   = flag.Int("probe-fail-after", 0, "consecutive probe failures before a replica is marked down (0 = default 2)")
+		probeRejoinAfter = flag.Int("probe-rejoin-after", 0, "consecutive probe successes before a down replica rejoins the routed set (0 = default 2)")
+		probeBackoffMax  = flag.Duration("probe-backoff-max", 0, "cap on the exponential probe backoff while a replica stays down (0 = default 8x interval)")
+		hedgeQuantile    = flag.Float64("hedge-quantile", 0, "peer-fetch latency quantile that arms the hedge timer (0 = default 0.9)")
+		hedgeMinDelay    = flag.Duration("hedge-min-delay", 0, "floor on the hedge delay (0 = default 5ms)")
+		hedgeMaxDelay    = flag.Duration("hedge-max-delay", 0, "cap on the hedge delay (0 = default half the peer timeout)")
+		noHedge          = flag.Bool("no-hedge", false, "disable hedged peer fetches (single-fetch behavior)")
+
 		planCache   = flag.Int("plan-cache", 0, "plan-cache entries per dataset (0 = default, negative = disable)")
 		resultCache = flag.Int("result-cache", 0, "result-cache entries per dataset (0 = default, negative = disable)")
 		resultTTL   = flag.Duration("result-ttl", 0, "result-cache TTL (0 = default 30s)")
@@ -150,6 +159,19 @@ func main() {
 	}
 	if len(peers) > 0 && (*replicaID < 0 || *replicaID >= len(peers)) {
 		fatal(fmt.Errorf("-replica-id %d outside the %d-entry -peer list", *replicaID, len(peers)))
+	}
+
+	healthCfg := cluster.HealthConfig{
+		Interval:    *probeInterval,
+		FailAfter:   *probeFailAfter,
+		RejoinAfter: *probeRejoinAfter,
+		BackoffMax:  *probeBackoffMax,
+	}
+	hedgeCfg := cluster.HedgeConfig{
+		Quantile: *hedgeQuantile,
+		MinDelay: *hedgeMinDelay,
+		MaxDelay: *hedgeMaxDelay,
+		Disabled: *noHedge,
 	}
 
 	factory := buildFactory(*rewriter, agents, saves, *queries, *budget)
@@ -182,6 +204,8 @@ func main() {
 			Server:      scfg,
 			Space:       core.HintOnlySpec(),
 			WarmWorkers: *warmWorkers,
+			Health:      healthCfg,
+			Hedge:       hedgeCfg,
 		})
 		if err != nil {
 			fatal(err)
@@ -218,6 +242,7 @@ func main() {
 		}
 		node.SetPeers(pcs)
 		node.SetPeerSecret(*peerSecret)
+		node.SetHedge(hedgeCfg)
 		if !*lazy {
 			t0 := time.Now()
 			if err := node.Warm(); err != nil {

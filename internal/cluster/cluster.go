@@ -38,6 +38,12 @@ type Config struct {
 	Space core.SpaceSpec
 	// WarmWorkers bounds per-replica warmup concurrency (see GatewayConfig).
 	WarmWorkers int
+	// Health tunes the router's replica health probing (zero = defaults,
+	// see HealthConfig).
+	Health HealthConfig
+	// Hedge tunes each replica's hedged peer fetches (zero = defaults,
+	// see HedgeConfig).
+	Hedge HedgeConfig
 }
 
 // Cluster is an in-process replica set: N nodes, their ring, and the
@@ -82,6 +88,7 @@ func New(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		n.SetHedge(cfg.Hedge)
 		nodes[i] = n
 	}
 	for i, n := range nodes {
@@ -93,7 +100,7 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		n.SetPeers(peers)
 	}
-	router, err := NewRouter(ring, nodes)
+	router, err := NewRouterWithHealth(ring, nodes, cfg.Health)
 	if err != nil {
 		return nil, err
 	}
@@ -125,8 +132,31 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 // Snapshot returns the cluster-wide metrics snapshot.
 func (c *Cluster) Snapshot() Snapshot { return c.router.Snapshot() }
 
-// Close stops every node's background fill worker.
+// Kill marks replica i crashed and tells the health pool immediately (the
+// sentinel would have done it on the next routed request anyway; churn
+// drills shouldn't depend on traffic to converge).
+func (c *Cluster) Kill(i int) {
+	c.nodes[i].SetDown(true)
+	c.router.health.ReportFailure(i)
+}
+
+// Revive brings a killed replica back. The health pool re-admits it
+// through the rejoining hysteresis (probes or served fallback traffic).
+func (c *Cluster) Revive(i int) { c.nodes[i].SetDown(false) }
+
+// Drain gracefully removes replica i from the routed set; its cache stays
+// readable by peers.
+func (c *Cluster) Drain(i int) {
+	c.nodes[i].Drain()
+	c.router.health.ReportDraining(i)
+}
+
+// Rejoin returns a drained replica to service (through rejoining).
+func (c *Cluster) Rejoin(i int) { c.nodes[i].Rejoin() }
+
+// Close stops the health probers and every node's background fill worker.
 func (c *Cluster) Close() {
+	c.router.Close()
 	for _, n := range c.nodes {
 		n.Close()
 	}

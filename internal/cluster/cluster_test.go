@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -365,27 +366,17 @@ func TestClusterPeerFetchServesNonOwner(t *testing.T) {
 	cs := httptest.NewServer(c.Handler())
 	defer cs.Close()
 
-	// Find a shape whose result key is owned by the replica the router
-	// routes it to: then the routed replica is the only replica holding the
-	// result, deterministically (no async fill in flight to race with).
-	var (
-		body  []byte
-		want  []byte
-		owner int
-	)
-	found := false
-	for i := 0; i < 40 && !found; i++ {
-		b := twitterBody(fmt.Sprintf("word%04d", 20+i))
-		before := c.Snapshot()
-		resp := postOK(t, cs.URL+"/viz?dataset=twitter", b)
-		routed := routedTo(t, before, c.Snapshot())
-		key := resultKeyOf(t, resp, workload.USExtent, 500)
-		if c.Ring().Owner(key.Hash()) == routed {
-			body, want, owner, found = b, resp, routed, true
-		}
-	}
-	if !found {
-		t.Fatal("no shape found whose routed replica owns its result key (40 tried)")
+	// Unified key space: the router routes by the server-normalized
+	// ResultKey hash, so the routed replica IS the key's owner — the
+	// routed replica is the only replica holding the result,
+	// deterministically (no async fill in flight to race with).
+	body := twitterBody("word0020")
+	before := c.Snapshot()
+	want := postOK(t, cs.URL+"/viz?dataset=twitter", body)
+	owner := routedTo(t, before, c.Snapshot())
+	key := resultKeyOf(t, want, workload.USExtent, 500)
+	if ringOwner := c.Ring().Owner(key.Hash()); ringOwner != owner {
+		t.Fatalf("routed replica %d does not own its result key (owner %d): unified routing broken", owner, ringOwner)
 	}
 
 	nonOwner := 1 - owner
@@ -424,23 +415,24 @@ func TestClusterPeerFetchServesNonOwner(t *testing.T) {
 }
 
 // TestClusterFillMigratesToOwner: when a replica computes a result it does
-// not own (direct traffic, failover), the asynchronous fill delivers it to
-// the owner, so the canonical copy ends up where future peer fetches look.
+// not own (direct node traffic, bypassing the router — unified routing
+// means routed traffic always lands on the owner), the asynchronous fill
+// delivers it to the owner, so the canonical copy ends up where future
+// peer fetches look.
 func TestClusterFillMigratesToOwner(t *testing.T) {
 	c := newTestCluster(t, 2)
-	cs := httptest.NewServer(c.Handler())
-	defer cs.Close()
+	ns := httptest.NewServer(c.Node(0).Handler())
+	defer ns.Close()
 
-	// Find a shape routed to the replica that does NOT own its result key.
+	// Hit replica 0 directly until a shape whose result key replica 1 owns
+	// computes there: that Put must enqueue a fill toward the owner.
 	for i := 0; i < 40; i++ {
 		b := twitterBody(fmt.Sprintf("word%04d", 60+i))
-		before := c.Snapshot()
-		resp := postOK(t, cs.URL+"/viz?dataset=twitter", b)
-		routed := routedTo(t, before, c.Snapshot())
+		resp := postOK(t, ns.URL+"/viz?dataset=twitter", b)
 		key := resultKeyOf(t, resp, workload.USExtent, 500)
 		owner := c.Ring().Owner(key.Hash())
-		if owner == routed {
-			continue
+		if owner == 0 {
+			continue // replica 0 owns it; the Put stays local, no fill
 		}
 		deadline := time.Now().Add(10 * time.Second)
 		for {
@@ -455,12 +447,12 @@ func TestClusterFillMigratesToOwner(t *testing.T) {
 		if got := c.Node(owner).CacheSnapshot().FillsReceived; got < 1 {
 			t.Errorf("owner fills received = %d, want >= 1", got)
 		}
-		if got := c.Node(routed).CacheSnapshot().FillsSent; got < 1 {
+		if got := c.Node(0).CacheSnapshot().FillsSent; got < 1 {
 			t.Errorf("computing replica fills sent = %d, want >= 1", got)
 		}
 		return
 	}
-	t.Fatal("no shape found whose routed replica differs from its result-key owner (40 tried)")
+	t.Fatal("no shape found whose result key replica 1 owns (40 tried)")
 }
 
 // TestFlightGroupCoalesces: concurrent fetches for one key cross the wire
@@ -557,8 +549,9 @@ func TestHTTPPeerRoundTrip(t *testing.T) {
 
 	// Wrong (or missing) secret: the peer surface refuses both reads and
 	// writes — an open fill endpoint would let anyone poison the cache.
+	ctx := context.Background()
 	intruder := NewHTTPPeer(ns.URL, 0, "")
-	if _, ok, err := intruder.FetchResult("twitter", key); ok || err == nil {
+	if _, ok, err := intruder.FetchResult(ctx, "twitter", key); ok || err == nil {
 		t.Errorf("unauthenticated fetch = (ok=%v, err=%v), want rejection", ok, err)
 	}
 	if err := intruder.FillResult("twitter", key, &middleware.Response{}); err == nil {
@@ -566,7 +559,7 @@ func TestHTTPPeerRoundTrip(t *testing.T) {
 	}
 
 	peer := NewHTTPPeer(ns.URL, 0, "hunter2")
-	resp, ok, err := peer.FetchResult("twitter", key)
+	resp, ok, err := peer.FetchResult(ctx, "twitter", key)
 	if err != nil || !ok {
 		t.Fatalf("fetch = (ok=%v, err=%v), want hit", ok, err)
 	}
@@ -580,20 +573,20 @@ func TestHTTPPeerRoundTrip(t *testing.T) {
 
 	missKey := key
 	missKey.SQL = "SELECT nothing"
-	if _, ok, err := peer.FetchResult("twitter", missKey); ok || err != nil {
+	if _, ok, err := peer.FetchResult(ctx, "twitter", missKey); ok || err != nil {
 		t.Errorf("miss fetch = (ok=%v, err=%v), want clean miss", ok, err)
 	}
 
 	if err := peer.FillResult("twitter", missKey, resp); err != nil {
 		t.Fatal(err)
 	}
-	if refetched, ok, _ := peer.FetchResult("twitter", missKey); !ok || refetched == nil {
+	if refetched, ok, _ := peer.FetchResult(ctx, "twitter", missKey); !ok || refetched == nil {
 		t.Error("filled key not fetchable")
 	}
 
 	// A dead peer errors out fast instead of hanging.
 	ns.Close()
-	if _, _, err := peer.FetchResult("twitter", key); err == nil {
+	if _, _, err := peer.FetchResult(ctx, "twitter", key); err == nil {
 		t.Error("fetch against a closed peer succeeded")
 	}
 }

@@ -8,21 +8,31 @@
 //   - Ring — a consistent-hash ring (64 virtual nodes per replica by
 //     default) mapping every result-cache key to exactly one owning
 //     replica, with a deterministic failover sequence per key.
-//   - Router — the HTTP routing tier. It hashes each /viz request by the
-//     fields that determine its result-cache key (dataset, predicates,
-//     kind, grid, budget — normalized exactly like the server normalizes
-//     them) and forwards the original body to the owner, so cache hits
-//     concentrate on one replica per key instead of fragmenting N ways. A
-//     down owner fails over to the next replica on the ring.
+//   - Router — the HTTP routing tier. It resolves each /viz request to its
+//     server-normalized ResultKey (through a ready replica's plan path) and
+//     hashes that — the same key space peer-cache ownership uses, so the
+//     routed replica owns its key; requests the unified path can't key
+//     (unparseable, rejected, still warming) fall back to a shape hash.
+//     Replica membership is governed by a HealthPool: active /healthz
+//     probes plus passive demotion on a replica's refusal sentinel, with
+//     explicit live/draining/down/rejoining states and exponential probe
+//     backoff. A non-live owner fails over along the key's ring sequence;
+//     only when no replica at all serves does the client see a 503 (with
+//     Retry-After derived from the probe cycle).
+//   - HealthPool — the replica lifecycle state machine and its probers.
+//   - Faults / FaultyPeer — deterministic, seedable fault injection
+//     (drop/error/delay) on the node surface and the peer transport, the
+//     hooks maliva-load -churn and the robustness tests drive.
 //   - Node — one replica: a complete gateway (its own servers, plan
 //     caches, lookup caches, admission pool) whose per-dataset result
 //     caches are wrapped with the peer-shared cache, plus the /cluster
 //     fetch and fill endpoints other replicas talk to.
 //   - peerCache — the middleware.ResultCache wrapper: local miss → fetch
-//     from the key's owner (single-flight per key), peer error → local
-//     compute (a budget never waits on a dead peer), and computed results
-//     a replica doesn't own are offered to their owner asynchronously, so
-//     one cold execution fills the whole cluster.
+//     from the key's owner (single-flight per key, hedged against the next
+//     ring replica when the owner is slow), peer error → local compute (a
+//     budget never waits on a dead peer), and computed results a replica
+//     doesn't own are offered to their owner asynchronously, so one cold
+//     execution fills the whole cluster.
 //   - PeerClient — the peer transport: direct pointer exchange for
 //     in-process replicas (maliva-server -replicas N), JSON over HTTP for
 //     one-process-per-replica deployments (maliva-server -peer).

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// scriptedProbe is a Probe whose result the test controls per replica.
+type scriptedProbe struct {
+	errs []error
+}
+
+func (p *scriptedProbe) probe(i int) error { return p.errs[i] }
+
+// TestHealthPoolLifecycle drives the full state machine through Pulse (the
+// prober's entry point) and the passive reports: live → down after
+// FailAfter probe failures, down → rejoining on the first success,
+// rejoining → live after RejoinAfter successes, rejoining → down on any
+// failure, and draining as an operator state that recovers through
+// rejoining.
+func TestHealthPoolLifecycle(t *testing.T) {
+	sp := &scriptedProbe{errs: make([]error, 1)}
+	p := NewHealthPool(1, sp.probe, HealthConfig{
+		Interval: 100 * time.Millisecond, FailAfter: 2, RejoinAfter: 2,
+	})
+	// Not started: transitions come only from explicit Pulse/Report calls.
+
+	if got := p.State(0); got != StateLive {
+		t.Fatalf("initial state = %v, want live", got)
+	}
+
+	// One failure is not enough (FailAfter 2)...
+	sp.errs[0] = errors.New("connection refused")
+	p.Pulse(0)
+	if got := p.State(0); got != StateLive {
+		t.Errorf("after 1 failure: %v, want live (hysteresis)", got)
+	}
+	// ...two are.
+	p.Pulse(0)
+	if got := p.State(0); got != StateDown {
+		t.Errorf("after 2 failures: %v, want down", got)
+	}
+	if p.Routable(0) {
+		t.Error("down replica reported routable")
+	}
+
+	// First success: rejoining, still not routable.
+	sp.errs[0] = nil
+	p.Pulse(0)
+	if got := p.State(0); got != StateRejoining {
+		t.Errorf("after first success: %v, want rejoining", got)
+	}
+	if p.Routable(0) {
+		t.Error("rejoining replica reported routable")
+	}
+	// A failure while rejoining goes straight back down.
+	sp.errs[0] = errors.New("flap")
+	p.Pulse(0)
+	if got := p.State(0); got != StateDown {
+		t.Errorf("failure while rejoining: %v, want down", got)
+	}
+	// Two clean successes: live again.
+	sp.errs[0] = nil
+	p.Pulse(0)
+	p.Pulse(0)
+	if got := p.State(0); got != StateLive {
+		t.Errorf("after rejoin successes: %v, want live", got)
+	}
+	if !p.Routable(0) {
+		t.Error("live replica not routable")
+	}
+
+	// Passive demotion is immediate: the replica's own sentinel needs no
+	// FailAfter hysteresis.
+	p.ReportFailure(0)
+	if got := p.State(0); got != StateDown {
+		t.Errorf("after ReportFailure: %v, want down", got)
+	}
+	p.ReportSuccess(0)
+	p.ReportSuccess(0)
+	if got := p.State(0); got != StateLive {
+		t.Errorf("after served fallback traffic: %v, want live", got)
+	}
+
+	// Draining: out of the routed set, recovers through rejoining once the
+	// probe sees it healthy again.
+	p.ReportDraining(0)
+	if got := p.State(0); got != StateDraining || p.Routable(0) {
+		t.Errorf("after ReportDraining: %v routable=%v, want draining, false", got, p.Routable(0))
+	}
+	sp.errs[0] = ErrDraining
+	p.Pulse(0)
+	if got := p.State(0); got != StateDraining {
+		t.Errorf("probe confirms draining: %v, want draining", got)
+	}
+	sp.errs[0] = nil
+	p.Pulse(0)
+	if got := p.State(0); got != StateRejoining {
+		t.Errorf("undrained replica: %v, want rejoining", got)
+	}
+}
+
+// TestHealthPoolProbeBackoff: probes of a down replica back off
+// exponentially from the base interval and cap at BackoffMax.
+func TestHealthPoolProbeBackoff(t *testing.T) {
+	sp := &scriptedProbe{errs: make([]error, 1)}
+	cfg := HealthConfig{Interval: 100 * time.Millisecond, FailAfter: 1, BackoffMax: 500 * time.Millisecond}
+	p := NewHealthPool(1, sp.probe, cfg)
+
+	if got := p.probeDelay(0); got != 100*time.Millisecond {
+		t.Errorf("live probe delay = %v, want the base interval", got)
+	}
+	sp.errs[0] = errors.New("down")
+	p.Pulse(0) // fails=1 → down
+	if got := p.probeDelay(0); got != 200*time.Millisecond {
+		t.Errorf("delay after 1 failure = %v, want 200ms", got)
+	}
+	p.Pulse(0) // fails=2
+	if got := p.probeDelay(0); got != 400*time.Millisecond {
+		t.Errorf("delay after 2 failures = %v, want 400ms", got)
+	}
+	p.Pulse(0) // fails=3 → 800ms, capped
+	if got := p.probeDelay(0); got != cfg.BackoffMax {
+		t.Errorf("delay after 3 failures = %v, want capped at %v", got, cfg.BackoffMax)
+	}
+	sp.errs[0] = nil
+	p.Pulse(0) // rejoining: back to the base interval
+	if got := p.probeDelay(0); got != 100*time.Millisecond {
+		t.Errorf("rejoining probe delay = %v, want the base interval", got)
+	}
+}
+
+// TestHealthPoolRetryAfter: the 503 Retry-After hint covers one full
+// demotion cycle, rounded up to at least one second.
+func TestHealthPoolRetryAfter(t *testing.T) {
+	p := NewHealthPool(1, nil, HealthConfig{Interval: 500 * time.Millisecond, FailAfter: 2})
+	if got := p.RetryAfterSeconds(); got != 1 {
+		t.Errorf("RetryAfterSeconds = %d, want 1 (2 probes x 500ms)", got)
+	}
+	p = NewHealthPool(1, nil, HealthConfig{Interval: 2 * time.Second, FailAfter: 3})
+	if got := p.RetryAfterSeconds(); got != 6 {
+		t.Errorf("RetryAfterSeconds = %d, want 6", got)
+	}
+	p = NewHealthPool(1, nil, HealthConfig{Interval: 50 * time.Millisecond, FailAfter: 1})
+	if got := p.RetryAfterSeconds(); got != 1 {
+		t.Errorf("RetryAfterSeconds = %d, want floor of 1", got)
+	}
+}
+
+// TestHealthPoolActiveProber: a started pool notices a replica going down
+// and coming back without any traffic, purely from probes.
+func TestHealthPoolActiveProber(t *testing.T) {
+	c := newTestCluster(t, 2)
+	hp := NewHealthPool(2, NodeProbe(c.Nodes()), HealthConfig{
+		Interval: 5 * time.Millisecond, FailAfter: 2, RejoinAfter: 2,
+	})
+	hp.Start()
+	defer hp.Stop()
+
+	c.Node(1).SetDown(true)
+	waitFor(t, time.Second, func() bool { return hp.State(1) == StateDown })
+	c.Node(1).SetDown(false)
+	waitFor(t, time.Second, func() bool { return hp.State(1) == StateLive })
+
+	c.Node(1).Drain()
+	waitFor(t, time.Second, func() bool { return hp.State(1) == StateDraining })
+	c.Node(1).Rejoin()
+	waitFor(t, time.Second, func() bool { return hp.State(1) == StateLive })
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFaultsDeterministic: two injectors with the same seed draw the same
+// fault sequence — the property that makes churn failures reproducible.
+func TestFaultsDeterministic(t *testing.T) {
+	cfg := FaultConfig{Seed: 42, DropRate: 0.2, ErrRate: 0.1, DelayRate: 0.1}
+	a, b := NewFaults(cfg), NewFaults(cfg)
+	for i := 0; i < 200; i++ {
+		if ka, kb := a.decide(), b.decide(); ka != kb {
+			t.Fatalf("draw %d diverged: %v vs %v", i, ka, kb)
+		}
+	}
+	drops, errs, delays := a.Counts()
+	if drops == 0 || errs == 0 || delays == 0 {
+		t.Errorf("expected every fault kind in 200 draws, got drops=%d errs=%d delays=%d", drops, errs, delays)
+	}
+}

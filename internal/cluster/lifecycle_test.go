@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/middleware"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// newTestClusterCfg is newTestCluster with explicit health/hedge tuning —
+// lifecycle tests need probe intervals far below the production default.
+func newTestClusterCfg(t testing.TB, replicas int, health HealthConfig, hedge HedgeConfig) *Cluster {
+	t.Helper()
+	ds := testDatasets(t)
+	c, err := New(Config{
+		Replicas: replicas,
+		Names:    []string{"twitter", "taxi"},
+		Datasets: ds,
+		Factory:  middleware.OracleFactory,
+		Server:   middleware.ServerConfig{DefaultBudgetMs: 500},
+		Space:    core.HintOnlySpec(),
+		Health:   health,
+		Hedge:    hedge,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestClusterHedgedFetchRacesNextReplica: when a key's owner goes silent
+// (injected drop — the fetch hangs until its deadline), the hedge leg asks
+// the next ring replica and wins the race, serving the cached result
+// byte-identically instead of stalling for the full peer timeout.
+func TestClusterHedgedFetchRacesNextReplica(t *testing.T) {
+	c := newTestCluster(t, 3)
+	cs := httptest.NewServer(c.Handler())
+	defer cs.Close()
+
+	// Seed the cluster with one served response and locate its key's owner.
+	body := twitterBody("word0050")
+	before := c.Snapshot()
+	want := postOK(t, cs.URL+"/viz", body)
+	owner := routedTo(t, before, c.Snapshot())
+	key := resultKeyOf(t, want, workload.USExtent, 500)
+	if ringOwner := c.Ring().Owner(key.Hash()); ringOwner != owner {
+		t.Fatalf("routed to %d but ring owner is %d — unified routing broken", owner, ringOwner)
+	}
+
+	// Cast the race: seq = [owner, asker, target]. The asker's fetch to the
+	// owner is dropped; the target holds a copy of the result.
+	seq := c.Ring().Sequence(key.Hash())
+	asker, target := seq[1], seq[2]
+	var resp middleware.Response
+	if err := json.Unmarshal(want, &resp); err != nil {
+		t.Fatal(err)
+	}
+	c.Node(target).fillLocal("twitter", key, &resp)
+
+	peers := make([]PeerClient, 3)
+	for j := 0; j < 3; j++ {
+		if j != asker {
+			peers[j] = localPeer{node: c.Node(j)}
+		}
+	}
+	peers[owner] = FaultyPeer{
+		Inner:  peers[owner],
+		Faults: NewFaults(FaultConfig{Seed: 1, DropRate: 1, DropDelay: 40 * time.Millisecond}),
+	}
+	c.Node(asker).SetPeers(peers)
+
+	as := httptest.NewServer(c.Node(asker).Handler())
+	defer as.Close()
+	got := postOK(t, as.URL+"/viz", body)
+	if !bytes.Equal(got, want) {
+		t.Errorf("hedged response differs from the original:\n got %s\nwant %s", got, want)
+	}
+	st := c.Node(asker).CacheSnapshot()
+	if st.HedgedFetches < 1 {
+		t.Errorf("hedged fetches = %d, want >= 1", st.HedgedFetches)
+	}
+	if st.HedgeWins < 1 {
+		t.Errorf("hedge wins = %d, want >= 1", st.HedgeWins)
+	}
+	if st.PeerHits < 1 {
+		t.Errorf("peer hits = %d, want >= 1 (the hedge leg's hit)", st.PeerHits)
+	}
+}
+
+// TestRouterRetryAfterOnAllDown: the "no live replica" 503 carries a
+// Retry-After derived from the probe cycle, so well-behaved clients back
+// off long enough for a probe to notice a recovery.
+func TestRouterRetryAfterOnAllDown(t *testing.T) {
+	c := newTestCluster(t, 2)
+	cs := httptest.NewServer(c.Handler())
+	defer cs.Close()
+
+	c.Kill(0)
+	c.Kill(1)
+	code, hdr, msg := post(t, cs.URL+"/viz", twitterBody("word0001"))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", code, msg)
+	}
+	want := fmt.Sprintf("%d", c.Router().Health().RetryAfterSeconds())
+	if got := hdr.Get("Retry-After"); got != want {
+		t.Errorf("Retry-After = %q, want %q", got, want)
+	}
+	if !bytes.Contains(msg, []byte("no live replica")) {
+		t.Errorf("body %q should name the condition", msg)
+	}
+}
+
+// TestClusterDrainSemantics: a draining replica refuses new visualization
+// traffic (with the draining sentinel) but keeps serving peer fetches and
+// health checks, so its cache stays useful while it empties out.
+func TestClusterDrainSemantics(t *testing.T) {
+	c := newTestCluster(t, 2)
+	cs := httptest.NewServer(c.Handler())
+	defer cs.Close()
+
+	// The routed tier keeps serving throughout the drain.
+	_ = postOK(t, cs.URL+"/viz", twitterBody("word0060"))
+	c.Drain(1)
+	_ = postOK(t, cs.URL+"/viz", twitterBody("word0061"))
+
+	ns := httptest.NewServer(c.Node(1).Handler())
+	defer ns.Close()
+	code, hdr, _ := post(t, ns.URL+"/viz", twitterBody("word0062"))
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("draining /viz status = %d, want 503", code)
+	}
+	if got := hdr.Get(ReplicaUnavailableHeader); got != "draining" {
+		t.Errorf("sentinel = %q, want \"draining\"", got)
+	}
+	hres, err := http.Get(ns.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		t.Errorf("draining /healthz status = %d, want 200 (probes must still see it)", hres.StatusCode)
+	}
+	if c.Node(1).State() != StateDraining {
+		t.Errorf("node state = %v, want draining", c.Node(1).State())
+	}
+
+	c.Rejoin(1)
+	if c.Node(1).State() != StateLive {
+		t.Errorf("after rejoin node state = %v, want live", c.Node(1).State())
+	}
+}
+
+// TestClusterMembershipFlapping is the robustness satellite: 32 goroutines
+// drive routed traffic while two of three replicas flap through
+// kill/revive/drain/rejoin. No request may be lost — every response is
+// either a 200 byte-identical to a standalone gateway's, or a clean 503 —
+// and a healthy majority of requests must succeed. Run with -race.
+func TestClusterMembershipFlapping(t *testing.T) {
+	c := newTestClusterCfg(t, 3, HealthConfig{
+		Interval: 2 * time.Millisecond, FailAfter: 1, RejoinAfter: 1,
+	}, HedgeConfig{})
+	cs := httptest.NewServer(c.Handler())
+	defer cs.Close()
+
+	// Reference truth from a standalone gateway over the same datasets.
+	bodies := make([][]byte, 0, 10)
+	for i := 0; i < 8; i++ {
+		bodies = append(bodies, twitterBody(fmt.Sprintf("word%04d", 40+i)))
+	}
+	bodies = append(bodies, taxiBody(1), taxiBody(3))
+	gw := newTestGateway(t)
+	gs := httptest.NewServer(gw.Handler())
+	defer gs.Close()
+	want := make(map[string][]byte, len(bodies))
+	for _, b := range bodies {
+		want[string(b)] = postOK(t, gs.URL+"/viz", b)
+	}
+
+	// Flapper: replica 0 stays live throughout; 1 and 2 cycle through the
+	// lifecycle under the prober's nose.
+	stopFlap := make(chan struct{})
+	var flapWG sync.WaitGroup
+	flapWG.Add(1)
+	go func() {
+		defer flapWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopFlap:
+				c.Revive(1)
+				c.Rejoin(2)
+				return
+			default:
+			}
+			switch i % 4 {
+			case 0:
+				c.Kill(1)
+			case 1:
+				c.Drain(2)
+			case 2:
+				c.Revive(1)
+			case 3:
+				c.Rejoin(2)
+			}
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	const workers = 32
+	const perWorker = 12
+	var ok200, ok503 atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				b := bodies[rng.Intn(len(bodies))]
+				resp, err := http.Post(cs.URL+"/viz", "application/json", bytes.NewReader(b))
+				if err != nil {
+					errc <- fmt.Errorf("transport error: %w", err)
+					continue
+				}
+				data, err := readAllAndClose(resp)
+				if err != nil {
+					errc <- err
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok200.Add(1)
+					if !bytes.Equal(data, want[string(b)]) {
+						errc <- fmt.Errorf("200 response diverged from the gateway for %s", b)
+					}
+				case http.StatusServiceUnavailable:
+					ok503.Add(1)
+				default:
+					errc <- fmt.Errorf("status %d (lost request): %s", resp.StatusCode, data)
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	close(stopFlap)
+	flapWG.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	total := ok200.Load() + ok503.Load()
+	if total != workers*perWorker {
+		t.Errorf("accounted for %d of %d requests", total, workers*perWorker)
+	}
+	if ok200.Load() < int64(workers*perWorker/2) {
+		t.Errorf("only %d/%d requests succeeded under flapping; replica 0 never left", ok200.Load(), total)
+	}
+	t.Logf("flapping: %d ok, %d unavailable, retries=%d failovers(total)=%d",
+		ok200.Load(), ok503.Load(), c.Snapshot().Retries, totalFailovers(c.Snapshot()))
+}
+
+// readAllAndClose drains and closes a response body.
+func readAllAndClose(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+// totalFailovers sums the per-replica failover counters.
+func totalFailovers(s Snapshot) int64 {
+	var n int64
+	for _, r := range s.Replicas {
+		n += r.Failovers
+	}
+	return n
+}

@@ -1,15 +1,27 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/maliva/maliva/internal/middleware"
 	"github.com/maliva/maliva/internal/workload"
 )
+
+// ReplicaUnavailableHeader marks a response produced by a replica refusing
+// to serve (value "down" or "draining") instead of by its gateway. The
+// routing tier treats it as an authoritative failure sentinel: fail the
+// request over to the next replica in the key's ring sequence and demote
+// the refusing replica in the health pool — without ever confusing the
+// refusal with a gateway-level 503 (admission shedding), which must NOT
+// fail over (every replica would shed the same overload).
+const ReplicaUnavailableHeader = "X-Maliva-Replica-Unavailable"
 
 // fillReq is one queued best-effort fill: a response this replica computed
 // for a key another replica owns.
@@ -42,9 +54,13 @@ type Node struct {
 	peers  []PeerClient // index id is nil (self)
 	caches map[string]*peerCache
 	secret string
+	hedge  HedgeConfig
 
-	stats cacheStats
-	down  atomic.Bool
+	stats    cacheStats
+	state    atomic.Int32 // ReplicaState
+	inflight atomic.Int64
+	faults   atomic.Pointer[Faults]
+	fetchLat latencyWindow
 
 	fills    chan fillReq
 	stop     chan struct{}
@@ -145,26 +161,100 @@ func (n *Node) Gateway() *middleware.Gateway { return n.gw }
 // Warm eagerly builds every dataset's serving state on this node.
 func (n *Node) Warm(names ...string) error { return n.gw.Warm(names...) }
 
+// State returns the replica's own lifecycle state (Live, Draining, or
+// Down — Rejoining is a health-pool view; a node that serves again is
+// simply live from its own perspective).
+func (n *Node) State() ReplicaState { return ReplicaState(n.state.Load()) }
+
 // Down reports whether the replica is marked dead.
-func (n *Node) Down() bool { return n.down.Load() }
+func (n *Node) Down() bool { return n.State() == StateDown }
 
 // SetDown marks the replica dead (true) or alive (false). A dead in-process
 // replica answers 503 on every route and errors on peer calls — the same
 // view the cluster has of a crashed remote process. Tests and operational
 // drills use it to exercise failover.
-func (n *Node) SetDown(v bool) { n.down.Store(v) }
+func (n *Node) SetDown(v bool) {
+	if v {
+		n.state.Store(int32(StateDown))
+	} else {
+		n.state.Store(int32(StateLive))
+	}
+}
+
+// Drain takes the replica out of the routed set gracefully: new /viz and
+// /query traffic is refused with the draining sentinel, while peer
+// fetches, health checks, and metrics keep working — so the replica's
+// cache remains readable by the cluster until the operator rejoins or
+// retires it.
+func (n *Node) Drain() { n.state.Store(int32(StateDraining)) }
+
+// Rejoin returns a drained (or downed) replica to service. The health
+// pool's rejoining hysteresis decides when routed traffic comes back.
+func (n *Node) Rejoin() { n.state.Store(int32(StateLive)) }
+
+// SetFaults installs (or, with nil, removes) a fault injector on the
+// node's request surface: injected drops and errors answer with the down
+// sentinel — exactly what a crashed replica looks like to the router —
+// and injected delays stall the request. Peer-side injection is separate
+// (FaultyPeer).
+func (n *Node) SetFaults(f *Faults) { n.faults.Store(f) }
+
+// SetHedge configures hedged peer fetches (see HedgeConfig). Call before
+// serving traffic.
+func (n *Node) SetHedge(cfg HedgeConfig) {
+	n.mu.Lock()
+	n.hedge = cfg.normalized()
+	n.mu.Unlock()
+}
+
+// hedgeConfig returns the node's hedging policy.
+func (n *Node) hedgeConfig() HedgeConfig {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.hedge
+}
+
+// Inflight reports how many requests the node is currently serving —
+// drain observability (a drained replica is retirable once this is 0).
+func (n *Node) Inflight() int64 { return n.inflight.Load() }
 
 // Close stops the background fill worker. The node keeps serving; only
 // cross-replica fill delivery stops.
 func (n *Node) Close() { n.stopOnce.Do(func() { close(n.stop) }) }
 
 // ServeHTTP serves the node's full surface: the gateway routes plus the
-// /cluster peer endpoints, behind the down switch.
+// /cluster peer endpoints, behind the lifecycle gate. A down replica
+// refuses everything; a draining one refuses only new visualization
+// traffic (peer fetches, health checks, and metrics stay up, so its cache
+// remains useful and probes can watch it).
 func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if n.Down() {
+	switch n.State() {
+	case StateDown:
+		w.Header().Set(ReplicaUnavailableHeader, "down")
 		http.Error(w, fmt.Sprintf("replica %d is down", n.id), http.StatusServiceUnavailable)
 		return
+	case StateDraining:
+		w.Header().Set(ReplicaUnavailableHeader, "draining")
+		if r.URL.Path == "/viz" || r.URL.Path == "/query" {
+			http.Error(w, fmt.Sprintf("replica %d is draining", n.id), http.StatusServiceUnavailable)
+			return
+		}
 	}
+	if f := n.faults.Load(); f != nil {
+		switch f.decide() {
+		case faultDrop, faultErr:
+			// Either injected failure presents as a crashed replica: the
+			// sentinel lets the router fail over instead of surfacing a
+			// fabricated error body that would break byte identity.
+			w.Header().Set(ReplicaUnavailableHeader, "down")
+			http.Error(w, fmt.Sprintf("replica %d: injected fault", n.id), http.StatusServiceUnavailable)
+			return
+		case faultDelay:
+			sleepCtx(r.Context(), f.cfg.Delay)
+		}
+	}
+	n.inflight.Add(1)
+	defer n.inflight.Add(-1)
 	n.handler.ServeHTTP(w, r)
 }
 
@@ -272,3 +362,190 @@ func (n *Node) serveFill(w http.ResponseWriter, r *http.Request) {
 
 // CacheSnapshot returns the node's peer-cache counters.
 func (n *Node) CacheSnapshot() CacheSnapshot { return n.stats.snapshot() }
+
+// HedgeConfig tunes hedged peer fetches: when the key's owner has not
+// answered within a delay derived from recent fetch latencies, a second
+// fetch races against the next replica in the key's ring sequence; the
+// first response wins and the loser is cancelled. One slow (or silently
+// dead) owner then costs roughly the hedge delay, not the full peer
+// timeout. The zero value picks every default.
+type HedgeConfig struct {
+	// Quantile of the recent primary-fetch latency distribution that
+	// arms the hedge timer. Default 0.9 — hedges fire for the slowest
+	// ~10% of fetches, keeping duplicate work bounded.
+	Quantile float64
+	// MinDelay floors the armed delay (and is the cold-start delay while
+	// the latency window is empty). Default 5ms.
+	MinDelay time.Duration
+	// MaxDelay caps the armed delay. Default DefaultPeerTimeout/2 — a
+	// hedge that can't beat the primary's timeout is pointless.
+	MaxDelay time.Duration
+	// Disabled turns hedging off (single-fetch behavior).
+	Disabled bool
+}
+
+// normalized resolves defaults.
+func (c HedgeConfig) normalized() HedgeConfig {
+	if c.Quantile <= 0 || c.Quantile >= 1 {
+		c.Quantile = 0.9
+	}
+	if c.MinDelay <= 0 {
+		c.MinDelay = 5 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = DefaultPeerTimeout / 2
+	}
+	return c
+}
+
+// latencyWindowSize bounds the per-node sample window the hedge delay is
+// derived from. 128 samples follow latency shifts within a few seconds of
+// traffic while keeping the quantile computation trivial.
+const latencyWindowSize = 128
+
+// latencyWindow is a fixed-size ring of recent peer-fetch latencies.
+type latencyWindow struct {
+	mu  sync.Mutex
+	buf [latencyWindowSize]time.Duration
+	n   int // samples stored (≤ len(buf))
+	idx int // next write position
+}
+
+// observe records one latency sample.
+func (w *latencyWindow) observe(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.idx] = d
+	w.idx = (w.idx + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the window, or 0 while it is empty.
+func (w *latencyWindow) quantile(q float64) time.Duration {
+	w.mu.Lock()
+	if w.n == 0 {
+		w.mu.Unlock()
+		return 0
+	}
+	tmp := make([]time.Duration, w.n)
+	copy(tmp, w.buf[:w.n])
+	w.mu.Unlock()
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	i := int(q * float64(len(tmp)))
+	if i >= len(tmp) {
+		i = len(tmp) - 1
+	}
+	return tmp[i]
+}
+
+// hedgeDelay derives the current hedge delay from the latency window.
+func (n *Node) hedgeDelay(cfg HedgeConfig) time.Duration {
+	d := n.fetchLat.quantile(cfg.Quantile)
+	if d < cfg.MinDelay {
+		d = cfg.MinDelay
+	}
+	if d > cfg.MaxDelay {
+		d = cfg.MaxDelay
+	}
+	return d
+}
+
+// hedgeTarget picks the replica a hedged fetch races against: the next
+// replica in the key's ring sequence after the owner (skipping self) —
+// the replica most likely to hold the key after a membership change or an
+// async fill. Nil when the cluster has no third party to ask.
+func (n *Node) hedgeTarget(key middleware.ResultKey, owner int) PeerClient {
+	for _, idx := range n.ring.Sequence(key.Hash()) {
+		if idx == owner || idx == n.id {
+			continue
+		}
+		if p := n.peer(idx); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// fetchOutcome is one leg's result in the hedged race.
+type fetchOutcome struct {
+	resp   *middleware.Response
+	ok     bool
+	err    error
+	hedged bool
+	took   time.Duration
+}
+
+// hedgedFetch asks the key's owner for a cached result, racing a hedge
+// fetch against the next ring replica if the owner is slow (see
+// HedgeConfig). The first response — hit or clean miss — wins; the losing
+// leg is cancelled through the shared context. An owner error before the
+// hedge timer fires launches the hedge immediately. Both legs failing
+// returns the first error (the caller degrades to local compute).
+func (n *Node) hedgedFetch(dataset string, key middleware.ResultKey, owner int, primary PeerClient) (*middleware.Response, bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultPeerTimeout)
+	defer cancel() // cancels the losing leg
+
+	ch := make(chan fetchOutcome, 2) // buffered: the loser never blocks
+	launch := func(p PeerClient, hedged bool) {
+		start := time.Now()
+		resp, ok, err := p.FetchResult(ctx, dataset, key)
+		ch <- fetchOutcome{resp: resp, ok: ok, err: err, hedged: hedged, took: time.Since(start)}
+	}
+	go launch(primary, false)
+
+	cfg := n.hedgeConfig()
+	var hedgeC <-chan time.Time
+	var hedgePeer PeerClient
+	if !cfg.Disabled {
+		if hedgePeer = n.hedgeTarget(key, owner); hedgePeer != nil {
+			t := time.NewTimer(n.hedgeDelay(cfg))
+			defer t.Stop()
+			hedgeC = t.C
+		}
+	}
+	launchHedge := func() {
+		hedgeC = nil
+		n.stats.hedgedFetches.Add(1)
+		go launch(hedgePeer, true)
+	}
+
+	outstanding := 1
+	var firstErr error
+	for {
+		select {
+		case <-hedgeC:
+			outstanding++
+			launchHedge()
+		case out := <-ch:
+			outstanding--
+			if out.err == nil {
+				if out.hedged {
+					n.stats.hedgeWins.Add(1)
+				} else {
+					// Only primary latencies feed the window: hedge legs
+					// are a different (already-failing) distribution.
+					n.fetchLat.observe(out.took)
+				}
+				return out.resp, out.ok, nil
+			}
+			if isTimeout(out.err) {
+				n.stats.fetchTimeouts.Add(1)
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if outstanding == 0 {
+				if hedgeC != nil && hedgePeer != nil {
+					// The owner failed before the timer: fire the hedge
+					// now rather than give up.
+					outstanding++
+					launchHedge()
+					continue
+				}
+				return nil, false, firstErr
+			}
+		}
+	}
+}

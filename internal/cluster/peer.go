@@ -2,9 +2,12 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sync"
 	"time"
@@ -19,11 +22,26 @@ import (
 // compute (the budget never waits on a dead peer beyond the client timeout).
 type PeerClient interface {
 	// FetchResult asks the peer's local cache for key. ok reports a hit;
-	// (nil, false, nil) is a clean miss.
-	FetchResult(dataset string, key middleware.ResultKey) (resp *middleware.Response, ok bool, err error)
+	// (nil, false, nil) is a clean miss. Cancelling ctx abandons the fetch
+	// — the hedged-fetch race uses that to cancel the losing leg.
+	FetchResult(ctx context.Context, dataset string, key middleware.ResultKey) (resp *middleware.Response, ok bool, err error)
 	// FillResult offers the peer a computed response for key (best effort:
 	// the peer may drop it).
 	FillResult(dataset string, key middleware.ResultKey, resp *middleware.Response) error
+}
+
+// isTimeout classifies a peer error as a timeout (dead or stalled peer)
+// rather than an immediate refusal — the split the fetch-timeout counter
+// and the hedging policy care about.
+func isTimeout(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // localPeer is the in-process PeerClient: replicas living in one process
@@ -34,9 +52,12 @@ type localPeer struct {
 	node *Node
 }
 
-func (p localPeer) FetchResult(dataset string, key middleware.ResultKey) (*middleware.Response, bool, error) {
+func (p localPeer) FetchResult(ctx context.Context, dataset string, key middleware.ResultKey) (*middleware.Response, bool, error) {
 	if p.node.Down() {
 		return nil, false, fmt.Errorf("cluster: replica %d is down", p.node.id)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
 	}
 	resp, ok := p.node.fetchLocal(dataset, key)
 	return resp, ok, nil
@@ -84,8 +105,8 @@ func NewHTTPPeer(base string, timeout time.Duration, secret string) PeerClient {
 }
 
 // post sends one peer request with the shared secret attached.
-func (p *httpPeer) post(url string, body []byte) (*http.Response, error) {
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+func (p *httpPeer) post(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -96,12 +117,12 @@ func (p *httpPeer) post(url string, body []byte) (*http.Response, error) {
 	return p.client.Do(req)
 }
 
-func (p *httpPeer) FetchResult(dataset string, key middleware.ResultKey) (*middleware.Response, bool, error) {
+func (p *httpPeer) FetchResult(ctx context.Context, dataset string, key middleware.ResultKey) (*middleware.Response, bool, error) {
 	body, err := json.Marshal(key)
 	if err != nil {
 		return nil, false, err
 	}
-	hr, err := p.post(p.base+"/cluster/fetch?dataset="+dataset, body)
+	hr, err := p.post(ctx, p.base+"/cluster/fetch?dataset="+dataset, body)
 	if err != nil {
 		return nil, false, err
 	}
@@ -132,7 +153,7 @@ func (p *httpPeer) FillResult(dataset string, key middleware.ResultKey, resp *mi
 	if err != nil {
 		return err
 	}
-	hr, err := p.post(p.base+"/cluster/fill?dataset="+dataset, body)
+	hr, err := p.post(context.Background(), p.base+"/cluster/fill?dataset="+dataset, body)
 	if err != nil {
 		return err
 	}

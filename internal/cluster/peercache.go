@@ -15,6 +15,9 @@ type cacheStats struct {
 	peerErrors       atomic.Int64 // owner unreachable → local compute
 	fetchesCoalesced atomic.Int64 // fetches that piggybacked on an in-flight one
 	fetchesServed    atomic.Int64 // peer fetches this replica answered
+	fetchTimeouts    atomic.Int64 // peer fetches that timed out (dead/stalled peer)
+	hedgedFetches    atomic.Int64 // hedge legs launched (slow or failed owner)
+	hedgeWins        atomic.Int64 // races the hedge leg won
 	fillsReceived    atomic.Int64 // fills this replica accepted as owner
 	fillsSent        atomic.Int64 // fills delivered to an owner
 	fillsDropped     atomic.Int64 // fills dropped (queue full or owner down)
@@ -28,6 +31,9 @@ type CacheSnapshot struct {
 	PeerErrors       int64 `json:"peer_errors"`
 	FetchesCoalesced int64 `json:"fetches_coalesced"`
 	FetchesServed    int64 `json:"fetches_served"`
+	FetchTimeouts    int64 `json:"fetch_timeouts"`
+	HedgedFetches    int64 `json:"hedged_fetches"`
+	HedgeWins        int64 `json:"hedge_wins"`
 	FillsReceived    int64 `json:"fills_received"`
 	FillsSent        int64 `json:"fills_sent"`
 	FillsDropped     int64 `json:"fills_dropped"`
@@ -41,6 +47,9 @@ func (s *cacheStats) snapshot() CacheSnapshot {
 		PeerErrors:       s.peerErrors.Load(),
 		FetchesCoalesced: s.fetchesCoalesced.Load(),
 		FetchesServed:    s.fetchesServed.Load(),
+		FetchTimeouts:    s.fetchTimeouts.Load(),
+		HedgedFetches:    s.hedgedFetches.Load(),
+		HedgeWins:        s.hedgeWins.Load(),
 		FillsReceived:    s.fillsReceived.Load(),
 		FillsSent:        s.fillsSent.Load(),
 		FillsDropped:     s.fillsDropped.Load(),
@@ -53,8 +62,10 @@ func (s *cacheStats) snapshot() CacheSnapshot {
 //   - Get first consults the local cache. On a miss, if another replica owns
 //     the key (consistent hash of ResultKey.Hash()), it fetches from that
 //     owner's cache — with single-flight coalescing, so a stampede of
-//     identical requests crosses the wire once. A peer hit is copied into
-//     the local cache, so hot foreign keys are served locally afterwards.
+//     identical requests crosses the wire once, and hedging, so a slow owner
+//     is raced against the next ring replica (see Node.hedgedFetch). A peer
+//     hit is copied into the local cache, so hot foreign keys are served
+//     locally afterwards.
 //   - A peer error (owner down, timeout) degrades to a miss: the server
 //     computes locally and the response budget never waits on a dead peer.
 //   - Put stores locally and, when another replica owns the key, offers the
@@ -93,7 +104,7 @@ func (c *peerCache) Get(key middleware.ResultKey) *middleware.Response {
 		return nil
 	}
 	resp, ok, err, shared := c.flight.do(key, func() (*middleware.Response, bool, error) {
-		return peer.FetchResult(c.dataset, key)
+		return n.hedgedFetch(c.dataset, key, owner, peer)
 	})
 	if shared {
 		n.stats.fetchesCoalesced.Add(1)

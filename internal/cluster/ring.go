@@ -86,6 +86,30 @@ func (r *Ring) search(key uint64) int {
 	return i
 }
 
+// OwnerAmong returns the first replica clockwise from the key that passes
+// ok — ownership restricted to a subset of the ring without rebuilding it.
+// This is how membership changes stay cheap: excluding one replica from
+// the live set moves only the keys that replica owned (~1/N of the space)
+// to their next-clockwise survivors, and the moment it passes ok again
+// those keys return to it. Returns (-1, false) when nothing passes.
+func (r *Ring) OwnerAmong(key uint64, ok func(replica int) bool) (int, bool) {
+	start := r.search(key)
+	seen := make([]bool, r.replicas)
+	checked := 0
+	for i := 0; i < len(r.points) && checked < r.replicas; i++ {
+		rep := r.points[(start+i)%len(r.points)].replica
+		if seen[rep] {
+			continue
+		}
+		seen[rep] = true
+		checked++
+		if ok(rep) {
+			return rep, true
+		}
+	}
+	return -1, false
+}
+
 // Sequence returns every replica in failover order for a key: the owner
 // first, then each further replica in the order their virtual nodes appear
 // clockwise. The order is deterministic per key, so two routers (or two

@@ -93,6 +93,52 @@ func TestRingDegenerate(t *testing.T) {
 	}
 }
 
+// TestRingOwnerAmongExclusion: restricting ownership to a subset (what the
+// router does when a replica leaves the live set) moves ONLY the keys the
+// excluded replica owned — everyone else's keys stay put — and the moved
+// fraction stays near 1/N. This is the cheap-membership-change property the
+// health pool relies on: no ring rebuild, no cluster-wide cache cold start.
+func TestRingOwnerAmongExclusion(t *testing.T) {
+	const keys = 20_000
+	const replicas = 4
+	ring := NewRing(replicas, DefaultVNodes)
+	const excluded = 2
+	ok := func(r int) bool { return r != excluded }
+	moved := 0
+	state := uint64(2026)
+	for i := 0; i < keys; i++ {
+		k := splitmix64(&state)
+		full := ring.Owner(k)
+		among, found := ring.OwnerAmong(k, ok)
+		if !found {
+			t.Fatalf("key %x: no owner among 3 live replicas", k)
+		}
+		if among == excluded {
+			t.Fatalf("key %x: OwnerAmong returned the excluded replica", k)
+		}
+		if full != excluded {
+			if among != full {
+				t.Fatalf("key %x: owner %d not excluded, but OwnerAmong moved it to %d", k, full, among)
+			}
+			continue
+		}
+		moved++
+		// And the key comes home the moment the replica passes again.
+		if back, _ := ring.OwnerAmong(k, func(int) bool { return true }); back != full {
+			t.Fatalf("key %x: all-pass OwnerAmong %d != Owner %d", k, back, full)
+		}
+	}
+	if moved == 0 {
+		t.Error("excluding a replica moved nothing; it owned no keys")
+	}
+	if moved > 2*keys/replicas {
+		t.Errorf("excluding 1 of %d replicas moved %d/%d keys, want <= %d", replicas, moved, keys, 2*keys/replicas)
+	}
+	if rep, found := ring.OwnerAmong(1, func(int) bool { return false }); found || rep != -1 {
+		t.Errorf("empty live set: got (%d, %v), want (-1, false)", rep, found)
+	}
+}
+
 // TestRingMovementOnScale: growing the cluster by one replica moves only a
 // bounded fraction of the key space — the consistent-hashing property that
 // keeps a scaling event from cold-starting every cache.

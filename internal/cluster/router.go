@@ -17,9 +17,9 @@ import (
 )
 
 // wireRequest mirrors the /viz JSON wire format (middleware's httpRequest)
-// for routing purposes only: the router never interprets the request beyond
-// hashing the fields that determine its result-cache key. The original body
-// bytes — not a re-encoding — are what gets forwarded.
+// for fallback routing only: the shape hash below never interprets the
+// request beyond the fields that determine its result-cache key. The
+// original body bytes — not a re-encoding — are what gets forwarded.
 type wireRequest struct {
 	Keyword  string  `json:"keyword"`
 	From     string  `json:"from"`
@@ -34,17 +34,16 @@ type wireRequest struct {
 	BudgetMs float64 `json:"budget_ms"`
 }
 
-// routingKey hashes one /viz request to its position on the ring. The hash
-// covers exactly the request fields that determine the result-cache key —
-// dataset, predicates (keyword/time/region), kind, grid, budget — normalized
-// the way the server normalizes them (kind and grid defaults, budget ≤ 0 as
-// one class, sub-area regions as one class). Rewriting is deterministic per
-// (dataset, query, budget), so equal result keys get equal routing keys and
-// every distinct result has exactly one owning replica. The converse can
-// fail in benign ways (e.g. two spellings of the same instant, or naming the
-// default dataset explicitly): those route to different owners at worst,
-// and the peer protocol still converges them. An unparseable body hashes
-// raw, so even error responses route deterministically.
+// routingKey hashes one /viz request's SHAPE to a ring position. It is the
+// fallback key: primary routing hashes the server-normalized ResultKey
+// (see Router.routeHash), the same space peer-cache ownership uses, so the
+// routed replica owns its key. The shape hash covers the request fields
+// that determine the result key — dataset, predicates, kind, grid, budget
+// — normalized the way the server normalizes them, and handles the cases
+// the unified path can't: unparseable bodies (hashed raw), requests the
+// server would reject, and datasets still warming. Fallback-routed
+// requests may land on a non-owner; the peer protocol still converges
+// them.
 func routingKey(dataset string, body []byte) uint64 {
 	h := hash64(dataset)
 	var wr wireRequest
@@ -99,33 +98,56 @@ func timeHash(s string) uint64 {
 // Router is the replica-aware routing tier: it fronts N replicas and sends
 // each /viz request to the replica owning its result key on the consistent
 // hash ring, so cache hits concentrate on one replica per key instead of
-// fragmenting N ways. A down owner fails over to the next replica in the
-// key's ring sequence (which then serves from its own cache, a peer fetch,
-// or local compute — never an error, as long as one replica lives).
+// fragmenting N ways. Replica membership is governed by a HealthPool
+// (active probes plus passive sentinel demotion); a non-live owner fails
+// over to the next live replica in the key's ring sequence, and when the
+// health view turns out stale the router retries every remaining replica
+// before giving up — a request is lost only when no replica at all can
+// serve it (clean 503 with Retry-After).
 type Router struct {
-	ring  *Ring
-	nodes []*Node
-	start time.Time
+	ring   *Ring
+	nodes  []*Node
+	health *HealthPool
+	start  time.Time
 
-	routed    []atomic.Int64 // per replica: requests sent there
-	failovers []atomic.Int64 // per replica: requests absorbed for a down owner
-	allDown   atomic.Int64
+	routed        []atomic.Int64 // per replica: requests committed there
+	failovers     []atomic.Int64 // per replica: requests absorbed for a non-live owner
+	retries       atomic.Int64   // attempts bounced off a refusal sentinel
+	allDown       atomic.Int64
+	keyedUnified  atomic.Int64 // requests routed by server-normalized ResultKey
+	keyedFallback atomic.Int64 // requests routed by the shape hash
 }
 
-// NewRouter builds a router over the ring's replicas. len(nodes) must match
-// the ring.
+// NewRouter builds a router over the ring's replicas with default health
+// probing (in-process NodeProbe). len(nodes) must match the ring.
 func NewRouter(ring *Ring, nodes []*Node) (*Router, error) {
+	return NewRouterWithHealth(ring, nodes, HealthConfig{})
+}
+
+// NewRouterWithHealth is NewRouter with explicit health-probe tuning. The
+// pool's probers start immediately; Close stops them.
+func NewRouterWithHealth(ring *Ring, nodes []*Node, hcfg HealthConfig) (*Router, error) {
 	if len(nodes) != ring.Replicas() {
 		return nil, fmt.Errorf("cluster: router has %d nodes for a ring of %d", len(nodes), ring.Replicas())
 	}
-	return &Router{
+	rt := &Router{
 		ring:      ring,
 		nodes:     nodes,
+		health:    NewHealthPool(len(nodes), NodeProbe(nodes), hcfg),
 		start:     time.Now(),
 		routed:    make([]atomic.Int64, len(nodes)),
 		failovers: make([]atomic.Int64, len(nodes)),
-	}, nil
+	}
+	rt.health.Start()
+	return rt, nil
 }
+
+// Health returns the router's health pool (lifecycle reports, snapshots).
+func (rt *Router) Health() *HealthPool { return rt.health }
+
+// Close stops the health probers. The router keeps serving on its last
+// known (plus passively updated) health view.
+func (rt *Router) Close() { rt.health.Stop() }
 
 // Handler returns the router's HTTP surface:
 //
@@ -144,6 +166,107 @@ func (rt *Router) Handler() http.Handler {
 	return mux
 }
 
+// routeHash maps one /viz request to its ring position. The primary path
+// is the UNIFIED key space: parse the body exactly as the serving replica
+// will, resolve it through a ready server's plan/rewrite path to the
+// ResultKey, and hash that — the same hash peer-cache ownership uses, so
+// the routed replica owns its key and a cold request never pays a futile
+// peer fetch (nor stores the result twice). The key is computed on the
+// first replica in the shape hash's ring sequence with a ready server
+// ("keyer" replica), which both spreads cold plan builds across the
+// cluster and keeps the choice deterministic. Anything the unified path
+// can't key — unparseable body, dataset not warm anywhere, a request the
+// server rejects — falls back to the shape hash, which routes equal
+// bodies equally (enough for deterministic error handling and cold
+// starts). unified reports which space was used.
+func (rt *Router) routeHash(dataset string, body []byte) (key uint64, unified bool) {
+	shape := routingKey(dataset, body)
+	req, err := middleware.ParseRequest(body)
+	if err != nil {
+		return shape, false
+	}
+	for _, idx := range rt.ring.Sequence(shape) {
+		srv, ok := rt.nodes[idx].Gateway().ReadyServer(dataset)
+		if !ok {
+			continue
+		}
+		rkey, err := srv.ResultKeyFor(req)
+		if err != nil {
+			return shape, false
+		}
+		return rkey.Hash(), true
+	}
+	return shape, false
+}
+
+// failoverWriter buffers a replica's response decision so the router can
+// retry on a refusal sentinel. Headers go into a private map — nothing
+// touches the real ResponseWriter until the first WriteHeader proves the
+// response is not a sentinel refusal; then headers are copied over and the
+// body streams through. Sentinel responses are swallowed entirely.
+type failoverWriter struct {
+	dst         http.ResponseWriter
+	hdr         http.Header
+	decided     bool
+	committed   bool
+	unavailable string // sentinel value when the replica refused
+}
+
+func (f *failoverWriter) Header() http.Header {
+	if f.hdr == nil {
+		f.hdr = make(http.Header)
+	}
+	return f.hdr
+}
+
+func (f *failoverWriter) WriteHeader(code int) {
+	if f.decided {
+		return
+	}
+	f.decided = true
+	if v := f.Header().Get(ReplicaUnavailableHeader); v != "" && code == http.StatusServiceUnavailable {
+		f.unavailable = v
+		return
+	}
+	dst := f.dst.Header()
+	for k, vv := range f.hdr {
+		dst[k] = vv
+	}
+	f.committed = true
+	f.dst.WriteHeader(code)
+}
+
+func (f *failoverWriter) Write(b []byte) (int, error) {
+	if !f.decided {
+		f.WriteHeader(http.StatusOK)
+	}
+	if !f.committed {
+		return len(b), nil // swallow the sentinel body
+	}
+	return f.dst.Write(b)
+}
+
+// attemptOrder returns the replicas to try for a key: the key's ring
+// sequence restricted to live replicas first (the first entry is the
+// effective owner — Ring.OwnerAmong over the live set), then the non-live
+// remainder. The second tier protects against a stale health view: a
+// replica the pool believes down may be back already, and trying it beats
+// returning an avoidable 503. Its own sentinel keeps a really-down
+// replica harmless.
+func (rt *Router) attemptOrder(key uint64) []int {
+	seq := rt.ring.Sequence(key)
+	order := make([]int, 0, len(seq))
+	skipped := make([]int, 0, len(seq))
+	for _, idx := range seq {
+		if rt.health.Routable(idx) {
+			order = append(order, idx)
+		} else {
+			skipped = append(skipped, idx)
+		}
+	}
+	return append(order, skipped...)
+}
+
 // serveViz routes one visualization request to its owner replica.
 func (rt *Router) serveViz(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
@@ -152,36 +275,59 @@ func (rt *Router) serveViz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	key := routingKey(r.URL.Query().Get("dataset"), body)
-	seq := rt.ring.Sequence(key)
-	for i, idx := range seq {
+	key, unified := rt.routeHash(r.URL.Query().Get("dataset"), body)
+	if unified {
+		rt.keyedUnified.Add(1)
+	} else {
+		rt.keyedFallback.Add(1)
+	}
+	for attempt, idx := range rt.attemptOrder(key) {
 		n := rt.nodes[idx]
-		if n.Down() {
-			continue
-		}
-		rt.routed[idx].Add(1)
-		if i > 0 {
-			rt.failovers[idx].Add(1)
-		}
+		fw := &failoverWriter{dst: w}
 		r2 := r.Clone(r.Context())
 		r2.Body = io.NopCloser(bytes.NewReader(body))
 		r2.ContentLength = int64(len(body))
-		n.ServeHTTP(w, r2)
+		n.ServeHTTP(fw, r2)
+		if fw.unavailable != "" {
+			// The replica refused with its lifecycle sentinel: demote it
+			// and fail the request over. Gateway 503s (admission, dataset
+			// warming) do NOT carry the sentinel and are final — every
+			// replica would shed the same way.
+			rt.retries.Add(1)
+			if fw.unavailable == "draining" {
+				rt.health.ReportDraining(idx)
+			} else {
+				rt.health.ReportFailure(idx)
+			}
+			continue
+		}
+		rt.routed[idx].Add(1)
+		if attempt > 0 {
+			rt.failovers[idx].Add(1)
+		}
+		if !rt.health.Routable(idx) {
+			// A replica the pool held out just served real traffic:
+			// credit it toward rejoining.
+			rt.health.ReportSuccess(idx)
+		}
 		return
 	}
 	rt.allDown.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(rt.health.RetryAfterSeconds()))
 	http.Error(w, "no live replica", http.StatusServiceUnavailable)
 }
 
-// forwardAnyLive forwards a read-only request to the first live replica
-// (every replica answers registry-level endpoints identically).
+// forwardAnyLive forwards a read-only request to the first replica that
+// accepts it (every replica answers registry-level endpoints identically).
 func (rt *Router) forwardAnyLive(w http.ResponseWriter, r *http.Request) {
-	for _, n := range rt.nodes {
-		if !n.Down() {
-			n.ServeHTTP(w, r)
+	for _, idx := range rt.attemptOrder(0) {
+		fw := &failoverWriter{dst: w}
+		rt.nodes[idx].ServeHTTP(fw, r)
+		if fw.unavailable == "" {
 			return
 		}
 	}
+	w.Header().Set("Retry-After", strconv.Itoa(rt.health.RetryAfterSeconds()))
 	http.Error(w, "no live replica", http.StatusServiceUnavailable)
 }
 
@@ -206,24 +352,17 @@ func (rt *Router) serveHealthz(w http.ResponseWriter, r *http.Request) {
 		n.ServeHTTP(w, r)
 		return
 	}
-	type replicaHealth struct {
-		Replica int    `json:"replica"`
-		Status  string `json:"status"`
-	}
+	reps := rt.health.SnapshotAll()
 	out := struct {
-		Status    string          `json:"status"`
-		UptimeSec float64         `json:"uptime_sec"`
-		Replicas  []replicaHealth `json:"replicas"`
-	}{Status: "ok", UptimeSec: time.Since(rt.start).Seconds()}
+		Status    string                  `json:"status"`
+		UptimeSec float64                 `json:"uptime_sec"`
+		Replicas  []ReplicaHealthSnapshot `json:"replicas"`
+	}{Status: "ok", UptimeSec: time.Since(rt.start).Seconds(), Replicas: reps}
 	live := 0
-	for i, n := range rt.nodes {
-		st := "ok"
-		if n.Down() {
-			st = "down"
-		} else {
+	for _, h := range reps {
+		if h.State == StateLive.String() {
 			live++
 		}
-		out.Replicas = append(out.Replicas, replicaHealth{Replica: i, Status: st})
 	}
 	code := http.StatusOK
 	if live == 0 {
@@ -240,6 +379,7 @@ func (rt *Router) serveHealthz(w http.ResponseWriter, r *http.Request) {
 // ReplicaSnapshot is one replica's slice of the cluster snapshot.
 type ReplicaSnapshot struct {
 	Replica   int                               `json:"replica"`
+	State     string                            `json:"state"`
 	Alive     bool                              `json:"alive"`
 	Routed    int64                             `json:"routed"`
 	Failovers int64                             `json:"failovers_absorbed"`
@@ -255,6 +395,9 @@ type Snapshot struct {
 	UptimeSec     float64           `json:"uptime_sec"`
 	Replicas      []ReplicaSnapshot `json:"replicas"`
 	Routed        int64             `json:"routed"`
+	KeyedUnified  int64             `json:"routed_by_result_key"`
+	KeyedFallback int64             `json:"routed_by_shape_hash"`
+	Retries       int64             `json:"routing_retries"`
 	NoLiveReplica int64             `json:"no_live_replica"`
 	ResultHits    int64             `json:"result_cache_hits"`
 	ResultMisses  int64             `json:"result_cache_misses"`
@@ -265,12 +408,17 @@ type Snapshot struct {
 func (rt *Router) Snapshot() Snapshot {
 	snap := Snapshot{
 		UptimeSec:     time.Since(rt.start).Seconds(),
+		KeyedUnified:  rt.keyedUnified.Load(),
+		KeyedFallback: rt.keyedFallback.Load(),
+		Retries:       rt.retries.Load(),
 		NoLiveReplica: rt.allDown.Load(),
 	}
 	for i, n := range rt.nodes {
+		st := rt.health.State(i)
 		rs := ReplicaSnapshot{
 			Replica:   i,
-			Alive:     !n.Down(),
+			State:     st.String(),
+			Alive:     st == StateLive,
 			Routed:    rt.routed[i].Load(),
 			Failovers: rt.failovers[i].Load(),
 			Cache:     n.CacheSnapshot(),
@@ -312,6 +460,9 @@ func (rt *Router) WritePrometheus(w io.Writer) {
 	snap := rt.Snapshot()
 	fmt.Fprintf(w, "maliva_cluster_uptime_seconds %g\n", snap.UptimeSec)
 	fmt.Fprintf(w, "maliva_cluster_replicas %d\n", len(rt.nodes))
+	fmt.Fprintf(w, "maliva_cluster_routed_by_result_key_total %d\n", snap.KeyedUnified)
+	fmt.Fprintf(w, "maliva_cluster_routed_by_shape_hash_total %d\n", snap.KeyedFallback)
+	fmt.Fprintf(w, "maliva_cluster_routing_retries_total %d\n", snap.Retries)
 	fmt.Fprintf(w, "maliva_cluster_no_live_replica_total %d\n", snap.NoLiveReplica)
 	fmt.Fprintf(w, "maliva_cluster_result_cache_hit_rate %g\n", snap.ResultHitRate)
 	for _, rs := range snap.Replicas {
@@ -321,6 +472,7 @@ func (rt *Router) WritePrometheus(w io.Writer) {
 			alive = 1
 		}
 		fmt.Fprintf(w, "maliva_cluster_replica_alive{%s} %d\n", l, alive)
+		fmt.Fprintf(w, "maliva_cluster_replica_state{%s,state=%q} 1\n", l, rs.State)
 		fmt.Fprintf(w, "maliva_cluster_routed_total{%s} %d\n", l, rs.Routed)
 		fmt.Fprintf(w, "maliva_cluster_failovers_absorbed_total{%s} %d\n", l, rs.Failovers)
 		c := rs.Cache
@@ -328,11 +480,15 @@ func (rt *Router) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "maliva_cluster_peer_hits_total{%s} %d\n", l, c.PeerHits)
 		fmt.Fprintf(w, "maliva_cluster_peer_misses_total{%s} %d\n", l, c.PeerMisses)
 		fmt.Fprintf(w, "maliva_cluster_peer_errors_total{%s} %d\n", l, c.PeerErrors)
+		fmt.Fprintf(w, "maliva_cluster_peer_fetch_timeouts_total{%s} %d\n", l, c.FetchTimeouts)
+		fmt.Fprintf(w, "maliva_cluster_peer_fetches_hedged_total{%s} %d\n", l, c.HedgedFetches)
+		fmt.Fprintf(w, "maliva_cluster_peer_hedge_wins_total{%s} %d\n", l, c.HedgeWins)
 		fmt.Fprintf(w, "maliva_cluster_peer_fetches_coalesced_total{%s} %d\n", l, c.FetchesCoalesced)
 		fmt.Fprintf(w, "maliva_cluster_peer_fetches_served_total{%s} %d\n", l, c.FetchesServed)
 		fmt.Fprintf(w, "maliva_cluster_fills_sent_total{%s} %d\n", l, c.FillsSent)
 		fmt.Fprintf(w, "maliva_cluster_fills_received_total{%s} %d\n", l, c.FillsReceived)
 		fmt.Fprintf(w, "maliva_cluster_fills_dropped_total{%s} %d\n", l, c.FillsDropped)
+		fmt.Fprintf(w, "maliva_cluster_peer_fill_drops_total{%s} %d\n", l, c.FillsDropped)
 	}
 	// Per-replica, per-dataset gateway series.
 	for _, rs := range snap.Replicas {

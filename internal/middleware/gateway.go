@@ -267,6 +267,29 @@ func (g *Gateway) Server(name string) (*Server, error) {
 	return e.srv, e.err
 }
 
+// ReadyServer returns the Server for a dataset only if it is already built
+// and healthy — it never blocks and never triggers a build. The cluster
+// routing tier uses it to compute routing keys: the router must not stall a
+// request (or kick off a dataset build on the routing goroutine) just to
+// decide where to send it. Empty name means the default dataset.
+func (g *Gateway) ReadyServer(name string) (*Server, bool) {
+	if name == "" {
+		name = g.defaultName
+	}
+	g.mu.RLock()
+	e, ok := g.entries[name]
+	g.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+		return e.srv, e.err == nil
+	default:
+		return nil, false
+	}
+}
+
 // Handler returns the gateway's HTTP surface:
 //
 //	POST /viz?dataset=<name>   — visualization requests (shared admission);

@@ -22,6 +22,19 @@ type httpRequest struct {
 	BudgetMs float64 `json:"budget_ms"`
 }
 
+// ParseRequest decodes the /viz JSON wire format into a Request. It is the
+// exact decode path Server.Handler uses, exported so the cluster routing
+// tier can interpret a request body the same way the serving replica will
+// (the unified-key-space routing in internal/cluster depends on both sides
+// agreeing on this normalization).
+func ParseRequest(body []byte) (Request, error) {
+	var hreq httpRequest
+	if err := json.Unmarshal(body, &hreq); err != nil {
+		return Request{}, err
+	}
+	return hreq.toRequest()
+}
+
 // Handler returns an http.Handler serving:
 //
 //	POST /viz      — visualization requests (admission-controlled)

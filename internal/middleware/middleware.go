@@ -289,13 +289,31 @@ func (s *Server) effectiveBudget(req Request) float64 {
 	return s.cfg.DefaultBudgetMs
 }
 
-// handle is Handle plus a flag reporting whether the response came from the
-// result cache (surfaced as the X-Cache header).
-func (s *Server) handle(req Request) (*Response, bool, error) {
-	budget := s.effectiveBudget(req)
+// planned is one request resolved through the plan cache and the rewriter:
+// everything handle needs before touching the result cache, and everything
+// ResultKeyFor needs to name the request's result.
+type planned struct {
+	budget   float64
+	sig      string
+	out      core.Outcome
+	rq       *engine.Query
+	hint     engine.Hint
+	optLabel string
+	rkey     ResultKey
+}
+
+// plan resolves a request to its rewrite decision and result-cache key
+// without executing anything: build the query, reuse (or build) the shape's
+// ground-truth context, memoize the per-budget rewrite decision, and derive
+// the ResultKey. count selects whether the plan-cache counters observe this
+// resolution — the serving path counts, the routing-side key computation
+// (Server.ResultKeyFor) does not, so a request keyed on one replica and
+// served on another is not double-counted.
+func (s *Server) plan(req Request, count bool) (planned, error) {
+	p := planned{budget: s.effectiveBudget(req)}
 	q, err := s.BuildQuery(req)
 	if err != nil {
-		return nil, false, err
+		return p, err
 	}
 
 	kind := req.Kind
@@ -312,47 +330,73 @@ func (s *Server) handle(req Request) (*Response, bool, error) {
 
 	// Plan cache: one ground-truth context per query shape, built once even
 	// under a stampede of identical requests.
-	sig := q.SQL(engine.Hint{})
-	entry, how, err := s.plans.get(sig, func() (*core.QueryContext, error) {
+	p.sig = q.SQL(engine.Hint{})
+	entry, how, err := s.plans.get(p.sig, func() (*core.QueryContext, error) {
 		ccfg := core.DefaultContextConfig(s.Space)
 		ccfg.Lookups = s.lookups
 		return core.BuildContext(s.DS.DB, q, ccfg)
 	})
-	switch how {
-	case planHit:
-		s.metrics.planHits.Add(1)
-	case planCoalesced:
-		s.metrics.planCoalesced.Add(1)
-	default:
-		s.metrics.planMisses.Add(1)
+	if count {
+		switch how {
+		case planHit:
+			s.metrics.planHits.Add(1)
+		case planCoalesced:
+			s.metrics.planCoalesced.Add(1)
+		default:
+			s.metrics.planMisses.Add(1)
+		}
 	}
 	if err != nil {
-		return nil, false, err
+		return p, err
 	}
 	ctx := entry.ctx
 
 	// Per-budget rewrite decision, memoized on the entry. The rewrite
 	// itself is serialized (see rewriteMu).
-	out := entry.outcome(budget, func() core.Outcome {
+	p.out = entry.outcome(p.budget, func() core.Outcome {
 		s.rewriteMu.Lock()
 		defer s.rewriteMu.Unlock()
-		return s.Rewriter.Rewrite(ctx, budget)
+		return s.Rewriter.Rewrite(ctx, p.budget)
 	})
 
-	rq, hint := q, engine.Hint{}
-	optLabel := "original"
-	if out.Option >= 0 {
-		rq, hint = core.BuildRQ(q, ctx.Options[out.Option], ctx.EstRows, ctx.Scale)
-		optLabel = ctx.Options[out.Option].Label(len(q.Preds))
+	p.rq, p.hint = q, engine.Hint{}
+	p.optLabel = "original"
+	if p.out.Option >= 0 {
+		p.rq, p.hint = core.BuildRQ(q, ctx.Options[p.out.Option], ctx.EstRows, ctx.Scale)
+		p.optLabel = ctx.Options[p.out.Option].Label(len(q.Preds))
+	}
+
+	p.rkey = ResultKey{
+		SQL: p.rq.SQL(p.hint), Kind: kind, GridW: gw, GridH: gh,
+		Region: s.regionOrExtent(req), Budget: p.budget,
+	}
+	return p, nil
+}
+
+// ResultKeyFor resolves a request to the result-cache key the serving path
+// would use, without executing or touching the result cache. The key is a
+// deterministic function of (dataset, request, budget) — every replica
+// computes the same one — which is what lets the cluster routing tier send
+// a request to the replica that owns its key (one key space for routing and
+// peer ownership). Cold shapes pay the ground-truth context build here,
+// exactly as serving them would; warm shapes are two cache lookups.
+func (s *Server) ResultKeyFor(req Request) (ResultKey, error) {
+	p, err := s.plan(req, false)
+	return p.rkey, err
+}
+
+// handle is Handle plus a flag reporting whether the response came from the
+// result cache (surfaced as the X-Cache header).
+func (s *Server) handle(req Request) (*Response, bool, error) {
+	p, err := s.plan(req, true)
+	if err != nil {
+		return nil, false, err
 	}
 
 	// Result cache: repeated (rewritten SQL, kind, grid, region, budget)
 	// shapes skip execution and binning entirely. In a cluster, Get may be
 	// answered by the key's owning replica's cache (see internal/cluster).
-	rkey := ResultKey{
-		SQL: rq.SQL(hint), Kind: kind, GridW: gw, GridH: gh,
-		Region: s.regionOrExtent(req), Budget: budget,
-	}
+	rkey := p.rkey
 	if resp := s.results.Get(rkey); resp != nil {
 		s.metrics.resultHits.Add(1)
 		s.noteOutcome(resp)
@@ -360,33 +404,33 @@ func (s *Server) handle(req Request) (*Response, bool, error) {
 	}
 	s.metrics.resultMisses.Add(1)
 
-	res, _, err := s.DS.DB.RunCached(rq, hint, s.lookups)
+	res, _, err := s.DS.DB.RunCached(p.rq, p.hint, s.lookups)
 	if err != nil {
 		return nil, false, err
 	}
 
 	resp := &Response{
-		Kind:  kind,
-		GridW: gw,
-		GridH: gh,
+		Kind:  rkey.Kind,
+		GridW: rkey.GridW,
+		GridH: rkey.GridH,
 		Trace: Trace{
-			SQL:          sig,
+			SQL:          p.sig,
 			RewrittenSQL: rkey.SQL,
-			Option:       optLabel,
-			BudgetMs:     budget,
-			PlanMs:       out.PlanMs,
-			ExecMs:       out.ExecMs,
-			TotalMs:      out.TotalMs,
-			Viable:       out.Viable,
-			Quality:      out.Quality,
-			NumExplored:  out.Explored,
+			Option:       p.optLabel,
+			BudgetMs:     p.budget,
+			PlanMs:       p.out.PlanMs,
+			ExecMs:       p.out.ExecMs,
+			TotalMs:      p.out.TotalMs,
+			Viable:       p.out.Viable,
+			Quality:      p.out.Quality,
+			NumExplored:  p.out.Explored,
 		},
 	}
-	switch kind {
+	switch rkey.Kind {
 	case VizScatter:
 		resp.Points = res.Points
 	default:
-		grid := viz.NewGrid(rkey.Region, gw, gh)
+		grid := viz.NewGrid(rkey.Region, rkey.GridW, rkey.GridH)
 		resp.Bins = grid.Counts(res.Points, res.Weight)
 	}
 	s.results.Put(rkey, resp)
