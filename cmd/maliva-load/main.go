@@ -21,6 +21,11 @@
 //	                                              # replicas mid-run; every 200 is checked
 //	                                              # byte-identical against a reference
 //	                                              # gateway and availability is asserted
+//	maliva-load -ingest                           # live-ingestion drill: read QPS idle vs
+//	                                              # under active writes, flush-latency
+//	                                              # distribution, and a zero-stale-read
+//	                                              # check against an uncached control
+//	                                              # gateway after every synchronous flush
 package main
 
 import (
@@ -135,6 +140,20 @@ type loadReport struct {
 	ChurnAvailability float64 `json:"churn_availability,omitempty"`
 	ChurnP95FactorX   float64 `json:"churn_p95_factor_x,omitempty"`
 	ChurnMismatches   int64   `json:"churn_mismatches,omitempty"`
+
+	// Ingest-drill headline numbers (ingest mode only): write-path volume
+	// and flush-latency distribution from the server's own counters, the
+	// active-writes read throughput as a fraction of idle, and the
+	// stale-read check tally — StaleReads must be 0 (cached reads after a
+	// flush byte-identical to an uncached control over the same data).
+	IngestRows       int64   `json:"ingest_rows,omitempty"`
+	IngestFlushes    int64   `json:"ingest_flushes,omitempty"`
+	IngestFlushP50Ms float64 `json:"ingest_flush_p50_ms,omitempty"`
+	IngestFlushP95Ms float64 `json:"ingest_flush_p95_ms,omitempty"`
+	IngestFlushMaxMs float64 `json:"ingest_flush_max_ms,omitempty"`
+	ActiveReadFactor float64 `json:"active_read_qps_factor,omitempty"`
+	StaleChecks      int64   `json:"stale_read_checks,omitempty"`
+	StaleReads       int64   `json:"stale_reads,omitempty"`
 }
 
 func main() {
@@ -154,6 +173,7 @@ func main() {
 		jsonPath = flag.String("json", "", "write the report to this file")
 		smoke    = flag.Bool("smoke", false, "tiny CI pass: small datasets, ~2s, exit non-zero on errors")
 		churn    = flag.Bool("churn", false, "replica-churn drill over the -replicas count (default 3): a healthy control pass, then a pass with replicas killed/drained/revived mid-run; fails on any non-identical 200 or availability below 99%")
+		ingest   = flag.Bool("ingest", false, "live-ingestion drill: idle and active-writes read passes, flush-latency distribution, and a zero-stale-read check against an uncached control gateway; fails on any stale read")
 	)
 	flag.Parse()
 
@@ -165,7 +185,7 @@ func main() {
 		*workers = 4
 		*duration = time.Second
 		*nShapes = 30
-		if *repList == "" && !*churn {
+		if *repList == "" && !*churn && !*ingest {
 			*compare = true
 		}
 		if *datasets == "" {
@@ -185,6 +205,14 @@ func main() {
 		}
 		if *compare {
 			fatal(fmt.Errorf("-churn and -compare are mutually exclusive (churn runs its own control pass)"))
+		}
+	}
+	if *ingest {
+		if *url != "" {
+			fatal(fmt.Errorf("-ingest needs the in-process control gateway; it cannot drive a remote -url"))
+		}
+		if *compare || *churn || *repList != "" {
+			fatal(fmt.Errorf("-ingest is its own drill; it excludes -compare, -churn, and -replicas"))
 		}
 	}
 	var replicaCounts []int
@@ -264,6 +292,8 @@ func main() {
 			}
 			report.ReplicaCounts = []int{r}
 			runChurn(&report, r, names, built, shapes, factory, *budget, *workers, *duration, *zipfS, *seed)
+		} else if *ingest {
+			runIngest(&report, names, built, shapes, factory, *budget, *workers, *duration, *zipfS, *seed)
 		} else if len(replicaCounts) > 0 {
 			// Replica scaling compare: one warm cached pass per count. The
 			// hit rate is measured over the timed pass only (counter deltas
@@ -361,6 +391,13 @@ func main() {
 		fmt.Printf("churn vs control: availability %.2f%%, p95 %.2fx, mismatches %d\n",
 			100*report.ChurnAvailability, report.ChurnP95FactorX, report.ChurnMismatches)
 	}
+	if *ingest {
+		fmt.Printf("ingest: %d rows in %d flushes  flush p50 %.3f ms  p95 %.3f ms  max %.1f ms\n",
+			report.IngestRows, report.IngestFlushes,
+			report.IngestFlushP50Ms, report.IngestFlushP95Ms, report.IngestFlushMaxMs)
+		fmt.Printf("stale reads: %d / %d post-flush checks  active/idle read QPS %.2fx\n",
+			report.StaleReads, report.StaleChecks, report.ActiveReadFactor)
+	}
 	if len(replicaCounts) > 1 {
 		base := report.Passes[0]
 		for _, p := range report.Passes[1:] {
@@ -402,9 +439,17 @@ func main() {
 			fatal(fmt.Errorf("churn: availability %.2f%% below the 99%% floor", 100*report.ChurnAvailability))
 		}
 	}
+	if *ingest {
+		if report.StaleReads > 0 {
+			fatal(fmt.Errorf("ingest: %d of %d post-flush reads diverged from the uncached control (stale cache)", report.StaleReads, report.StaleChecks))
+		}
+		if report.IngestFlushes == 0 {
+			fatal(fmt.Errorf("ingest: the write path applied no flushes"))
+		}
+	}
 	if *smoke {
 		last := report.Passes[len(report.Passes)-1]
-		if last.Server != nil {
+		if last.Server != nil && !*ingest {
 			if hits, _ := hitRates(last.Server); hits == 0 {
 				fatal(fmt.Errorf("smoke: cached pass served no result-cache hits"))
 			}
@@ -490,6 +535,150 @@ func runChurn(report *loadReport, r int, names []string, built map[string]*workl
 		report.ChurnP95FactorX = churnRep.P95Ms / ctrl.P95Ms
 	}
 	report.ChurnMismatches = ctrl.Mismatches + churnRep.Mismatches
+}
+
+// runIngest runs the live-ingestion drill against one cached gateway:
+//
+//  1. an idle read pass (no writes) — the read-throughput baseline;
+//  2. an active read pass with a background writer streaming batches through
+//     POST /ingest, so the adaptive batcher's flushes keep bumping data
+//     versions under the measured reads;
+//  3. the stale-read check: an UNCACHED control gateway is started over the
+//     SAME shared datasets, then a single writer loop alternates synchronous
+//     flushes with byte-comparing cached responses against the control's
+//     from-scratch recompute — while background readers keep racing the
+//     cached gateway. One diverging byte means some cache layer (plan,
+//     result, lookup, or peer) served a pre-flush answer; the drill fails.
+//
+// The control gateway shares the built *workload.Dataset values, so it
+// always computes at exactly the data version the flush just produced.
+func runIngest(report *loadReport, names []string, built map[string]*workload.Dataset, shapes []shape, factory middleware.RewriterFactory, budget float64, workers int, d time.Duration, zipfS float64, seed int64) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	srv := startGateway(names, built, budget, false, factory)
+	defer srv.close()
+
+	streams := make(map[string]*workload.IngestStream, len(names))
+	for _, name := range names {
+		st, err := workload.NewIngestStream(built[name], seed+500)
+		if err != nil {
+			fatal(err)
+		}
+		streams[name] = st
+	}
+
+	idle := runPass("ingest-idle", srv.url, shapes, workers, d, zipfS, seed, true)
+	report.Passes = append(report.Passes, idle)
+
+	// Active pass: one background writer drip-feeds asynchronous batches,
+	// sized and paced so both flush triggers fire (the size threshold on
+	// bursts, the adaptive timer between them).
+	var (
+		stopWriter atomic.Bool
+		writerWG   sync.WaitGroup
+	)
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; !stopWriter.Load(); i++ {
+			name := names[i%len(names)]
+			if err := postIngest(client, srv.url, name, streams[name].Next(64), false); err != nil {
+				fmt.Fprintf(os.Stderr, "ingest writer: %v\n", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	active := runPass("ingest-active", srv.url, shapes, workers, d, zipfS, seed+1, false)
+	stopWriter.Store(true)
+	writerWG.Wait()
+	report.Passes = append(report.Passes, active)
+	if idle.QPS > 0 {
+		report.ActiveReadFactor = active.QPS / idle.QPS
+	}
+
+	// Stale-read check against the uncached control. Background readers
+	// keep the cached gateway's caches hot and racing while the writer
+	// flushes, so a stale entry that survives a version bump gets every
+	// chance to be served.
+	ctrl := startGateway(names, built, budget, true, factory)
+	defer ctrl.close()
+	var (
+		stopReaders atomic.Bool
+		readerWG    sync.WaitGroup
+	)
+	for w := 0; w < 2; w++ {
+		readerWG.Add(1)
+		go func(w int) {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*31))
+			for !stopReaders.Load() {
+				_, _, _ = fire(client, srv.url, shapes[rng.Intn(len(shapes))])
+			}
+		}(w)
+	}
+	const checkRounds = 6
+	perRound := len(shapes)
+	if perRound > 48 {
+		perRound = 48
+	}
+	var stale, checks int64
+	for r := 0; r < checkRounds; r++ {
+		name := names[r%len(names)]
+		if err := postIngest(client, srv.url, name, streams[name].Next(32), true); err != nil {
+			fatal(fmt.Errorf("ingest check: %v", err))
+		}
+		for j := 0; j < perRound; j++ {
+			sh := shapes[(r*perRound+j)%len(shapes)]
+			wantCode, want, err := fireRaw(client, ctrl.url, sh)
+			if err != nil || wantCode != http.StatusOK {
+				fatal(fmt.Errorf("ingest check: control got status %d, err %v", wantCode, err))
+			}
+			gotCode, got, err := fireRaw(client, srv.url, sh)
+			if err != nil || gotCode != http.StatusOK {
+				fatal(fmt.Errorf("ingest check: cached gateway got status %d, err %v", gotCode, err))
+			}
+			checks++
+			if !bytes.Equal(want, got) {
+				stale++
+			}
+		}
+	}
+	stopReaders.Store(true)
+	readerWG.Wait()
+	report.StaleChecks, report.StaleReads = checks, stale
+
+	// Write-path volume and flush latencies from the server's own counters.
+	if snap := fetchMetrics(client, srv.url); snap != nil {
+		for _, m := range snap.Datasets {
+			report.IngestRows += m.IngestRows
+			report.IngestFlushes += m.IngestFlushes
+			if m.IngestFlushes > 0 && m.FlushP95Ms >= report.IngestFlushP95Ms {
+				report.IngestFlushP50Ms = m.FlushP50Ms
+				report.IngestFlushP95Ms = m.FlushP95Ms
+			}
+			if m.FlushMaxMs > report.IngestFlushMaxMs {
+				report.IngestFlushMaxMs = m.FlushMaxMs
+			}
+		}
+	}
+}
+
+// postIngest sends one batch of wire-form rows to a gateway's write path.
+func postIngest(client *http.Client, url, dataset string, rows []map[string]any, sync bool) error {
+	body, err := json.Marshal(map[string]any{"rows": rows, "sync": sync})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url+"/ingest?dataset="+dataset, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ingest %s: status %d: %s", dataset, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return nil
 }
 
 // splitNames parses the -datasets list.

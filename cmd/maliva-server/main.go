@@ -2,9 +2,11 @@
 // one or more synthetic datasets: it registers each requested dataset,
 // (optionally) trains an MDP agent per dataset at startup, then serves
 // visualization requests at POST /viz?dataset=<name> with plan/result
-// caching and one admission budget shared across datasets. GET /datasets,
-// GET /healthz and GET /metrics expose the serving state, per dataset and
-// rolled up.
+// caching and one admission budget shared across datasets. POST
+// /ingest?dataset=<name> appends rows through the adaptive write batcher
+// (every flush bumps the dataset's data version, atomically invalidating
+// all cached answers). GET /datasets, GET /healthz and GET /metrics expose
+// the serving state, per dataset and rolled up.
 //
 //	maliva-server -dataset twitter -dataset taxi
 //	curl -s 'localhost:8080/viz?dataset=twitter' -d '{

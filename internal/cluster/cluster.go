@@ -104,6 +104,13 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Peer-cache ownership must agree with routing: every node resolves
+	// owners over the router's routable set (Ring.OwnerAmong), not the full
+	// ring, so the replica a key's requests concentrate on is the replica
+	// its peers fetch from.
+	for _, n := range nodes {
+		n.SetHealth(router.health.Routable)
+	}
 	return &Cluster{ring: ring, nodes: nodes, router: router}, nil
 }
 

@@ -50,11 +50,12 @@ type Node struct {
 	gw      *middleware.Gateway
 	handler http.Handler
 
-	mu     sync.RWMutex
-	peers  []PeerClient // index id is nil (self)
-	caches map[string]*peerCache
-	secret string
-	hedge  HedgeConfig
+	mu       sync.RWMutex
+	peers    []PeerClient // index id is nil (self)
+	caches   map[string]*peerCache
+	secret   string
+	hedge    HedgeConfig
+	routable func(replica int) bool // health view for ownership (nil = full ring)
 
 	stats    cacheStats
 	state    atomic.Int32 // ReplicaState
@@ -116,6 +117,44 @@ func (n *Node) SetPeers(peers []PeerClient) {
 	n.mu.Lock()
 	n.peers = peers
 	n.mu.Unlock()
+}
+
+// SetHealth installs the node's view of which replicas are currently
+// routable. Peer-cache ownership then uses Ring.OwnerAmong over that set —
+// the SAME restricted key space the router walks — so the replica a request
+// is routed to is the replica its peer cache calls owner. Without a view
+// (one-process-per-replica deployments with no shared health pool) the
+// full-ring owner is used. Call before serving traffic.
+func (n *Node) SetHealth(view func(replica int) bool) {
+	n.mu.Lock()
+	n.routable = view
+	n.mu.Unlock()
+}
+
+// ownerFor resolves a key hash to its effective owning replica: the first
+// routable replica clockwise (matching Router.attemptOrder's first choice),
+// falling back to the unrestricted owner when no view is installed or
+// nothing is routable.
+func (n *Node) ownerFor(hash uint64) int {
+	n.mu.RLock()
+	view := n.routable
+	n.mu.RUnlock()
+	if view != nil {
+		if rep, ok := n.ring.OwnerAmong(hash, view); ok {
+			return rep
+		}
+	}
+	return n.ring.Owner(hash)
+}
+
+// dataVersion returns the node's current data version for a dataset, or
+// false while the dataset's server is not ready here.
+func (n *Node) dataVersion(dataset string) (uint64, bool) {
+	srv, ok := n.gw.ReadyServer(dataset)
+	if !ok {
+		return 0, false
+	}
+	return srv.DataVersion(), true
 }
 
 // SetPeerSecret requires every /cluster request to carry the shared secret
@@ -181,8 +220,8 @@ func (n *Node) SetDown(v bool) {
 	}
 }
 
-// Drain takes the replica out of the routed set gracefully: new /viz and
-// /query traffic is refused with the draining sentinel, while peer
+// Drain takes the replica out of the routed set gracefully: new /viz,
+// /query, and /ingest traffic is refused with the draining sentinel, while peer
 // fetches, health checks, and metrics keep working — so the replica's
 // cache remains readable by the cluster until the operator rejoins or
 // retires it.
@@ -235,7 +274,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	case StateDraining:
 		w.Header().Set(ReplicaUnavailableHeader, "draining")
-		if r.URL.Path == "/viz" || r.URL.Path == "/query" {
+		if r.URL.Path == "/viz" || r.URL.Path == "/query" || r.URL.Path == "/ingest" {
 			http.Error(w, fmt.Sprintf("replica %d is draining", n.id), http.StatusServiceUnavailable)
 			return
 		}
@@ -271,21 +310,37 @@ func (n *Node) cacheFor(dataset string) *peerCache {
 }
 
 // fetchLocal answers a peer's fetch from this node's LOCAL cache only —
-// never recursing into the peer path, so fetch chains cannot form.
+// never recursing into the peer path, so fetch chains cannot form. A key
+// minted at a data version other than this node's current one is refused
+// outright: after an ingest flush, a peer with a lagging version view must
+// not be handed a pre-flush answer (nor a post-flush answer for its
+// pre-flush key — versions must match exactly).
 func (n *Node) fetchLocal(dataset string, key middleware.ResultKey) (*middleware.Response, bool) {
 	pc := n.cacheFor(dataset)
 	if pc == nil {
 		return nil, false
 	}
 	n.stats.fetchesServed.Add(1)
+	if v, ok := n.dataVersion(dataset); ok && key.DataVersion != v {
+		n.stats.fetchVersionRejects.Add(1)
+		return nil, false
+	}
 	resp := pc.local.Get(key)
 	return resp, resp != nil
 }
 
 // fillLocal accepts a peer's computed response into this node's local cache.
+// Fills carrying a stale data version are dropped: the flush that bumped the
+// version already invalidated that key space, and accepting the entry would
+// only pin dead memory (version-keyed lookups can never address it again —
+// but refusing keeps a lagging peer from churning this cache's LRU).
 func (n *Node) fillLocal(dataset string, key middleware.ResultKey, resp *middleware.Response) {
 	pc := n.cacheFor(dataset)
 	if pc == nil || resp == nil {
+		return
+	}
+	if v, ok := n.dataVersion(dataset); ok && key.DataVersion != v {
+		n.stats.fillVersionRejects.Add(1)
 		return
 	}
 	pc.local.Put(key, resp)

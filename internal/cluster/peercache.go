@@ -21,6 +21,9 @@ type cacheStats struct {
 	fillsReceived    atomic.Int64 // fills this replica accepted as owner
 	fillsSent        atomic.Int64 // fills delivered to an owner
 	fillsDropped     atomic.Int64 // fills dropped (queue full or owner down)
+
+	fetchVersionRejects atomic.Int64 // peer fetches refused: key at another data version
+	fillVersionRejects  atomic.Int64 // fills refused: key at another data version
 }
 
 // CacheSnapshot is the JSON form of one replica's peer-cache counters.
@@ -37,6 +40,9 @@ type CacheSnapshot struct {
 	FillsReceived    int64 `json:"fills_received"`
 	FillsSent        int64 `json:"fills_sent"`
 	FillsDropped     int64 `json:"fills_dropped"`
+
+	FetchVersionRejects int64 `json:"fetch_version_rejects"`
+	FillVersionRejects  int64 `json:"fill_version_rejects"`
 }
 
 func (s *cacheStats) snapshot() CacheSnapshot {
@@ -53,6 +59,9 @@ func (s *cacheStats) snapshot() CacheSnapshot {
 		FillsReceived:    s.fillsReceived.Load(),
 		FillsSent:        s.fillsSent.Load(),
 		FillsDropped:     s.fillsDropped.Load(),
+
+		FetchVersionRejects: s.fetchVersionRejects.Load(),
+		FillVersionRejects:  s.fillVersionRejects.Load(),
 	}
 }
 
@@ -92,7 +101,20 @@ func (c *peerCache) Get(key middleware.ResultKey) *middleware.Response {
 		n.stats.localHits.Add(1)
 		return resp
 	}
-	owner := n.ring.Owner(key.Hash())
+	// Keys at a non-current data version never cross the wire: they are the
+	// server's `/* ttl:N */` stale-tolerance probes, which are a local-only
+	// bonus (owners refuse them anyway — see Node.fetchLocal), and spending a
+	// peer round-trip on a probe would put a flush-lagging replica's latency
+	// on the serving path.
+	if v, ok := n.dataVersion(c.dataset); ok && key.DataVersion != v {
+		return nil
+	}
+	// Ownership is resolved over the ROUTABLE replica set (Ring.OwnerAmong),
+	// the same restricted key space the router walks. The full-ring owner
+	// may be down or draining; asking it anyway would burn the peer timeout
+	// exactly when the cluster is degraded, and — worse — the replica the
+	// router actually concentrated the key on would never be consulted.
+	owner := n.ownerFor(key.Hash())
 	if owner == n.id {
 		// We own this key: a local miss is a real miss. The server computes
 		// and its Put lands in our local cache — the one execution the
@@ -125,7 +147,12 @@ func (c *peerCache) Get(key middleware.ResultKey) *middleware.Response {
 // Put implements middleware.ResultCache.
 func (c *peerCache) Put(key middleware.ResultKey, resp *middleware.Response) {
 	c.local.Put(key, resp)
-	if owner := c.node.ring.Owner(key.Hash()); owner != c.node.id {
+	// A response computed just before a flush landed carries a superseded
+	// version; the owner would refuse the fill, so don't bother sending it.
+	if v, ok := c.node.dataVersion(c.dataset); ok && key.DataVersion != v {
+		return
+	}
+	if owner := c.node.ownerFor(key.Hash()); owner != c.node.id {
 		c.node.enqueueFill(fillReq{dataset: c.dataset, owner: owner, key: key, resp: resp})
 	}
 }

@@ -73,7 +73,9 @@ func routingKey(dataset string, body []byte) uint64 {
 	if gh <= 0 {
 		gh = 64
 	}
-	h = mix64(h, uint64(gw)<<32|uint64(uint32(gh)))
+	// Mask both grid fields to 32 bits (mirroring ResultKey.Hash) so their
+	// bit ranges cannot overlap.
+	h = mix64(h, uint64(uint32(gw))<<32|uint64(uint32(gh)))
 	budget := wr.BudgetMs
 	if budget <= 0 {
 		budget = 0 // any non-positive budget resolves to the server default
@@ -152,6 +154,8 @@ func (rt *Router) Close() { rt.health.Stop() }
 // Handler returns the router's HTTP surface:
 //
 //	POST /viz, /query        — routed by result-key hash, with failover
+//	POST /ingest             — routed by dataset name (one writer per
+//	                           dataset), with failover
 //	GET  /datasets           — forwarded to the first live replica
 //	GET  /healthz            — cluster rollup; ?replica=i forwards
 //	GET  /metrics            — cluster text with replica="i" labels;
@@ -160,6 +164,7 @@ func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /viz", rt.serveViz)
 	mux.HandleFunc("POST /query", rt.serveViz)
+	mux.HandleFunc("POST /ingest", rt.serveIngest)
 	mux.HandleFunc("GET /datasets", rt.forwardAnyLive)
 	mux.HandleFunc("GET /healthz", rt.serveHealthz)
 	mux.HandleFunc("GET /metrics", rt.serveMetrics)
@@ -310,6 +315,45 @@ func (rt *Router) serveViz(w http.ResponseWriter, r *http.Request) {
 			// credit it toward rejoining.
 			rt.health.ReportSuccess(idx)
 		}
+		return
+	}
+	rt.allDown.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(rt.health.RetryAfterSeconds()))
+	http.Error(w, "no live replica", http.StatusServiceUnavailable)
+}
+
+// serveIngest routes one write batch. All ingest for a dataset is keyed by
+// the dataset NAME (not the request body), so a single replica's adaptive
+// batcher sees the full write stream — split across replicas, each batcher
+// would observe a fraction of the arrival rate and mis-tune its flush
+// delay. The in-process deployment shares the built datasets, so a flush
+// applied through any replica's ingestor bumps the one true data version
+// every replica serves from; failover to the next live replica is therefore
+// safe (at worst it fragments one batch).
+func (rt *Router) serveIngest(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := hash64(r.URL.Query().Get("dataset"))
+	for _, idx := range rt.attemptOrder(key) {
+		fw := &failoverWriter{dst: w}
+		r2 := r.Clone(r.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+		rt.nodes[idx].ServeHTTP(fw, r2)
+		if fw.unavailable != "" {
+			rt.retries.Add(1)
+			if fw.unavailable == "draining" {
+				rt.health.ReportDraining(idx)
+			} else {
+				rt.health.ReportFailure(idx)
+			}
+			continue
+		}
+		rt.routed[idx].Add(1)
 		return
 	}
 	rt.allDown.Add(1)
@@ -489,6 +533,8 @@ func (rt *Router) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "maliva_cluster_fills_received_total{%s} %d\n", l, c.FillsReceived)
 		fmt.Fprintf(w, "maliva_cluster_fills_dropped_total{%s} %d\n", l, c.FillsDropped)
 		fmt.Fprintf(w, "maliva_cluster_peer_fill_drops_total{%s} %d\n", l, c.FillsDropped)
+		fmt.Fprintf(w, "maliva_cluster_peer_fetch_version_rejects_total{%s} %d\n", l, c.FetchVersionRejects)
+		fmt.Fprintf(w, "maliva_cluster_fill_version_rejects_total{%s} %d\n", l, c.FillVersionRejects)
 	}
 	// Per-replica, per-dataset gateway series.
 	for _, rs := range snap.Replicas {

@@ -18,6 +18,18 @@ type DB struct {
 
 	mu    sync.RWMutex
 	stats map[string]*TableStats
+
+	// dataMu orders readers against ingest flushes: the serving layer holds
+	// the read side across one plan+execute sequence (see RLockData), and
+	// ApplyBatch holds the write side while mutating table data, indexes,
+	// samples, and versions. Run itself stays lock-free — callers that never
+	// ingest (the offline pipelines) pay nothing.
+	dataMu sync.RWMutex
+
+	// flushMu guards onFlush; hooks are registered by serving layers (e.g.
+	// per-server lookup-cache invalidation) and fired after every flush.
+	flushMu sync.Mutex
+	onFlush []func(table string, version uint64)
 }
 
 // NewDB creates an empty database with the given profile.
@@ -79,6 +91,41 @@ func (db *DB) InvalidateStats(name string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	delete(db.stats, name)
+}
+
+// RLockData takes the data read lock. A serving layer wraps each
+// plan+execute sequence in RLockData/RUnlockData so it observes one
+// consistent (data, version) pair; ingest flushes exclude all readers for
+// the duration of ApplyBatch. The lock is shared and re-entrant-free: never
+// call ApplyBatch while holding it.
+func (db *DB) RLockData() { db.dataMu.RLock() }
+
+// RUnlockData releases the data read lock.
+func (db *DB) RUnlockData() { db.dataMu.RUnlock() }
+
+// DataVersion returns the named table's current data version (0 = as
+// built). Read it under RLockData to pair it consistently with the data.
+func (db *DB) DataVersion(name string) uint64 { return db.table(name).DataVersion() }
+
+// OnFlush registers a hook fired (outside all locks) after every applied
+// ingest flush, with the base table's name and new data version. Serving
+// layers use it to reclaim version-keyed cache memory; correctness never
+// depends on it, because every cache key carries the version.
+func (db *DB) OnFlush(fn func(table string, version uint64)) {
+	db.flushMu.Lock()
+	defer db.flushMu.Unlock()
+	db.onFlush = append(db.onFlush, fn)
+}
+
+// fireFlushHooks snapshots and runs the registered flush hooks.
+func (db *DB) fireFlushHooks(table string, version uint64) {
+	db.flushMu.Lock()
+	hooks := make([]func(string, uint64), len(db.onFlush))
+	copy(hooks, db.onFlush)
+	db.flushMu.Unlock()
+	for _, fn := range hooks {
+		fn(table, version)
+	}
 }
 
 // TrueSelectivities computes exact selectivities for all main-table

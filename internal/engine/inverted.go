@@ -19,6 +19,16 @@ func NewInvertedIndex(texts [][]uint32) *InvertedIndex {
 	return idx
 }
 
+// AppendRow indexes one new row's tokens. Rows must be appended in
+// increasing row-id order (the ingest path appends at the table tail), which
+// preserves the sorted-posting-list invariant without re-sorting.
+func (idx *InvertedIndex) AppendRow(row uint32, tokens []uint32) {
+	for _, w := range tokens {
+		idx.postings[w] = append(idx.postings[w], row)
+	}
+	idx.entries += len(tokens)
+}
+
 // Lookup returns the sorted posting list for word (shared, do not mutate)
 // and the number of entries scanned. Rows are appended in row order during
 // construction, so lists are already sorted.

@@ -48,8 +48,13 @@ type LookupCache struct {
 // lookupKey identifies one index scan. Predicate is a comparable value type
 // (strings, scalars, and a Rect), so it can key the map directly. Sample
 // tables have distinct names, so table name disambiguates base vs sample.
+// ver is the table's data version at scan time: after an ingest flush bumps
+// the version, every pre-flush entry becomes unreachable, so a stale posting
+// list can never satisfy a post-flush lookup (InvalidateTable then reclaims
+// the dead entries' memory).
 type lookupKey struct {
 	table string
+	ver   uint64
 	pred  Predicate
 }
 
@@ -77,7 +82,7 @@ func (c *LookupCache) lookup(t *Table, ix *Index, p Predicate) ([]uint32, int, e
 	if c == nil {
 		return ix.Lookup(p)
 	}
-	key := lookupKey{table: t.Name, pred: p}
+	key := lookupKey{table: t.Name, ver: t.DataVersion(), pred: p}
 	c.mu.RLock()
 	v, ok := c.m[key]
 	c.mu.RUnlock()

@@ -125,6 +125,134 @@ func strPackNodes(nodes []*rtreeNode) []*rtreeNode {
 // Len returns the number of indexed points.
 func (t *RTree) Len() int { return t.size }
 
+// Insert adds one (point,row) entry, splitting nodes as needed. The
+// insertion path is chosen by least box enlargement (ties broken by smaller
+// area, then first child), and overflowing nodes split deterministically, so
+// the tree shape — and therefore the entries-touched counts Search reports —
+// is a pure function of the construction history. Incrementally grown trees
+// are equivalent to bulk-loaded trees in *results*, not in shape, which is
+// why byte-identity across replicas requires replaying the same inserts.
+func (t *RTree) Insert(p Point, row uint32) {
+	if t.size == 0 {
+		t.root = &rtreeNode{leaf: true, box: PointRect(p), points: []Point{p}, rows: []uint32{row}}
+		t.size = 1
+		return
+	}
+	t.size++
+	right := t.root.insert(p, row)
+	if right != nil {
+		t.root = &rtreeNode{
+			box:      t.root.box.Extend(right.box),
+			children: []*rtreeNode{t.root, right},
+		}
+	}
+}
+
+// insert descends to a leaf and returns a new right sibling when the node
+// splits.
+func (n *rtreeNode) insert(p Point, row uint32) *rtreeNode {
+	n.box = n.box.Extend(PointRect(p))
+	if n.leaf {
+		n.points = append(n.points, p)
+		n.rows = append(n.rows, row)
+		if len(n.points) <= rtreeFanout {
+			return nil
+		}
+		return n.splitLeaf()
+	}
+	best, bestEnl, bestArea := 0, math.Inf(1), math.Inf(1)
+	for i, c := range n.children {
+		area := c.box.Area()
+		enl := c.box.Extend(PointRect(p)).Area() - area
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	right := n.children[best].insert(p, row)
+	if right == nil {
+		return nil
+	}
+	n.children = append(n.children, right)
+	if len(n.children) <= rtreeFanout {
+		return nil
+	}
+	return n.splitInternal()
+}
+
+// splitLeaf halves an overflowing leaf along its longer axis, keeping the
+// ordering deterministic (coordinate, then row id).
+func (n *rtreeNode) splitLeaf() *rtreeNode {
+	idx := make([]int, len(n.points))
+	for i := range idx {
+		idx[i] = i
+	}
+	byLon := n.box.MaxLon-n.box.MinLon >= n.box.MaxLat-n.box.MinLat
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := n.points[idx[a]], n.points[idx[b]]
+		if byLon && pa.Lon != pb.Lon {
+			return pa.Lon < pb.Lon
+		}
+		if !byLon && pa.Lat != pb.Lat {
+			return pa.Lat < pb.Lat
+		}
+		return n.rows[idx[a]] < n.rows[idx[b]]
+	})
+	mid := len(idx) / 2
+	take := func(part []int) (*rtreeNode, []Point, []uint32) {
+		pts := make([]Point, len(part))
+		rows := make([]uint32, len(part))
+		nn := &rtreeNode{leaf: true, box: PointRect(n.points[part[0]])}
+		for i, j := range part {
+			pts[i], rows[i] = n.points[j], n.rows[j]
+			nn.box = nn.box.Extend(PointRect(pts[i]))
+		}
+		nn.points, nn.rows = pts, rows
+		return nn, pts, rows
+	}
+	left, lp, lr := take(idx[:mid])
+	right, _, _ := take(idx[mid:])
+	n.box, n.points, n.rows = left.box, lp, lr
+	return right
+}
+
+// splitInternal halves an overflowing internal node by child box centers
+// along the longer axis.
+func (n *rtreeNode) splitInternal() *rtreeNode {
+	idx := make([]int, len(n.children))
+	for i := range idx {
+		idx[i] = i
+	}
+	center := func(i int) Point {
+		b := n.children[i].box
+		return Point{Lon: (b.MinLon + b.MaxLon) / 2, Lat: (b.MinLat + b.MaxLat) / 2}
+	}
+	byLon := n.box.MaxLon-n.box.MinLon >= n.box.MaxLat-n.box.MinLat
+	sort.Slice(idx, func(a, b int) bool {
+		ca, cb := center(idx[a]), center(idx[b])
+		if byLon && ca.Lon != cb.Lon {
+			return ca.Lon < cb.Lon
+		}
+		if !byLon && ca.Lat != cb.Lat {
+			return ca.Lat < cb.Lat
+		}
+		return idx[a] < idx[b]
+	})
+	mid := len(idx) / 2
+	take := func(part []int) *rtreeNode {
+		nn := &rtreeNode{box: n.children[part[0]].box}
+		nn.children = make([]*rtreeNode, len(part))
+		for i, j := range part {
+			nn.children[i] = n.children[j]
+			nn.box = nn.box.Extend(n.children[j].box)
+		}
+		return nn
+	}
+	left := take(idx[:mid])
+	right := take(idx[mid:])
+	n.box, n.children = left.box, left.children
+	return right
+}
+
 // Search returns row ids of points inside box, plus the number of node
 // entries examined (for costing).
 func (t *RTree) Search(box Rect) (rows []uint32, entries int) {

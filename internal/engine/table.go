@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // IndexKind enumerates the index types the engine supports.
@@ -91,6 +94,79 @@ type Table struct {
 	SampleOf *Table
 	// SamplePercent is the sampling rate when SampleOf != nil.
 	SamplePercent int
+
+	// version is the table's monotonic data version, starting at 0 for the
+	// freshly built table and bumped once per applied ingest flush (see
+	// DB.ApplyBatch). Every cache keyed on this table's contents folds the
+	// version into its key, so a bump atomically invalidates plan, result,
+	// lookup, and peer caches without touching them.
+	version atomic.Uint64
+	// history records recent (version, flush time) pairs, newest first, for
+	// the /* ttl:N */ staleness-tolerance hint: a reader may accept answers
+	// from any version whose successor flushed within its tolerance window.
+	// Bounded to versionHistoryCap entries; guarded by histMu.
+	histMu  sync.Mutex
+	history []VersionStamp
+
+	// sampleSeeds remembers the seed each sample was built with so ingest
+	// can extend samples deterministically (by percent).
+	sampleSeeds map[int]int64
+}
+
+// VersionStamp records when a data version became current.
+type VersionStamp struct {
+	Version uint64
+	At      time.Time
+}
+
+// versionHistoryCap bounds the retained flush history per table. It only
+// limits how far back a ttl hint can reach, never correctness.
+const versionHistoryCap = 32
+
+// DataVersion returns the table's current data version. Version 0 is the
+// freshly built (pre-ingest) state.
+func (t *Table) DataVersion() uint64 { return t.version.Load() }
+
+// bumpVersion advances the data version by one and records the flush time.
+// Callers must hold the owning DB's data write lock.
+func (t *Table) bumpVersion(at time.Time) uint64 {
+	v := t.version.Add(1)
+	t.histMu.Lock()
+	t.history = append(t.history, VersionStamp{Version: v, At: at})
+	if len(t.history) > versionHistoryCap {
+		t.history = t.history[len(t.history)-versionHistoryCap:]
+	}
+	t.histMu.Unlock()
+	return v
+}
+
+// VersionsWithin returns data versions acceptable to a reader tolerating
+// maxAge of staleness at time now, newest first, always starting with the
+// current version. A historical version v is acceptable when the flush that
+// replaced it (the bump to v+1) happened within maxAge — until then, v was
+// the current answer.
+func (t *Table) VersionsWithin(maxAge time.Duration, now time.Time) []uint64 {
+	cur := t.version.Load()
+	out := []uint64{cur}
+	if maxAge <= 0 {
+		return out
+	}
+	cutoff := now.Add(-maxAge)
+	t.histMu.Lock()
+	defer t.histMu.Unlock()
+	for i := len(t.history) - 1; i >= 0; i-- {
+		s := t.history[i]
+		if s.Version > cur {
+			continue
+		}
+		if s.At.Before(cutoff) {
+			break
+		}
+		// The bump to s.Version happened within the window, so the version
+		// it replaced (s.Version-1) is still acceptably fresh.
+		out = append(out, s.Version-1)
+	}
+	return out
 }
 
 // NewTable creates an empty table. ScaleFactor must be ≥ 1.
@@ -105,6 +181,7 @@ func NewTable(name string, scaleFactor float64) *Table {
 		Vocab:       NewVocab(),
 		Indexes:     make(map[string]*Index),
 		Samples:     make(map[int]*Table),
+		sampleSeeds: make(map[int]int64),
 	}
 }
 
@@ -253,6 +330,7 @@ func (t *Table) BuildSample(percent int, seed int64) (*Table, error) {
 		}
 	}
 	t.Samples[percent] = s
+	t.sampleSeeds[percent] = seed
 	return s, nil
 }
 

@@ -1,10 +1,16 @@
 package engine
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Vocab maps between words and compact word ids for text columns. Word id 0
 // is reserved as "unknown" so that a zero value never matches a real word.
+// A Vocab is safe for concurrent use: the live ingest path interns new words
+// while serving goroutines resolve keywords on the same table.
 type Vocab struct {
+	mu    sync.RWMutex
 	words []string
 	ids   map[string]uint32
 }
@@ -18,10 +24,18 @@ func NewVocab() *Vocab {
 
 // Intern returns the id for word, adding it to the vocabulary if needed.
 func (v *Vocab) Intern(word string) uint32 {
+	v.mu.RLock()
+	id, ok := v.ids[word]
+	v.mu.RUnlock()
+	if ok {
+		return id
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if id, ok := v.ids[word]; ok {
 		return id
 	}
-	id := uint32(len(v.words))
+	id = uint32(len(v.words))
 	v.words = append(v.words, word)
 	v.ids[word] = id
 	return id
@@ -29,11 +43,15 @@ func (v *Vocab) Intern(word string) uint32 {
 
 // ID returns the id for word, or 0 if the word is unknown.
 func (v *Vocab) ID(word string) uint32 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	return v.ids[word]
 }
 
 // Word returns the word for id, or "" for unknown ids.
 func (v *Vocab) Word(id uint32) string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	if int(id) >= len(v.words) {
 		return ""
 	}
@@ -41,7 +59,11 @@ func (v *Vocab) Word(id uint32) string {
 }
 
 // Len returns the number of interned words, excluding the unknown sentinel.
-func (v *Vocab) Len() int { return len(v.words) - 1 }
+func (v *Vocab) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.words) - 1
+}
 
 // SortTokens sorts a token slice and removes duplicates in place, the
 // canonical representation for text-column rows.

@@ -295,6 +295,8 @@ func (g *Gateway) ReadyServer(name string) (*Server, bool) {
 //	POST /viz?dataset=<name>   — visualization requests (shared admission);
 //	                             /query is an alias. Omitting dataset uses
 //	                             the default dataset.
+//	POST /ingest?dataset=<n>   — append rows through the dataset's adaptive
+//	                             write batcher
 //	GET  /datasets             — every registered dataset and its status
 //	GET  /healthz[?dataset=]   — gateway rollup, or one dataset's probe
 //	GET  /metrics[?dataset=]   — Prometheus text with dataset labels, or
@@ -303,6 +305,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /viz", g.serveViz)
 	mux.HandleFunc("POST /query", g.serveViz)
+	mux.HandleFunc("POST /ingest", g.serveIngest)
 	mux.HandleFunc("GET /datasets", g.serveDatasets)
 	mux.HandleFunc("GET /healthz", g.serveHealthz)
 	mux.HandleFunc("GET /metrics", g.serveMetrics)
@@ -348,6 +351,16 @@ func (g *Gateway) serveViz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	srv.serveViz(w, r)
+}
+
+// serveIngest routes one ingest request to its dataset's server write path.
+func (g *Gateway) serveIngest(w http.ResponseWriter, r *http.Request) {
+	g.requests.Add(1)
+	srv, ok := g.resolve(w, r)
+	if !ok {
+		return
+	}
+	srv.serveIngest(w, r)
 }
 
 // datasetInfo is one /datasets row.

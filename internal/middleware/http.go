@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"regexp"
+	"strconv"
 	"time"
 )
 
@@ -20,6 +22,28 @@ type httpRequest struct {
 	GridW    int     `json:"grid_w"`
 	GridH    int     `json:"grid_h"`
 	BudgetMs float64 `json:"budget_ms"`
+	// Hint carries SQL-comment-style serving hints. The one understood today
+	// is `/* ttl:N */` (N in seconds): the client tolerates answers computed
+	// at a data version that was current within the last N seconds —
+	// tqdbproxy's staleness-hint idiom. Unknown hint text is ignored.
+	Hint string `json:"hint,omitempty"`
+}
+
+// ttlHintRe matches the `/* ttl:N */` staleness hint.
+var ttlHintRe = regexp.MustCompile(`/\*\s*ttl:(\d+)\s*\*/`)
+
+// parseTTLHint extracts the staleness tolerance from a hint string; zero
+// means exact (current-version) answers only.
+func parseTTLHint(hint string) time.Duration {
+	m := ttlHintRe.FindStringSubmatch(hint)
+	if m == nil {
+		return 0
+	}
+	sec, err := strconv.Atoi(m[1])
+	if err != nil || sec <= 0 {
+		return 0
+	}
+	return time.Duration(sec) * time.Second
 }
 
 // ParseRequest decodes the /viz JSON wire format into a Request. It is the
@@ -38,6 +62,7 @@ func ParseRequest(body []byte) (Request, error) {
 // Handler returns an http.Handler serving:
 //
 //	POST /viz      — visualization requests (admission-controlled)
+//	POST /ingest   — append rows through the adaptive write batcher
 //	GET  /healthz  — liveness probe
 //	GET  /metrics  — Prometheus text format; ?format=json for a snapshot
 func (s *Server) Handler() http.Handler {
@@ -59,6 +84,7 @@ func (s *Server) Handler() http.Handler {
 		s.metrics.WritePrometheus(w)
 	})
 	mux.HandleFunc("POST /viz", s.serveViz)
+	mux.HandleFunc("POST /ingest", s.serveIngest)
 	return mux
 }
 
@@ -160,5 +186,45 @@ func (h httpRequest) toRequest() (Request, error) {
 	}
 	req.Region.MinLon, req.Region.MinLat = h.MinLon, h.MinLat
 	req.Region.MaxLon, req.Region.MaxLat = h.MaxLon, h.MaxLat
+	req.TTL = parseTTLHint(h.Hint)
 	return req, nil
+}
+
+// httpIngest is the JSON wire format of an ingest request: rows keyed by
+// column name (time columns as RFC 3339 strings, point columns as [lon,lat],
+// text columns as whitespace-separated words). sync forces a flush before
+// responding, so the rows — and the cache invalidation the flush implies —
+// are visible when the call returns.
+type httpIngest struct {
+	Rows []map[string]any `json:"rows"`
+	Sync bool             `json:"sync"`
+}
+
+// serveIngest decodes and applies one POST /ingest request.
+func (s *Server) serveIngest(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
+	var hin httpIngest
+	if err := json.NewDecoder(r.Body).Decode(&hin); err != nil {
+		s.metrics.clientErr.Add(1)
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(hin.Rows) == 0 {
+		s.metrics.clientErr.Add(1)
+		http.Error(w, "bad request: no rows", http.StatusBadRequest)
+		return
+	}
+	res, err := s.Ingest(hin.Rows, hin.Sync)
+	if err != nil {
+		if errors.Is(err, ErrBadRequest) {
+			s.metrics.clientErr.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		} else {
+			s.metrics.serverErr.Add(1)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(res)
 }

@@ -1,0 +1,387 @@
+package middleware
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/engine"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// freshIngestServer builds a middleware over its own private copy of the
+// tiny Twitter dataset (ingest mutates the dataset, so these tests never
+// share one) with explicit serving knobs.
+func freshIngestServer(t testing.TB, cfg ServerConfig) *Server {
+	t.Helper()
+	wc := workload.TwitterConfig()
+	wc.Rows = 8_000
+	wc.Scale = 100e6 / float64(wc.Rows)
+	ds, err := workload.Twitter(wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServerWithConfig(ds, core.OracleRewriter{}, core.HintOnlySpec(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// ingestRequests is a small mix of shapes that exercise keyword, time, and
+// geo predicates at different grids.
+func ingestRequests() []Request {
+	reqs := make([]Request, 0, 6)
+	for i := 0; i < 3; i++ {
+		r := validRequest()
+		r.Keyword = fmt.Sprintf("word%04d", 5+i)
+		reqs = append(reqs, r)
+		r.GridW, r.GridH = 8, 8
+		r.Kind = VizScatter
+		reqs = append(reqs, r)
+	}
+	return reqs
+}
+
+// TestReadsDuringIngestByteIdentity is the PR's stale-read acceptance test:
+// a fully cached server under live ingestion answers, after every flush,
+// byte-identically to a cache-free server that replayed the same row stream
+// to the same data version — while concurrent readers race the flushes. Run
+// with -race.
+func TestReadsDuringIngestByteIdentity(t *testing.T) {
+	live := freshIngestServer(t, ServerConfig{DefaultBudgetMs: 500})
+	oracle := freshIngestServer(t, ServerConfig{
+		DefaultBudgetMs: 500,
+		PlanCacheSize:   -1,
+		ResultCacheSize: -1,
+	})
+	stream, err := workload.NewIngestStream(live.DS, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := ingestRequests()
+
+	// Background readers hammer the live server across flush boundaries.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := live.Handle(reqs[(w+i)%len(reqs)]); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for round := 0; round < 6; round++ {
+		rows := stream.Next(64)
+		ra, err := live.Ingest(rows, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := oracle.Ingest(rows, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ra.Flushed || !rb.Flushed || ra.Version != rb.Version {
+			t.Fatalf("round %d: live=(v%d flushed=%v) oracle=(v%d flushed=%v), want same flushed version",
+				round, ra.Version, ra.Flushed, rb.Version, rb.Flushed)
+		}
+		for i, req := range reqs {
+			got, err := live.Handle(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.Handle(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jg, _ := json.Marshal(got)
+			jw, _ := json.Marshal(want)
+			if !bytes.Equal(jg, jw) {
+				t.Errorf("round %d req %d (v%d): STALE READ — cached server diverges from replay\n got %s\nwant %s",
+					round, i, ra.Version, jg, jw)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestTTLHintBoundedStaleness pins the `/* ttl:N */` contract: a hinted
+// request may be served from a version whose successor flushed within the
+// window, served answers are exactly the old version's bytes, nothing is
+// stored under old keys, and an expired window falls back to fresh compute.
+func TestTTLHintBoundedStaleness(t *testing.T) {
+	var mu sync.Mutex
+	clock := time.Unix(1_700_000_000, 0)
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+	advance := func(d time.Duration) { mu.Lock(); clock = clock.Add(d); mu.Unlock() }
+
+	s := freshIngestServer(t, ServerConfig{
+		DefaultBudgetMs: 500,
+		ResultTTL:       time.Hour, // cache-entry TTL out of the picture
+		Now:             now,
+		Ingest:          engine.IngestorConfig{Now: now},
+	})
+	stream, err := workload.NewIngestStream(s.DS, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := validRequest()
+
+	// Cache at v0, then flush.
+	v0resp, cached, err := s.handle(req)
+	if err != nil || cached {
+		t.Fatalf("cold handle: cached=%v err=%v", cached, err)
+	}
+	v0bytes, _ := json.Marshal(v0resp)
+	advance(10 * time.Second)
+	if _, err := s.Ingest(stream.Next(32), true); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.DataVersion(); v != 1 {
+		t.Fatalf("version = %d, want 1", v)
+	}
+
+	// Hinted request within the window: served the v0 answer, byte for byte.
+	withTTL := req
+	withTTL.TTL = time.Minute
+	got, cached, err := s.handle(withTTL)
+	if err != nil || !cached {
+		t.Fatalf("ttl-hinted handle: cached=%v err=%v, want stale hit", cached, err)
+	}
+	gb, _ := json.Marshal(got)
+	if !bytes.Equal(gb, v0bytes) {
+		t.Error("stale hit is not the old version's exact answer")
+	}
+	if n := s.metrics.staleHits.Load(); n != 1 {
+		t.Errorf("stale hits = %d, want 1", n)
+	}
+
+	// The stale hit stored nothing at the current version: an un-hinted
+	// request still recomputes — the v0 entry is unreachable without the hint.
+	if _, cached, err := s.handle(req); err != nil || cached {
+		t.Fatalf("post-stale-hit handle: cached=%v err=%v, want recompute", cached, err)
+	}
+
+	// Window expiry: flush again, let the window pass, and the hint no
+	// longer reaches any old version.
+	advance(10 * time.Second)
+	if _, err := s.Ingest(stream.Next(32), true); err != nil {
+		t.Fatal(err)
+	}
+	advance(5 * time.Minute)
+	shape := req
+	shape.GridW, shape.GridH = 8, 4 // never served → no entry at any version
+	shape.TTL = time.Minute
+	if _, cached, err := s.handle(shape); err != nil || cached {
+		t.Fatalf("expired-window handle: cached=%v err=%v, want recompute", cached, err)
+	}
+	if n := s.metrics.staleHits.Load(); n != 1 {
+		t.Errorf("expired window produced a stale hit (total %d)", n)
+	}
+}
+
+// TestParseTTLHint covers the wire form of the staleness hint.
+func TestParseTTLHint(t *testing.T) {
+	cases := []struct {
+		hint string
+		want time.Duration
+	}{
+		{"", 0},
+		{"/* ttl:30 */", 30 * time.Second},
+		{"/*ttl:5*/", 5 * time.Second},
+		{"  /* ttl:120 */ trailing", 120 * time.Second},
+		{"/* ttl:0 */", 0},
+		{"/* ttl:-3 */", 0},
+		{"/* freshness:30 */", 0},
+		{"ttl:30", 0},
+	}
+	for _, c := range cases {
+		if got := parseTTLHint(c.hint); got != c.want {
+			t.Errorf("parseTTLHint(%q) = %v, want %v", c.hint, got, c.want)
+		}
+	}
+}
+
+// TestIngestEndpoint drives POST /ingest through the HTTP surface and
+// verifies the flush is visible to an immediately following /viz request.
+func TestIngestEndpoint(t *testing.T) {
+	s := freshIngestServer(t, ServerConfig{DefaultBudgetMs: 500})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	stream, err := workload.NewIngestStream(s.DS, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]any{"rows": stream.Next(10), "sync": true})
+	resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var res IngestResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 10 || !res.Flushed || res.Version != 1 || res.Pending != 0 {
+		t.Errorf("result = %+v, want 10 rows flushed at v1", res)
+	}
+	if got := s.DS.DB.Table(s.DS.Main).Rows; got != 8_010 {
+		t.Errorf("table rows = %d, want 8010", got)
+	}
+
+	// Async: rows buffer, version does not move yet (MaxDelay default 200ms
+	// means the flush happens soon after, but Pending reflects the buffer at
+	// response time).
+	body, _ = json.Marshal(map[string]any{"rows": stream.Next(5)})
+	resp2, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Flushed || res.Pending != 5 {
+		t.Errorf("async result = %+v, want 5 pending unflushed", res)
+	}
+
+	// Bad payloads.
+	for _, bad := range []string{`{}`, `{"rows":[]}`, `{"rows":[{"nope":1}]}`, `not json`} {
+		r, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader([]byte(bad)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("payload %q: status %d, want 400", bad, r.StatusCode)
+		}
+	}
+}
+
+// TestResultCachePutSweepsExpiredGhosts pins the ghost-entry fix: put
+// reclaims expired entries from the LRU tail instead of letting a churning
+// (e.g. version-keyed) key population pin dead responses until capacity
+// eviction, and len counts only live entries.
+func TestResultCachePutSweepsExpiredGhosts(t *testing.T) {
+	clock := time.Unix(1_700_000_000, 0)
+	c := newResultCache(100, time.Second, func() time.Time { return clock })
+	resp := &Response{Kind: VizHeatmap}
+	key := func(i int) ResultKey { return ResultKey{SQL: "q" + strconv.Itoa(i)} }
+
+	for i := 0; i < 3; i++ {
+		c.put(key(i), resp)
+	}
+	clock = clock.Add(2 * time.Second) // all three expire
+
+	// len excludes expired entries even before anything sweeps them.
+	if got := c.len(); got != 0 {
+		t.Errorf("len = %d with only expired entries, want 0", got)
+	}
+	if got := c.lru.Len(); got != 3 {
+		t.Fatalf("lru holds %d ghosts pre-sweep, want 3", got)
+	}
+
+	// One put reclaims the whole expired tail.
+	c.put(key(3), resp)
+	if got := c.lru.Len(); got != 1 {
+		t.Errorf("lru holds %d entries post-sweep, want 1", got)
+	}
+	if got := len(c.entries); got != 1 {
+		t.Errorf("entries map holds %d post-sweep, want 1", got)
+	}
+	if c.get(key(3)) == nil {
+		t.Error("live entry swept")
+	}
+	if c.get(key(0)) != nil {
+		t.Error("expired entry served")
+	}
+
+	// The sweep stops at the first live entry: a live head survives puts.
+	clock = clock.Add(2 * time.Second) // key(3) expires
+	c.put(key(4), resp)
+	c.put(key(5), resp)
+	if got, want := c.len(), 2; got != want {
+		t.Errorf("len = %d, want %d", got, want)
+	}
+}
+
+// TestResultKeyHashGridPacking pins the grid-packing fix: GridW and GridH
+// are masked to 32 bits before packing, so their bit ranges cannot overlap,
+// and the data version participates in the hash.
+func TestResultKeyHashGridPacking(t *testing.T) {
+	if strconv.IntSize < 64 {
+		t.Skip("grid overflow packing needs 64-bit int")
+	}
+	base := ResultKey{SQL: "SELECT x", Kind: VizHeatmap, Budget: 500}
+	a, b := base, base
+	a.GridW, a.GridH = 1, 0
+	b.GridW, b.GridH = 0, int(int64(1)<<32) // pre-fix: packs onto GridW's bits
+	if a.Hash() == b.Hash() {
+		t.Error("GridH overflowed into GridW's bit range")
+	}
+	c, d := base, base
+	c.GridW, c.GridH = 16, 8
+	d.GridW, d.GridH = 8, 16
+	if c.Hash() == d.Hash() {
+		t.Error("transposed grids collide")
+	}
+	v0, v1 := base, base
+	v1.DataVersion = 1
+	if v0.Hash() == v1.Hash() {
+		t.Error("data version does not participate in the hash")
+	}
+}
+
+// TestPlanCacheVersionKeyed: a flush retires pre-flush plan-cache contexts —
+// the post-flush request re-plans against fresh ground truth instead of
+// reusing a stale context.
+func TestPlanCacheVersionKeyed(t *testing.T) {
+	s := freshIngestServer(t, ServerConfig{DefaultBudgetMs: 500})
+	stream, err := workload.NewIngestStream(s.DS, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := validRequest()
+	if _, err := s.Handle(req); err != nil {
+		t.Fatal(err)
+	}
+	misses := s.metrics.planMisses.Load()
+	if _, err := s.Handle(req); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.metrics.planMisses.Load(); got != misses {
+		t.Fatalf("repeat at same version re-planned (misses %d → %d)", misses, got)
+	}
+	if _, err := s.Ingest(stream.Next(16), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Handle(req); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.metrics.planMisses.Load(); got != misses+1 {
+		t.Errorf("post-flush plan misses = %d, want %d (stale context reused)", got, misses+1)
+	}
+}

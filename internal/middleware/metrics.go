@@ -97,10 +97,15 @@ type Metrics struct {
 	planCoalesced atomic.Int64 // requests that waited on an in-flight build
 	resultHits    atomic.Int64
 	resultMisses  atomic.Int64
+	staleHits     atomic.Int64 // result hits served from an older version via ttl hint
 
 	budgetViolations atomic.Int64 // served responses with Trace.Viable == false
 
-	latency latencyHist
+	ingestRows    atomic.Int64 // rows accepted by the write path
+	ingestFlushes atomic.Int64 // applied ingest flushes (data-version bumps)
+
+	latency      latencyHist
+	flushLatency latencyHist // ApplyBatch wall time per flush
 }
 
 // NewMetrics returns a zeroed metrics registry.
@@ -125,8 +130,16 @@ type MetricsSnapshot struct {
 	ResultMisses  int64   `json:"result_cache_misses"`
 	ResultHitRate float64 `json:"result_cache_hit_rate"`
 
+	StaleHits int64 `json:"result_cache_stale_hits"`
+
 	BudgetViolations    int64   `json:"budget_violations"`
 	BudgetViolationRate float64 `json:"budget_violation_rate"`
+
+	IngestRows    int64   `json:"ingest_rows"`
+	IngestFlushes int64   `json:"ingest_flushes"`
+	FlushP50Ms    float64 `json:"flush_latency_p50_ms"`
+	FlushP95Ms    float64 `json:"flush_latency_p95_ms"`
+	FlushMaxMs    float64 `json:"flush_latency_max_ms"`
 
 	LatencyCount int64   `json:"latency_count"`
 	LatencyP50Ms float64 `json:"latency_p50_ms"`
@@ -160,7 +173,15 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		ResultHits:    m.resultHits.Load(),
 		ResultMisses:  m.resultMisses.Load(),
 
+		StaleHits: m.staleHits.Load(),
+
 		BudgetViolations: m.budgetViolations.Load(),
+
+		IngestRows:    m.ingestRows.Load(),
+		IngestFlushes: m.ingestFlushes.Load(),
+		FlushP50Ms:    m.flushLatency.quantile(0.50),
+		FlushP95Ms:    m.flushLatency.quantile(0.95),
+		FlushMaxMs:    float64(m.flushLatency.maxNs.Load()) / float64(time.Millisecond),
 
 		LatencyCount: m.latency.count.Load(),
 		LatencyP50Ms: m.latency.quantile(0.50),
@@ -209,8 +230,14 @@ func (m *Metrics) WritePrometheusLabeled(w io.Writer, label string) {
 	p(`result_cache_hits_total`, float64(s.ResultHits))
 	p(`result_cache_misses_total`, float64(s.ResultMisses))
 	p(`result_cache_hit_rate`, s.ResultHitRate)
+	p(`result_cache_stale_hits_total`, float64(s.StaleHits))
 	p(`budget_violations_total`, float64(s.BudgetViolations))
 	p(`budget_violation_rate`, s.BudgetViolationRate)
+	p(`ingest_rows_total`, float64(s.IngestRows))
+	p(`ingest_flushes_total`, float64(s.IngestFlushes))
+	p(`ingest_flush_latency_ms{quantile="0.5"}`, s.FlushP50Ms)
+	p(`ingest_flush_latency_ms{quantile="0.95"}`, s.FlushP95Ms)
+	p(`ingest_flush_latency_ms{quantile="max"}`, s.FlushMaxMs)
 	p(`request_latency_ms{quantile="0.5"}`, s.LatencyP50Ms)
 	p(`request_latency_ms{quantile="0.95"}`, s.LatencyP95Ms)
 	p(`request_latency_ms{quantile="0.99"}`, s.LatencyP99Ms)

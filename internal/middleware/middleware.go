@@ -33,6 +33,13 @@ type Request struct {
 	GridW    int         `json:"grid_w"`
 	GridH    int         `json:"grid_h"`
 	BudgetMs float64     `json:"budget_ms"`
+	// TTL is the request's staleness tolerance (the parsed form of the
+	// `/* ttl:N */` wire hint): zero demands the current data version, a
+	// positive value lets the server answer from a cached result computed at
+	// any data version that was current within the last TTL of wall time.
+	// TTL only widens the result-cache probe — it never changes what gets
+	// computed or stored.
+	TTL time.Duration `json:"ttl,omitempty"`
 }
 
 // Response is the visualization result plus a trace of what the middleware
@@ -89,6 +96,9 @@ type ServerConfig struct {
 	// effective per-request deadline is min(QueueTimeout, its budget_ms
 	// as real time). Default 1s.
 	QueueTimeout time.Duration
+	// Ingest tunes the server's adaptive ingest batcher (zero values pick
+	// the engine defaults; see engine.IngestorConfig).
+	Ingest engine.IngestorConfig
 	// WrapResultCache, when set, wraps the server's built-in result cache
 	// before first use — the extension point internal/cluster uses to layer
 	// a peer-aware cache (local miss → fetch from the key's owning replica)
@@ -128,6 +138,9 @@ func (c ServerConfig) normalized() ServerConfig {
 	if c.QueueTimeout <= 0 {
 		c.QueueTimeout = time.Second
 	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	return c
 }
 
@@ -157,6 +170,7 @@ type Server struct {
 	results ResultCache
 	admit   *admission
 	metrics *Metrics
+	ingest  *engine.Ingestor
 
 	// rewriteMu serializes Rewriter.Rewrite: rewriters are not required to
 	// be concurrency-safe (the MDP agent's Q-network reuses forward-pass
@@ -220,7 +234,79 @@ func NewServerWithConfig(ds *workload.Dataset, rw core.Rewriter, space core.Spac
 	if s.timeCol == "" && s.geoCol == "" {
 		return nil, fmt.Errorf("middleware: dataset %q has neither a time nor a point filter column", ds.Name)
 	}
+	ing, err := engine.NewIngestor(ds.DB, ds.Main, cfg.Ingest)
+	if err != nil {
+		return nil, err
+	}
+	ing.SetOnFlush(func(fs engine.FlushStats) {
+		s.metrics.ingestRows.Add(int64(fs.Rows))
+		s.metrics.ingestFlushes.Add(1)
+		s.metrics.flushLatency.observe(fs.Took)
+	})
+	s.ingest = ing
+	// Correctness under ingest comes from version-carrying cache keys; this
+	// hook only reclaims the memory of entries the new version orphaned. It
+	// fires for any flush on the shared DB, including one applied through a
+	// different replica's ingestor.
+	ds.DB.OnFlush(func(table string, version uint64) {
+		if table != s.DS.Main {
+			return
+		}
+		s.lookups.InvalidateTable(table)
+		if t := ds.DB.Table(table); t != nil {
+			for _, sample := range t.Samples {
+				s.lookups.InvalidateTable(sample.Name)
+			}
+		}
+	})
 	return s, nil
+}
+
+// DataVersion returns the current data version of the server's main table.
+// The cluster tier reads it to reject cross-version peer-cache traffic.
+func (s *Server) DataVersion() uint64 { return s.table.DataVersion() }
+
+// Ingestor exposes the server's ingest batcher (tests and tooling).
+func (s *Server) Ingestor() *engine.Ingestor { return s.ingest }
+
+// IngestResult reports what one Ingest call did.
+type IngestResult struct {
+	// Accepted is the number of rows buffered (all or none).
+	Accepted int `json:"accepted"`
+	// Flushed reports whether the rows are already applied and visible.
+	Flushed bool `json:"flushed"`
+	// Version is the table's data version after the call — the version the
+	// rows are (or will be) visible at only when Flushed is true.
+	Version uint64 `json:"version"`
+	// Pending is the buffered row count still awaiting a flush.
+	Pending int `json:"pending"`
+}
+
+// Ingest appends rows (the JSON wire form, converted via
+// workload.RowsToBatch) through the adaptive batcher. sync forces a flush
+// before returning, so the rows are visible — and every cache layer is on
+// the new version — when the call returns.
+func (s *Server) Ingest(rows []map[string]any, sync bool) (IngestResult, error) {
+	b, err := workload.RowsToBatch(s.DS, rows)
+	if err != nil {
+		return IngestResult{}, badRequestf("bad ingest rows: %v", err)
+	}
+	flushed, err := s.ingest.Add(b)
+	if err != nil {
+		return IngestResult{}, badRequestf("ingest rejected: %v", err)
+	}
+	if sync && !flushed {
+		if _, err := s.ingest.Flush(); err != nil {
+			return IngestResult{}, err
+		}
+		flushed = true
+	}
+	return IngestResult{
+		Accepted: len(rows),
+		Flushed:  flushed,
+		Version:  s.table.DataVersion(),
+		Pending:  s.ingest.Pending(),
+	}, nil
 }
 
 // Config returns the normalized serving configuration.
@@ -309,12 +395,17 @@ type planned struct {
 // resolution — the serving path counts, the routing-side key computation
 // (Server.ResultKeyFor) does not, so a request keyed on one replica and
 // served on another is not double-counted.
+//
+// Callers must hold the DB's data read lock (see handle): the plan-cache key
+// and the ResultKey both embed the data version, and the version must stay
+// paired with the data the context build reads.
 func (s *Server) plan(req Request, count bool) (planned, error) {
 	p := planned{budget: s.effectiveBudget(req)}
 	q, err := s.BuildQuery(req)
 	if err != nil {
 		return p, err
 	}
+	version := s.table.DataVersion()
 
 	kind := req.Kind
 	if kind != VizScatter {
@@ -328,10 +419,15 @@ func (s *Server) plan(req Request, count bool) (planned, error) {
 		gh = 64
 	}
 
-	// Plan cache: one ground-truth context per query shape, built once even
-	// under a stampede of identical requests.
+	// Plan cache: one ground-truth context per (data version, query shape),
+	// built once even under a stampede of identical requests. The version
+	// prefix retires every pre-flush context at a flush — ground truth (row
+	// counts, selectivities, per-option timings) is data-dependent, so a
+	// stale context would mis-plan and, worse, mis-trace post-flush answers.
+	// Trace.SQL stays the pure signature.
 	p.sig = q.SQL(engine.Hint{})
-	entry, how, err := s.plans.get(p.sig, func() (*core.QueryContext, error) {
+	planKey := fmt.Sprintf("v%d\x00%s", version, p.sig)
+	entry, how, err := s.plans.get(planKey, func() (*core.QueryContext, error) {
 		ccfg := core.DefaultContextConfig(s.Space)
 		ccfg.Lookups = s.lookups
 		return core.BuildContext(s.DS.DB, q, ccfg)
@@ -368,7 +464,7 @@ func (s *Server) plan(req Request, count bool) (planned, error) {
 
 	p.rkey = ResultKey{
 		SQL: p.rq.SQL(p.hint), Kind: kind, GridW: gw, GridH: gh,
-		Region: s.regionOrExtent(req), Budget: p.budget,
+		Region: s.regionOrExtent(req), Budget: p.budget, DataVersion: version,
 	}
 	return p, nil
 }
@@ -381,26 +477,61 @@ func (s *Server) plan(req Request, count bool) (planned, error) {
 // peer ownership). Cold shapes pay the ground-truth context build here,
 // exactly as serving them would; warm shapes are two cache lookups.
 func (s *Server) ResultKeyFor(req Request) (ResultKey, error) {
+	s.DS.DB.RLockData()
+	defer s.DS.DB.RUnlockData()
 	p, err := s.plan(req, false)
 	return p.rkey, err
 }
 
+// maxStaleProbes caps how many historical versions a ttl-hinted request may
+// probe in the result cache — the "bounded version window" of the staleness
+// contract.
+const maxStaleProbes = 8
+
 // handle is Handle plus a flag reporting whether the response came from the
 // result cache (surfaced as the X-Cache header).
+//
+// The whole plan+probe+execute sequence runs under the DB's data read lock,
+// so it observes exactly one (data, version) pair: an ingest flush either
+// happens entirely before this request (which then plans, executes, and
+// caches at the new version) or entirely after it. That lock is what turns
+// "version-stamped keys" into the stale-read guarantee.
 func (s *Server) handle(req Request) (*Response, bool, error) {
+	s.DS.DB.RLockData()
+	defer s.DS.DB.RUnlockData()
 	p, err := s.plan(req, true)
 	if err != nil {
 		return nil, false, err
 	}
 
-	// Result cache: repeated (rewritten SQL, kind, grid, region, budget)
-	// shapes skip execution and binning entirely. In a cluster, Get may be
-	// answered by the key's owning replica's cache (see internal/cluster).
+	// Result cache: repeated (rewritten SQL, kind, grid, region, budget,
+	// version) shapes skip execution and binning entirely. In a cluster, Get
+	// may be answered by the key's owning replica's cache (internal/cluster).
 	rkey := p.rkey
 	if resp := s.results.Get(rkey); resp != nil {
 		s.metrics.resultHits.Add(1)
 		s.noteOutcome(resp)
 		return resp, true, nil
+	}
+	// Staleness-tolerance hint: probe bounded-recent versions before paying
+	// for execution. Strictly a wider lookup — a stale hit is served as-is
+	// (its trace and bins are exactly the old version's answer) and nothing
+	// is ever stored under an old version's key.
+	if req.TTL > 0 {
+		versions := s.table.VersionsWithin(req.TTL, s.cfg.Now())
+		if len(versions) > maxStaleProbes+1 {
+			versions = versions[:maxStaleProbes+1]
+		}
+		for _, v := range versions[1:] { // [0] is current, already probed
+			k := rkey
+			k.DataVersion = v
+			if resp := s.results.Get(k); resp != nil {
+				s.metrics.resultHits.Add(1)
+				s.metrics.staleHits.Add(1)
+				s.noteOutcome(resp)
+				return resp, true, nil
+			}
+		}
 	}
 	s.metrics.resultMisses.Add(1)
 

@@ -26,20 +26,29 @@ type ResultKey struct {
 	GridH  int         `json:"grid_h"`
 	Region engine.Rect `json:"region"`
 	Budget float64     `json:"budget"`
+	// DataVersion is the dataset's data version the result was (or would be)
+	// computed at. Folding it into the key means an ingest flush atomically
+	// invalidates every cached result — locally and across the peer wire
+	// format — without touching cache internals: pre-flush entries simply
+	// stop being addressed. See docs/ARCHITECTURE.md, "Data versions &
+	// staleness".
+	DataVersion uint64 `json:"data_version"`
 }
 
 // Hash spreads a result key over shards (and, in internal/cluster, over the
 // replica hash ring): the rewritten SQL dominates, the remaining fields
-// disambiguate grid/kind/region/budget variants that share SQL text.
+// disambiguate grid/kind/region/budget/version variants that share SQL text.
 func (k ResultKey) Hash() uint64 {
 	h := fnv64(k.SQL)
 	h = mixShard(h, fnv64(string(k.Kind)))
-	h = mixShard(h, uint64(k.GridW)<<32|uint64(uint32(k.GridH)))
+	// Mask both grid fields to 32 bits so their bit ranges cannot overlap.
+	h = mixShard(h, uint64(uint32(k.GridW))<<32|uint64(uint32(k.GridH)))
 	h = mixShard(h, math.Float64bits(k.Region.MinLon))
 	h = mixShard(h, math.Float64bits(k.Region.MinLat))
 	h = mixShard(h, math.Float64bits(k.Region.MaxLon))
 	h = mixShard(h, math.Float64bits(k.Region.MaxLat))
 	h = mixShard(h, math.Float64bits(k.Budget))
+	h = mixShard(h, k.DataVersion)
 	return h
 }
 
@@ -149,15 +158,40 @@ func (c *resultCache) put(key ResultKey, resp *Response) {
 		c.lru.Remove(old)
 		delete(c.entries, old.Value.(*resultEntry).key)
 	}
+	// Sweep expired entries from the LRU tail. Without this, a churning key
+	// population (e.g. version-keyed entries after ingest flushes) pins
+	// expired *Response values until capacity eviction, since get only drops
+	// the exact key it was asked for. Entries are TTL-ordered from the tail
+	// up to MoveToFront perturbation, so stopping at the first live entry
+	// bounds the sweep while reclaiming the common ghost pile-up.
+	now := c.now()
+	for {
+		old := c.lru.Back()
+		if old == nil {
+			break
+		}
+		e := old.Value.(*resultEntry)
+		if !now.After(e.expires) {
+			break
+		}
+		c.lru.Remove(old)
+		delete(c.entries, e.key)
+	}
 }
 
-// len reports the number of cached responses, counting expired ones not yet
-// swept (for tests).
+// len reports the number of live (non-expired) cached responses.
 func (c *resultCache) len() int {
 	if c == nil {
 		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	now := c.now()
+	n := 0
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if !now.After(el.Value.(*resultEntry).expires) {
+			n++
+		}
+	}
+	return n
 }
