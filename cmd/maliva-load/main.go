@@ -26,6 +26,15 @@
 //	                                              # distribution, and a zero-stale-read
 //	                                              # check against an uncached control
 //	                                              # gateway after every synchronous flush
+//	maliva-load -session                          # pan/zoom session benchmark: identical
+//	                                              # seeded random-walk sessions replayed
+//	                                              # against prefetch+subsumption OFF and
+//	                                              # ON, byte-identity checked per step;
+//	                                              # reports perceived-latency quantiles
+//	                                              # and prefetch hit/waste rates
+//	maliva-load -session -smoke                   # tiny CI pass: fails on any byte
+//	                                              # mismatch, live rejection, or a cold
+//	                                              # prefetch path
 package main
 
 import (
@@ -154,6 +163,24 @@ type loadReport struct {
 	ActiveReadFactor float64 `json:"active_read_qps_factor,omitempty"`
 	StaleChecks      int64   `json:"stale_read_checks,omitempty"`
 	StaleReads       int64   `json:"stale_reads,omitempty"`
+
+	// Session-drill headline numbers (session mode only): perceived-latency
+	// speedups of the prefetch+subsumption ON pass over the OFF pass on the
+	// identical traces, the byte-identity tally (must be 0), and the ON
+	// pass's speculative-serving counters.
+	SessionCount       int     `json:"session_count,omitempty"`
+	SessionSteps       int     `json:"session_steps,omitempty"`
+	ThinkMs            float64 `json:"think_ms,omitempty"`
+	SessionP50SpeedupX float64 `json:"session_p50_speedup_x,omitempty"`
+	SessionP95SpeedupX float64 `json:"session_p95_speedup_x,omitempty"`
+	SessionMismatches  int64   `json:"session_mismatches,omitempty"`
+	PrefetchIssued     int64   `json:"prefetch_issued,omitempty"`
+	PrefetchHits       int64   `json:"prefetch_hits,omitempty"`
+	PrefetchShed       int64   `json:"prefetch_shed,omitempty"`
+	PrefetchComputed   int64   `json:"prefetch_computed,omitempty"`
+	PrefetchHitRate    float64 `json:"prefetch_hit_rate,omitempty"`
+	PrefetchWasteRate  float64 `json:"prefetch_waste_rate,omitempty"`
+	SubsumedHits       int64   `json:"subsumed_hits,omitempty"`
 }
 
 func main() {
@@ -174,6 +201,11 @@ func main() {
 		smoke    = flag.Bool("smoke", false, "tiny CI pass: small datasets, ~2s, exit non-zero on errors")
 		churn    = flag.Bool("churn", false, "replica-churn drill over the -replicas count (default 3): a healthy control pass, then a pass with replicas killed/drained/revived mid-run; fails on any non-identical 200 or availability below 99%")
 		ingest   = flag.Bool("ingest", false, "live-ingestion drill: idle and active-writes read passes, flush-latency distribution, and a zero-stale-read check against an uncached control gateway; fails on any stale read")
+
+		session   = flag.Bool("session", false, "pan/zoom session benchmark: replay identical seeded random-walk sessions against prefetch+subsumption OFF and ON gateways, verify byte identity, and report perceived-latency quantiles and prefetch hit/waste rates")
+		nSessions = flag.Int("sessions", 8, "concurrent simulated sessions (session mode)")
+		sessSteps = flag.Int("session-steps", 60, "pan/zoom steps per session (session mode)")
+		think     = flag.Duration("think", 250*time.Millisecond, "per-step think time between a session's requests (session mode); human-scale pan debounce, which leaves the idle gaps prefetch speculates into")
 	)
 	flag.Parse()
 
@@ -185,8 +217,16 @@ func main() {
 		*workers = 4
 		*duration = time.Second
 		*nShapes = 30
-		if *repList == "" && !*churn && !*ingest {
+		if *repList == "" && !*churn && !*ingest && !*session {
 			*compare = true
+		}
+		if *session {
+			*nSessions = 4
+			*sessSteps = 20
+			*think = 25 * time.Millisecond
+			if *datasets == "" {
+				*datasets = "twitter"
+			}
 		}
 		if *datasets == "" {
 			*datasets = "twitter,taxi"
@@ -198,6 +238,25 @@ func main() {
 	names := splitNames(*datasets)
 	if len(names) == 0 {
 		fatal(fmt.Errorf("-datasets lists no datasets"))
+	}
+	if *session {
+		// The session drill is strictly its own mode: it runs its own OFF/ON
+		// compare over in-process gateways, so every other drill (and remote
+		// targeting) is rejected loudly rather than silently ignored.
+		for flagName, set := range map[string]bool{
+			"-compare": *compare, "-replicas": *repList != "",
+			"-churn": *churn, "-ingest": *ingest, "-url": *url != "",
+		} {
+			if set {
+				fatal(fmt.Errorf("-session and %s are mutually exclusive (the session drill runs its own OFF/ON compare in-process)", flagName))
+			}
+		}
+		if *nSessions < 1 || *sessSteps < 2 {
+			fatal(fmt.Errorf("-session needs -sessions >= 1 and -session-steps >= 2 (got %d, %d)", *nSessions, *sessSteps))
+		}
+		if *think < 0 {
+			fatal(fmt.Errorf("-think must be >= 0 (got %v)", *think))
+		}
 	}
 	if *churn {
 		if *url != "" {
@@ -282,7 +341,9 @@ func main() {
 		if *agent != "" {
 			factory = agentFactory(*agent)
 		}
-		if *churn {
+		if *session {
+			runSessions(&report, names, built, factory, *budget, *nSessions, *sessSteps, *think, *seed)
+		} else if *churn {
 			r := 3
 			if len(replicaCounts) > 0 {
 				r = replicaCounts[0]
@@ -391,6 +452,14 @@ func main() {
 		fmt.Printf("churn vs control: availability %.2f%%, p95 %.2fx, mismatches %d\n",
 			100*report.ChurnAvailability, report.ChurnP95FactorX, report.ChurnMismatches)
 	}
+	if *session {
+		fmt.Printf("session: ON vs OFF perceived latency %.2fx p50, %.2fx p95  (mismatches %d)\n",
+			report.SessionP50SpeedupX, report.SessionP95SpeedupX, report.SessionMismatches)
+		fmt.Printf("prefetch: issued %d  hits %d (%.0f%%)  shed %d  computed %d (waste %.0f%%)  subsumed hits %d\n",
+			report.PrefetchIssued, report.PrefetchHits, 100*report.PrefetchHitRate,
+			report.PrefetchShed, report.PrefetchComputed, 100*report.PrefetchWasteRate,
+			report.SubsumedHits)
+	}
 	if *ingest {
 		fmt.Printf("ingest: %d rows in %d flushes  flush p50 %.3f ms  p95 %.3f ms  max %.1f ms\n",
 			report.IngestRows, report.IngestFlushes,
@@ -437,6 +506,29 @@ func main() {
 		}
 		if report.ChurnAvailability < 0.99 {
 			fatal(fmt.Errorf("churn: availability %.2f%% below the 99%% floor", 100*report.ChurnAvailability))
+		}
+	}
+	if *session {
+		if report.SessionMismatches > 0 {
+			fatal(fmt.Errorf("session: %d ON-pass responses diverged from the OFF pass (subsumption/prefetch broke byte identity)", report.SessionMismatches))
+		}
+		for _, p := range report.Passes {
+			if p.Rejected > 0 {
+				// The session workload runs far below capacity, so any 429/503
+				// means speculative admission stole a live request's slot.
+				fatal(fmt.Errorf("session: pass %q rejected %d live requests", p.Name, p.Rejected))
+			}
+		}
+		if *smoke {
+			if report.PrefetchIssued == 0 {
+				fatal(fmt.Errorf("session smoke: no prefetches were issued"))
+			}
+			if report.PrefetchHits == 0 {
+				fatal(fmt.Errorf("session smoke: no prefetched tile was ever consumed"))
+			}
+			if report.SubsumedHits == 0 {
+				fatal(fmt.Errorf("session smoke: no request was answered by containment slicing"))
+			}
 		}
 	}
 	if *ingest {
@@ -879,11 +971,16 @@ func startGateway(names []string, built map[string]*workload.Dataset, budget flo
 	if err := gw.Warm(); err != nil {
 		fatal(err)
 	}
+	return serveGateway(gw.Handler())
+}
+
+// serveGateway serves a handler over a fresh loopback listener.
+func serveGateway(h http.Handler) *inprocGateway {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fatal(err)
 	}
-	hs := &http.Server{Handler: gw.Handler()}
+	hs := &http.Server{Handler: h}
 	go func() { _ = hs.Serve(ln) }()
 	return &inprocGateway{url: "http://" + ln.Addr().String(), http: hs, ln: ln}
 }
@@ -913,13 +1010,7 @@ func startCluster(replicas int, names []string, built map[string]*workload.Datas
 	if err := cl.Warm(); err != nil {
 		fatal(err)
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		fatal(err)
-	}
-	hs := &http.Server{Handler: cl.Handler()}
-	go func() { _ = hs.Serve(ln) }()
-	return &inprocGateway{url: "http://" + ln.Addr().String(), http: hs, ln: ln}, cl
+	return serveGateway(cl.Handler()), cl
 }
 
 // dsAccum accumulates one worker's per-dataset measurements.

@@ -1,0 +1,366 @@
+package main
+
+// Session mode (maliva-load -session): a pan/zoom session benchmark for the
+// speculative-prefetch + request-subsumption serving path.
+//
+// Each simulated session is a seeded random walk over the dataset's
+// power-of-two tile lattice — mostly momentum pans, occasional turns, zoom
+// ins and zoom outs — with a fixed per-session keyword and time window (a
+// browser tab exploring one query). Tile grids halve with the viewport
+// (z=0 ⇒ 128×64 … z=3 ⇒ 16×8), so every request in a session has the same
+// geographic cell size and every zoom-in is exactly grid-aligned inside its
+// parent viewport: the workload exercises both the exact-key prefetch path
+// (momentum, zoom-out) and the containment-slicing path (zoom-in).
+//
+// The drill replays the IDENTICAL traces four times on fresh gateways in a
+// counterbalanced OFF, ON, ON, OFF order (see runSessions for why), with
+// the same per-step think time, compares every ON response byte-for-byte
+// against its OFF counterpart, and reports per-arm perceived (client-side)
+// latency quantiles plus the server's prefetch hit/waste counters.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/middleware"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// sessionTrace is one simulated pan/zoom session: an ordered request list
+// against one dataset, replayed identically in both passes.
+type sessionTrace struct {
+	dataset string
+	id      string
+	steps   [][]byte
+}
+
+// genSessionTraces builds n deterministic session traces (session i is a
+// pure function of seed+i), round-robining sessions across datasets.
+func genSessionTraces(names []string, built map[string]*workload.Dataset, n, steps int, budget float64, seed int64) []sessionTrace {
+	traces := make([]sessionTrace, n)
+	for i := range traces {
+		name := names[i%len(names)]
+		traces[i] = genSessionTrace(name, built[name], fmt.Sprintf("sess-%03d", i), steps, budget, seed+1000*int64(i))
+	}
+	return traces
+}
+
+// genSessionTrace random-walks one session. Transition mix per step:
+// ~55% continue panning (momentum), ~15% turn, ~15% zoom in, ~15% zoom out
+// — the shape interactive map exploration takes. Pans that hit the extent
+// boundary bounce.
+func genSessionTrace(name string, ds *workload.Dataset, id string, steps int, budget float64, seed int64) sessionTrace {
+	rng := rand.New(rand.NewSource(seed))
+	ext := ds.Extent
+
+	keyword := fmt.Sprintf("word%04d", rng.Intn(60))
+	days := 7 + rng.Intn(53)
+	from := ds.TimeOrigin.AddDate(0, 0, rng.Intn(ds.TimeSpanDays-days))
+	to := from.AddDate(0, 0, days)
+
+	z := 2
+	kx, ky := rng.Intn(1<<z), rng.Intn(1<<z)
+	dx, dy := 1, 0
+	if rng.Intn(2) == 0 {
+		dx, dy = 0, 1
+	}
+	if rng.Intn(2) == 0 {
+		dx, dy = -dx, -dy
+	}
+
+	tr := sessionTrace{dataset: name, id: id, steps: make([][]byte, 0, steps)}
+	emit := func() {
+		// The lattice arithmetic (eMin + k·(extentSpan/2^z)) matches the
+		// server-side predictor's snapping exactly, so a predicted tile and
+		// the session's next request agree to the bit.
+		tw := (ext.MaxLon - ext.MinLon) / float64(int(1)<<z)
+		th := (ext.MaxLat - ext.MinLat) / float64(int(1)<<z)
+		req := map[string]any{
+			"keyword":   keyword,
+			"from":      from.Format(time.RFC3339),
+			"to":        to.Format(time.RFC3339),
+			"kind":      "heatmap",
+			"grid_w":    128 >> z,
+			"grid_h":    64 >> z,
+			"budget_ms": budget,
+			"min_lon":   ext.MinLon + float64(kx)*tw,
+			"min_lat":   ext.MinLat + float64(ky)*th,
+			"max_lon":   ext.MinLon + float64(kx+1)*tw,
+			"max_lat":   ext.MinLat + float64(ky+1)*th,
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			fatal(err)
+		}
+		tr.steps = append(tr.steps, body)
+	}
+	pan := func() {
+		nx, ny := kx+dx, ky+dy
+		if nx < 0 || nx >= 1<<z || ny < 0 || ny >= 1<<z {
+			dx, dy = -dx, -dy // bounce off the extent boundary
+			nx, ny = kx+dx, ky+dy
+			if nx < 0 || nx >= 1<<z || ny < 0 || ny >= 1<<z {
+				return // 1×1 lattice: nowhere to pan
+			}
+		}
+		kx, ky = nx, ny
+	}
+	emit()
+	for len(tr.steps) < steps {
+		switch r := rng.Float64(); {
+		case r < 0.55:
+			pan()
+		case r < 0.70: // turn, then step
+			dirs := [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+			d := dirs[rng.Intn(len(dirs))]
+			dx, dy = d[0], d[1]
+			pan()
+		case r < 0.85 && z < 3: // zoom in
+			z++
+			kx, ky = 2*kx+rng.Intn(2), 2*ky+rng.Intn(2)
+		case r >= 0.85 && z > 0: // zoom out
+			z--
+			kx, ky = kx/2, ky/2
+		default:
+			pan()
+		}
+		emit()
+	}
+	return tr
+}
+
+// sessionPassResult is one replay of the traces: raw per-dataset latency
+// accumulators (merged across passes of the same arm later), every response
+// body (the first OFF pass builds expectations, all later passes compare
+// against them), and the gateway's metrics snapshot.
+type sessionPassResult struct {
+	acc        map[string]*dsAccum
+	elapsed    time.Duration
+	mismatches int64
+	bodies     [][][]byte // [session][step]
+	server     *middleware.GatewayMetricsSnapshot
+}
+
+// runSessionPass replays every trace concurrently (one goroutine per
+// session, steps strictly sequential within a session, think time between
+// steps). withSession attaches the session-id header — the OFF pass omits
+// it, so the server never tracks or prefetches. expected, when non-nil,
+// is byte-compared per step.
+func runSessionPass(name, url string, traces []sessionTrace, think time.Duration, withSession bool, expected [][][]byte) sessionPassResult {
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        len(traces) * 2,
+			MaxIdleConnsPerHost: len(traces) * 2,
+		},
+	}
+	res := sessionPassResult{bodies: make([][][]byte, len(traces))}
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		mismatches int64
+	)
+	acc := make(map[string]*dsAccum)
+	start := time.Now()
+	for i := range traces {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Stagger session starts across one think interval: real users
+			// aren't phase-locked, and synchronized waves would pile every
+			// session's live request (and its prefetch fan-out) onto the same
+			// instant. Identical in both passes, so the compare stays fair.
+			if i > 0 && think > 0 {
+				time.Sleep(time.Duration(i) * think / time.Duration(len(traces)))
+			}
+			tr := traces[i]
+			bodies := make([][]byte, len(tr.steps))
+			lats := make([]float64, 0, len(tr.steps))
+			var errs, rejected, bad int64
+			for j, step := range tr.steps {
+				if j > 0 && think > 0 {
+					time.Sleep(think)
+				}
+				t0 := time.Now()
+				code, data, err := fireSession(client, url, tr.dataset, step, tr.id, withSession)
+				lat := time.Since(t0)
+				if os.Getenv("MALIVA_SESSION_DEBUG") != "" {
+					fmt.Fprintf(os.Stderr, "STEP %s s=%d j=%d lat=%.3fms code=%d bytes=%d\n",
+						name, i, j, float64(lat)/float64(time.Millisecond), code, len(data))
+				}
+				switch {
+				case err != nil:
+					errs++
+				case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+					rejected++
+				case code != http.StatusOK:
+					errs++
+				default:
+					bodies[j] = data
+					lats = append(lats, float64(lat)/float64(time.Millisecond))
+					if expected != nil && !bytes.Equal(data, expected[i][j]) {
+						bad++
+					}
+				}
+			}
+			mu.Lock()
+			res.bodies[i] = bodies
+			a := acc[tr.dataset]
+			if a == nil {
+				a = &dsAccum{}
+				acc[tr.dataset] = a
+			}
+			a.lats = append(a.lats, lats...)
+			a.errors += errs
+			a.rejected += rejected
+			a.total += int64(len(tr.steps))
+			mismatches += bad
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	res.acc = acc
+	res.elapsed = time.Since(start)
+	res.mismatches = mismatches
+	res.server = fetchMetrics(client, url)
+	return res
+}
+
+// fireSession posts one session step, optionally carrying the session-id
+// header, and returns the raw response bytes.
+func fireSession(client *http.Client, url, dataset string, body []byte, sid string, withSession bool) (int, []byte, error) {
+	r, err := http.NewRequest(http.MethodPost, url+"/viz?dataset="+dataset, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	r.Header.Set("Content-Type", "application/json")
+	if withSession {
+		r.Header.Set(middleware.SessionHeader, sid)
+	}
+	resp, err := client.Do(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// startSessionGateway is startGateway with the session/subsumption switches
+// exposed: enabled=false is the OFF pass (no tracking, no containment —
+// exact-identity caching only), enabled=true the ON pass.
+func startSessionGateway(names []string, built map[string]*workload.Dataset, budget float64, enabled bool, factory middleware.RewriterFactory) *inprocGateway {
+	cfg := middleware.ServerConfig{DefaultBudgetMs: budget, PlanCacheSize: 8192}
+	gcfg := middleware.GatewayConfig{Space: core.HintOnlySpec()}
+	if !enabled {
+		cfg.DisableSubsumption = true
+		gcfg.Sessions.Disabled = true
+	}
+	gcfg.Server = cfg
+	reg := workload.NewRegistry()
+	for _, name := range names {
+		ds := built[name]
+		if err := reg.Register(name, func() (*workload.Dataset, error) { return ds, nil }); err != nil {
+			fatal(err)
+		}
+	}
+	gw, err := middleware.NewGateway(reg, factory, gcfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := gw.Warm(); err != nil {
+		fatal(err)
+	}
+	return serveGateway(gw.Handler())
+}
+
+// runSessions is the -session drill driver. The identical traces are
+// replayed four times on fresh gateways in a counterbalanced OFF, ON, ON,
+// OFF order: within one process the later passes see a warmer runtime
+// (allocator/GC state, engine statistics), so a fixed OFF-then-ON order
+// systematically biases whichever arm runs second. Interleaving the arms
+// cancels that drift to first order; each arm's latencies are merged across
+// its two passes before quantiles are taken. Every ON response is
+// byte-compared against the first OFF pass, and so is the second OFF pass —
+// a free determinism check on the serving stack itself.
+func runSessions(report *loadReport, names []string, built map[string]*workload.Dataset, factory middleware.RewriterFactory, budget float64, nSessions, steps int, think time.Duration, seed int64) {
+	traces := genSessionTraces(names, built, nSessions, steps, budget, seed)
+	report.SessionCount = nSessions
+	report.SessionSteps = steps
+	report.ThinkMs = float64(think) / float64(time.Millisecond)
+
+	run := func(label string, enabled bool, expected [][][]byte) sessionPassResult {
+		gw := startSessionGateway(names, built, budget, enabled, factory)
+		defer gw.close()
+		if dir := os.Getenv("MALIVA_SESSION_PROFILE"); dir != "" {
+			if f, err := os.Create(dir + "/" + label + ".pprof"); err == nil {
+				pprof.StartCPUProfile(f)
+				defer func() { pprof.StopCPUProfile(); f.Close() }()
+			}
+		}
+		return runSessionPass(label, gw.url, traces, think, enabled, expected)
+	}
+	fmt.Fprintf(os.Stderr, "replaying %d sessions × %d steps (think %s) through 4 passes: OFF, ON, ON, OFF...\n", nSessions, steps, think)
+	off1 := run("off-1", false, nil)
+	on1 := run("on-1", true, off1.bodies)
+	on2 := run("on-2", true, off1.bodies)
+	off2 := run("off-2", false, off1.bodies)
+
+	merge := func(name string, passes ...sessionPassResult) passReport {
+		accCh := make(chan map[string]*dsAccum, len(passes))
+		var elapsed time.Duration
+		for _, p := range passes {
+			accCh <- p.acc
+			elapsed += p.elapsed
+		}
+		close(accCh)
+		return mergeAccum(name, elapsed, accCh)
+	}
+	offRep := merge("session-off", off1, off2)
+	onRep := merge("session-on", on1, on2)
+	onRep.Mismatches = on1.mismatches + on2.mismatches
+	offRep.Mismatches = off2.mismatches // OFF-vs-OFF: determinism cross-check
+
+	report.Passes = append(report.Passes, offRep, onRep)
+	report.SessionMismatches = onRep.Mismatches + offRep.Mismatches
+	if onRep.P50Ms > 0 {
+		report.SessionP50SpeedupX = offRep.P50Ms / onRep.P50Ms
+	}
+	if onRep.P95Ms > 0 {
+		report.SessionP95SpeedupX = offRep.P95Ms / onRep.P95Ms
+	}
+	for _, snap := range []*middleware.GatewayMetricsSnapshot{on1.server, on2.server} {
+		if snap == nil {
+			continue
+		}
+		for _, m := range snap.Datasets {
+			report.PrefetchIssued += m.PrefetchIssued
+			report.PrefetchHits += m.PrefetchHits
+			report.PrefetchShed += m.PrefetchShed
+			report.PrefetchComputed += m.PrefetchComputed
+			report.SubsumedHits += m.SubsumedHits
+		}
+	}
+	if report.PrefetchIssued > 0 {
+		report.PrefetchHitRate = float64(report.PrefetchHits) / float64(report.PrefetchIssued)
+	}
+	if report.PrefetchComputed > 0 {
+		waste := report.PrefetchComputed - report.PrefetchHits
+		if waste < 0 {
+			waste = 0
+		}
+		report.PrefetchWasteRate = float64(waste) / float64(report.PrefetchComputed)
+	}
+}

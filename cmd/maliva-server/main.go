@@ -142,6 +142,8 @@ func main() {
 		maxConc     = flag.Int("max-concurrent", 0, "shared concurrent request limit (0 = default 4×GOMAXPROCS, negative = disable)")
 		maxQueue    = flag.Int("max-queue", 0, "shared admission queue length (0 = default 256)")
 		noCache     = flag.Bool("no-cache", false, "disable plan and result caches (baseline mode)")
+		noPrefetch  = flag.Bool("no-prefetch", false, "disable session tracking and speculative tile prefetch")
+		noSubsume   = flag.Bool("no-subsume", false, "disable answering requests by slicing a containing cached heatmap")
 	)
 	flag.Parse()
 
@@ -190,6 +192,8 @@ func main() {
 		scfg.PlanCacheSize = -1
 		scfg.ResultCacheSize = -1
 	}
+	scfg.DisableSubsumption = *noSubsume
+	sessions := middleware.SessionConfig{Disabled: *noPrefetch}
 
 	var handler http.Handler
 	switch {
@@ -208,6 +212,7 @@ func main() {
 			WarmWorkers: *warmWorkers,
 			Health:      healthCfg,
 			Hedge:       hedgeCfg,
+			Sessions:    sessions,
 		})
 		if err != nil {
 			fatal(err)
@@ -232,6 +237,7 @@ func main() {
 			Server:      scfg,
 			Space:       core.HintOnlySpec(),
 			WarmWorkers: *warmWorkers,
+			Sessions:    sessions,
 		})
 		if err != nil {
 			fatal(err)
@@ -262,6 +268,7 @@ func main() {
 			Server:      scfg,
 			Space:       core.HintOnlySpec(),
 			WarmWorkers: *warmWorkers,
+			Sessions:    sessions,
 		})
 		if err != nil {
 			fatal(err)

@@ -44,6 +44,13 @@ type Config struct {
 	// Hedge tunes each replica's hedged peer fetches (zero = defaults,
 	// see HedgeConfig).
 	Hedge HedgeConfig
+	// Sessions tunes session tracking + speculative tile prefetch. In a
+	// cluster, sessions live at the ROUTING tier: key routing fragments one
+	// session's requests across replicas, so no single replica gateway sees
+	// enough history to predict. The router tracks viewports and dispatches
+	// predictions to each key's owner replica through the prefetch lane;
+	// replica-gateway tracking is force-disabled.
+	Sessions middleware.SessionConfig
 }
 
 // Cluster is an in-process replica set: N nodes, their ring, and the
@@ -84,6 +91,8 @@ func New(cfg Config) (*Cluster, error) {
 			Server:      cfg.Server,
 			Space:       cfg.Space,
 			WarmWorkers: cfg.WarmWorkers,
+			// Sessions are router-scope in a cluster (see Config.Sessions).
+			Sessions: middleware.SessionConfig{Disabled: true},
 		})
 		if err != nil {
 			return nil, err
@@ -104,6 +113,7 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	router.EnableSessions(cfg.Sessions)
 	// Peer-cache ownership must agree with routing: every node resolves
 	// owners over the router's routable set (Ring.OwnerAmong), not the full
 	// ring, so the replica a key's requests concentrate on is the replica

@@ -159,3 +159,11 @@ func (c *peerCache) Put(key middleware.ResultKey, resp *middleware.Response) {
 
 // Len implements middleware.ResultCache (local entries only).
 func (c *peerCache) Len() int { return c.local.Len() }
+
+// GetLocal implements middleware.LocalGetter: a probe of this replica's own
+// cache only, with no peer fetch and no stats. The server's subsumption
+// index uses it to validate containment candidates — a speculative probe
+// must never put a peer round trip on the live miss path.
+func (c *peerCache) GetLocal(key middleware.ResultKey) *middleware.Response {
+	return c.local.Get(key)
+}

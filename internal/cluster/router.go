@@ -118,6 +118,15 @@ type Router struct {
 	allDown       atomic.Int64
 	keyedUnified  atomic.Int64 // requests routed by server-normalized ResultKey
 	keyedFallback atomic.Int64 // requests routed by the shape hash
+
+	// Session tracking + speculative prefetch (router-scope: key routing
+	// fragments one session across replicas, so only the router sees the
+	// whole pan/zoom trajectory). See session.go.
+	sessions           *middleware.SessionTracker
+	prefetchSem        chan struct{}
+	observeCh          chan routerObservation
+	prefetchDispatched atomic.Int64 // predictions sent to an owner replica
+	prefetchDropped    atomic.Int64 // predictions shed before dispatch (no token)
 }
 
 // NewRouter builds a router over the ring's replicas with default health
@@ -214,6 +223,7 @@ type failoverWriter struct {
 	hdr         http.Header
 	decided     bool
 	committed   bool
+	code        int    // status code of the committed response
 	unavailable string // sentinel value when the replica refused
 }
 
@@ -238,6 +248,7 @@ func (f *failoverWriter) WriteHeader(code int) {
 		dst[k] = vv
 	}
 	f.committed = true
+	f.code = code
 	f.dst.WriteHeader(code)
 }
 
@@ -280,7 +291,8 @@ func (rt *Router) serveViz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	key, unified := rt.routeHash(r.URL.Query().Get("dataset"), body)
+	dataset := r.URL.Query().Get("dataset")
+	key, unified := rt.routeHash(dataset, body)
 	if unified {
 		rt.keyedUnified.Add(1)
 	} else {
@@ -314,6 +326,9 @@ func (rt *Router) serveViz(w http.ResponseWriter, r *http.Request) {
 			// A replica the pool held out just served real traffic:
 			// credit it toward rejoining.
 			rt.health.ReportSuccess(idx)
+		}
+		if fw.code < 300 {
+			rt.observeSession(r, dataset, body)
 		}
 		return
 	}
@@ -443,9 +458,13 @@ type Snapshot struct {
 	KeyedFallback int64             `json:"routed_by_shape_hash"`
 	Retries       int64             `json:"routing_retries"`
 	NoLiveReplica int64             `json:"no_live_replica"`
-	ResultHits    int64             `json:"result_cache_hits"`
-	ResultMisses  int64             `json:"result_cache_misses"`
-	ResultHitRate float64           `json:"result_cache_hit_rate"`
+	// Session-prefetch dispatch counters (router-scope; the per-replica
+	// prefetch admission/hit counters live in each gateway snapshot).
+	PrefetchDispatched int64   `json:"session_prefetch_dispatched"`
+	PrefetchDropped    int64   `json:"session_prefetch_dropped"`
+	ResultHits         int64   `json:"result_cache_hits"`
+	ResultMisses       int64   `json:"result_cache_misses"`
+	ResultHitRate      float64 `json:"result_cache_hit_rate"`
 }
 
 // Snapshot captures the cluster counters.
@@ -456,6 +475,9 @@ func (rt *Router) Snapshot() Snapshot {
 		KeyedFallback: rt.keyedFallback.Load(),
 		Retries:       rt.retries.Load(),
 		NoLiveReplica: rt.allDown.Load(),
+
+		PrefetchDispatched: rt.prefetchDispatched.Load(),
+		PrefetchDropped:    rt.prefetchDropped.Load(),
 	}
 	for i, n := range rt.nodes {
 		st := rt.health.State(i)
@@ -508,6 +530,8 @@ func (rt *Router) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "maliva_cluster_routed_by_shape_hash_total %d\n", snap.KeyedFallback)
 	fmt.Fprintf(w, "maliva_cluster_routing_retries_total %d\n", snap.Retries)
 	fmt.Fprintf(w, "maliva_cluster_no_live_replica_total %d\n", snap.NoLiveReplica)
+	fmt.Fprintf(w, "maliva_cluster_session_prefetch_dispatched_total %d\n", snap.PrefetchDispatched)
+	fmt.Fprintf(w, "maliva_cluster_session_prefetch_dropped_total %d\n", snap.PrefetchDropped)
 	fmt.Fprintf(w, "maliva_cluster_result_cache_hit_rate %g\n", snap.ResultHitRate)
 	for _, rs := range snap.Replicas {
 		l := fmt.Sprintf("replica=%q", strconv.Itoa(rs.Replica))

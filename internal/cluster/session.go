@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http"
+	"net/url"
+
+	"github.com/maliva/maliva/internal/middleware"
+)
+
+// Router-scope session tracking. A standalone gateway tracks sessions
+// itself, but in a cluster the router's key routing sends consecutive
+// viewports of one pan to different replicas — no replica gateway sees
+// enough of the trajectory to predict, which is why cluster.New disables
+// gateway-level tracking and the router observes here instead. Predictions
+// are dispatched to the replica that OWNS the predicted key (the same
+// unified key space live routing uses), flagged with the prefetch header so
+// the owner admits them through its prefetch lane and fills its own cache —
+// exactly where the live request for that tile will be routed next.
+
+// EnableSessions turns on router-scope session tracking (no-op when
+// cfg.Disabled). Call before serving traffic.
+func (rt *Router) EnableSessions(cfg middleware.SessionConfig) {
+	if cfg.Disabled {
+		return
+	}
+	cfg = cfg.Normalized()
+	rt.sessions = middleware.NewSessionTracker(cfg)
+	rt.prefetchSem = make(chan struct{}, cfg.Workers)
+	rt.observeCh = make(chan routerObservation, observeQueueCap)
+	go rt.observeLoop()
+}
+
+// routerObservation is one successfully-routed viz request queued for
+// session tracking.
+type routerObservation struct {
+	dataset string
+	sid     string
+	body    []byte
+}
+
+// observeQueueCap bounds the observer backlog; a full queue costs one round
+// of predictions, never routing latency.
+const observeQueueCap = 256
+
+// observeSession enqueues a successfully-served viz request for the
+// observer goroutine. Called on the routing goroutine after the response
+// commits; the inline cost is two header reads and a channel send — the
+// parse, the tracker's critical section, and dispatch (which may pay a cold
+// plan build to key the prediction) all run off the serving path.
+func (rt *Router) observeSession(r *http.Request, dataset string, body []byte) {
+	if rt.sessions == nil || r.Header.Get(middleware.PrefetchHeader) != "" {
+		return
+	}
+	sid := middleware.SessionID(r)
+	if sid == "" {
+		return
+	}
+	select {
+	case rt.observeCh <- routerObservation{dataset: dataset, sid: sid, body: body}:
+	default:
+	}
+}
+
+// observeLoop is the router's single observer goroutine: it advances the
+// session tracker per observation and dispatches predictions to the
+// replicas owning their keys. Runs for the router's lifetime.
+func (rt *Router) observeLoop() {
+	for obs := range rt.observeCh {
+		rt.observe(obs.dataset, obs.sid, obs.body)
+	}
+}
+
+// observe records one viz request under its session id and dispatches the
+// tracker's predictions.
+func (rt *Router) observe(dataset, sid string, body []byte) {
+	req, err := middleware.ParseRequest(body)
+	if err != nil || req.Region.Area() <= 0 {
+		return
+	}
+	// The extent (lattice anchor) is a dataset property — identical on every
+	// replica — so any ready server's copy will do.
+	var extent = req.Region
+	found := false
+	for _, n := range rt.nodes {
+		if srv, ok := n.Gateway().ReadyServer(dataset); ok {
+			extent, found = srv.DS.Extent, true
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	// Session ids are scoped per dataset: one browser tab pans one dataset.
+	for _, pred := range rt.sessions.Observe(dataset+"\x00"+sid, req, extent) {
+		rt.dispatchPrefetch(dataset, pred)
+	}
+}
+
+// dispatchPrefetch sends one predicted request to the replica owning its
+// result key, on a semaphore-bounded goroutine. No free token means the
+// cluster is saturated with speculative work: the prediction is dropped on
+// the spot. The owner is tried alone — a prefetch is not worth failover
+// (it would warm a cache the next live request won't be routed to), and a
+// refused or failed speculative request costs nothing.
+func (rt *Router) dispatchPrefetch(dataset string, req middleware.Request) {
+	select {
+	case rt.prefetchSem <- struct{}{}:
+	default:
+		rt.prefetchDropped.Add(1)
+		return
+	}
+	go func() {
+		defer func() { <-rt.prefetchSem }()
+		body, err := middleware.EncodeRequest(req)
+		if err != nil {
+			rt.prefetchDropped.Add(1)
+			return
+		}
+		key, _ := rt.routeHash(dataset, body)
+		order := rt.attemptOrder(key)
+		if len(order) == 0 {
+			rt.prefetchDropped.Add(1)
+			return
+		}
+		target := "/viz"
+		if dataset != "" {
+			target += "?dataset=" + url.QueryEscape(dataset)
+		}
+		r, err := http.NewRequest(http.MethodPost, target, bytes.NewReader(body))
+		if err != nil {
+			rt.prefetchDropped.Add(1)
+			return
+		}
+		r.Header.Set(middleware.PrefetchHeader, "1")
+		r.Header.Set("Content-Type", "application/json")
+		rt.prefetchDispatched.Add(1)
+		rt.nodes[order[0]].ServeHTTP(&sinkWriter{}, r)
+	}()
+}
+
+// sinkWriter discards a speculative response (prefetch is fire-and-forget
+// cache warming; the 204/429 outcome is already counted replica-side).
+type sinkWriter struct {
+	hdr http.Header
+}
+
+func (s *sinkWriter) Header() http.Header {
+	if s.hdr == nil {
+		s.hdr = make(http.Header)
+	}
+	return s.hdr
+}
+
+func (s *sinkWriter) Write(b []byte) (int, error) { return len(b), nil }
+
+func (s *sinkWriter) WriteHeader(int) {}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/maliva/maliva/internal/engine"
+	"github.com/maliva/maliva/internal/middleware"
+)
+
+// tileBody encodes a heatmap request over one z-level lattice tile of ext.
+func tileBody(t testing.TB, ext engine.Rect, z, tx, ty int) []byte {
+	t.Helper()
+	n := float64(int(1) << z)
+	w := (ext.MaxLon - ext.MinLon) / n
+	h := (ext.MaxLat - ext.MinLat) / n
+	body, err := middleware.EncodeRequest(middleware.Request{
+		Keyword: "word0003",
+		From:    time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC),
+		To:      time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC),
+		Kind:    middleware.VizHeatmap, GridW: 16, GridH: 16, BudgetMs: 500,
+		Region: engine.Rect{
+			MinLon: ext.MinLon + float64(tx)*w, MinLat: ext.MinLat + float64(ty)*h,
+			MaxLon: ext.MinLon + float64(tx+1)*w, MaxLat: ext.MinLat + float64(ty+1)*h,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// sessPost fires one /viz request carrying a session id and asserts HTTP 200.
+func sessPost(t testing.TB, url string, body []byte, sid string) []byte {
+	t.Helper()
+	r, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Header.Set("Content-Type", "application/json")
+	r.Header.Set(middleware.SessionHeader, sid)
+	resp, err := http.DefaultClient.Do(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, buf.Bytes())
+	}
+	return buf.Bytes()
+}
+
+// TestClusterSessionPrefetch: in a cluster the unified key routing scatters a
+// pan's consecutive viewports across replicas, so session tracking lives in
+// the router, and each prediction is dispatched — flagged with the prefetch
+// header — to the replica that OWNS the predicted key. The test pans one
+// session through a 2-replica cluster and verifies (a) the router observes
+// and dispatches predictions, (b) some replica computes speculative fills
+// through its prefetch lane and a later live step hits one, and (c) every
+// response stays byte-identical to a standalone gateway. Run with -race.
+func TestClusterSessionPrefetch(t *testing.T) {
+	c := newTestCluster(t, 2)
+	cs := httptest.NewServer(c.Handler())
+	defer cs.Close()
+	ext := testDatasets(t)["twitter"].Extent
+
+	prefetchTotals := func() (computed, hits int64) {
+		for _, rs := range c.Snapshot().Replicas {
+			for _, m := range rs.Gateway.Datasets {
+				computed += m.PrefetchComputed
+				hits += m.PrefetchHits
+			}
+		}
+		return
+	}
+
+	// Pan east along z4 tile rows with think-time gaps. The pipeline is
+	// asynchronous end to end (router observer queue, dispatch semaphore,
+	// replica prefetch lane), so no particular step is pinned as the hit —
+	// the pan continues until a live step lands on a speculative fill.
+	var trace [][]byte
+	var bodies [][]byte
+	deadline := time.Now().Add(15 * time.Second)
+	for y := 8; y <= 11; y++ {
+		_, hits := prefetchTotals()
+		if hits > 0 {
+			break
+		}
+		for x := 1; x <= 14; x++ {
+			body := tileBody(t, ext, 4, x, y)
+			trace = append(trace, body)
+			bodies = append(bodies, sessPost(t, cs.URL+"/viz?dataset=twitter", body, "cluster-pan"))
+			if _, hits := prefetchTotals(); hits > 0 && x >= 3 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("no pan step was served from a speculative fill; snapshot %+v", c.Snapshot())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	snap := c.Snapshot()
+	if snap.PrefetchDispatched == 0 {
+		t.Fatalf("router dispatched no predictions: %+v", snap)
+	}
+	computed, hits := prefetchTotals()
+	if computed == 0 || hits == 0 {
+		t.Fatalf("replica prefetch lanes: computed=%d hits=%d, want both > 0", computed, hits)
+	}
+
+	// No live request may have been rejected — speculative load must never
+	// surface as a 429/503 a pan step wouldn't have seen (the pan itself is
+	// the only live traffic, and every step asserted HTTP 200 above, so this
+	// double-checks the counters agree).
+	for _, rs := range snap.Replicas {
+		for name, m := range rs.Gateway.Datasets {
+			if m.RejectedBusy > 0 || m.RejectedWait > 0 {
+				t.Fatalf("replica %d dataset %s rejected live work during the pan: %+v", rs.Replica, name, m)
+			}
+		}
+	}
+
+	// Byte identity: replay the trace on a standalone gateway (no session id,
+	// so no speculation) and compare step for step.
+	gw := newTestGateway(t)
+	gs := httptest.NewServer(gw.Handler())
+	defer gs.Close()
+	for i, body := range trace {
+		want := postOK(t, gs.URL+"/viz?dataset=twitter", body)
+		if !bytes.Equal(bodies[i], want) {
+			t.Fatalf("pan step %d diverged from the standalone gateway:\ncluster: %s\ngateway: %s", i, bodies[i], want)
+		}
+	}
+}

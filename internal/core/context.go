@@ -115,6 +115,14 @@ type ContextConfig struct {
 	// output bit — cached lookups return the exact rows and entry counts a
 	// fresh scan would (see engine.LookupCache).
 	Lookups *engine.LookupCache
+	// Yield, when non-nil, is passed to every engine execution the build
+	// performs (baseline plus each option) and called between options. A
+	// context build runs |Ω|+1 query executions back to back — a background
+	// build (speculative prefetch planning) passes runtime.Gosched here so
+	// it never holds a processor for the whole burst while live requests
+	// wait. Yielding cannot change the built context: option outcomes are
+	// pure functions of (seed, plan fingerprint), not of scheduling.
+	Yield func()
 }
 
 // DefaultContextConfig returns the standard configuration for a space.
@@ -167,7 +175,7 @@ func BuildContext(db *engine.DB, q *engine.Query, cfg ContextConfig) (*QueryCont
 	// Optimizer view of the original query (baseline + LIMIT sizing).
 	chosen := db.ChoosePlan(q)
 	ctx.EstRows = chosen.EstRows
-	baseRes, baseStats, err := db.RunCached(q, engine.Hint{}, cache)
+	baseRes, baseStats, err := db.RunCachedYield(q, engine.Hint{}, cache, cfg.Yield)
 	if err != nil {
 		return nil, fmt.Errorf("core: baseline run: %w", err)
 	}
@@ -194,9 +202,12 @@ func BuildContext(db *engine.DB, q *engine.Query, cfg ContextConfig) (*QueryCont
 	// so the loop parallelizes without changing a single output bit; engine
 	// noise is a pure function of (seed, plan fingerprint), not run order.
 	buildOption := func(i int) error {
+		if cfg.Yield != nil {
+			cfg.Yield()
+		}
 		o := opts[i]
 		rq, h := BuildRQ(q, o, ctx.EstRows, ctx.Scale)
-		res, stats, err := db.RunCached(rq, h, cache)
+		res, stats, err := db.RunCachedYield(rq, h, cache, cfg.Yield)
 		if err != nil {
 			return fmt.Errorf("core: option %s: %w", o.Label(len(q.Preds)), err)
 		}

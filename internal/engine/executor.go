@@ -36,6 +36,13 @@ type execContext struct {
 	baseRows []int64 // sample → base row translation (nil for base tables)
 	points   []Point // projected/binned point column (nil when none)
 
+	// yield, when non-nil, is called every yieldStride rows of scan/probe
+	// work so a low-priority execution (speculative prefetch) can hand the
+	// processor back between chunks instead of holding it for a full
+	// scheduler quantum.
+	yield     func()
+	yieldTick int
+
 	// Scratch buffers reused across executions via ecPool.
 	lists [][]uint32
 	accA  []uint32
@@ -71,7 +78,28 @@ func getExecContext() *execContext {
 	ec.limit = 0
 	ec.baseRows = nil
 	ec.points = nil
+	ec.yield = nil
+	ec.yieldTick = 0
 	return ec
+}
+
+// yieldStride is how many rows of scan/probe work run between yield calls.
+// At typical per-row costs this bounds a background execution's contiguous
+// hold on a processor to well under a millisecond.
+const yieldStride = 4096
+
+// maybeYield ticks the row counter and invokes the yield hook on stride
+// boundaries. The nil check is a predictable branch; foreground executions
+// (yield == nil) pay essentially nothing.
+func (ec *execContext) maybeYield() {
+	if ec.yield == nil {
+		return
+	}
+	ec.yieldTick++
+	if ec.yieldTick >= yieldStride {
+		ec.yieldTick = 0
+		ec.yield()
+	}
 }
 
 // putExecContext returns a context to the pool. Scratch buffers are kept;
@@ -81,6 +109,7 @@ func putExecContext(ec *execContext) {
 	ec.res = nil
 	ec.baseRows = nil
 	ec.points = nil
+	ec.yield = nil
 	for i := range ec.lists {
 		ec.lists[i] = nil
 	}
@@ -105,6 +134,17 @@ func (db *DB) Run(q *Query, h Hint) (*Result, ExecStats, error) {
 // for identical predicates are memoized instead of re-scanned. A nil cache
 // disables memoization. The cache is safe for concurrent use.
 func (db *DB) RunCached(q *Query, h Hint, cache *LookupCache) (*Result, ExecStats, error) {
+	return db.RunCachedYield(q, h, cache, nil)
+}
+
+// RunCachedYield is RunCached with an optional cooperative-yield hook,
+// called every few thousand rows of scan/probe work. Background executions
+// (speculative prefetch) pass runtime.Gosched so they hand the processor
+// back to live requests between chunks — on a small GOMAXPROCS a single
+// unyielding execution otherwise holds a P for a full async-preemption
+// quantum (~10ms) and inflates the tail latency of everything concurrent.
+// A nil yield is exactly RunCached.
+func (db *DB) RunCachedYield(q *Query, h Hint, cache *LookupCache, yield func()) (*Result, ExecStats, error) {
 	t, err := db.resolveTable(q)
 	if err != nil {
 		return nil, ExecStats{}, err
@@ -144,6 +184,7 @@ func (db *DB) RunCached(q *Query, h Hint, cache *LookupCache) (*Result, ExecStat
 	ec.q = q
 	ec.t = t
 	ec.cache = cache
+	ec.yield = yield
 	ec.res = &Result{Weight: weight}
 	ec.limit = q.Limit
 	if q.Bin != nil {
@@ -236,6 +277,9 @@ func (ec *execContext) access(positions []int) ([]uint32, error) {
 		ec.stats.IndexEntries += entries
 		ec.lists = append(ec.lists, rows)
 		usedMask |= 1 << uint(pos)
+		if ec.yield != nil {
+			ec.yield() // index scans are the longest unchunkable phase
+		}
 	}
 	// Intersect smallest-first, ping-ponging between two scratch buffers so
 	// no intersection allocates. The buffers stay distinct arrays: each
@@ -254,10 +298,14 @@ func (ec *execContext) access(positions []int) ([]uint32, error) {
 		}
 		useA = !useA
 		ec.stats.IntersectOps += work
+		if ec.yield != nil {
+			ec.yield()
+		}
 	}
 	// Fetch candidates, evaluate residual predicates.
 	out := ec.cand[:0]
 	for _, r := range acc {
+		ec.maybeYield()
 		ec.stats.RowsFetched++
 		ok := true
 		for i, p := range q.Preds {
@@ -288,6 +336,7 @@ func (ec *execContext) seqScan(earlyLimit int) []uint32 {
 	q, t := ec.q, ec.t
 	out := ec.cand[:0]
 	for r := 0; r < t.Rows; r++ {
+		ec.maybeYield()
 		ec.stats.RowsScanned++
 		ok := true
 		for _, p := range q.Preds {
@@ -331,6 +380,7 @@ func (ec *execContext) join(candidates []uint32, method JoinMethod) error {
 		// slice the old Range call materialized.
 		ec.cur.Reset(ix.btree)
 		for _, lr := range candidates {
+			ec.maybeYield()
 			ec.stats.NestProbes++
 			if ec.probeInner(inner, leftKeys.NumericAt(lr), lr) {
 				if ec.limitReached() {
@@ -351,6 +401,7 @@ func (ec *execContext) join(candidates []uint32, method JoinMethod) error {
 		}
 		innerKeys := inner.Col(q.Join.RightCol)
 		for r := 0; r < inner.Rows; r++ {
+			ec.maybeYield()
 			ec.stats.RowsScanned++
 			pass := true
 			for _, p := range q.Join.Preds {
@@ -406,6 +457,7 @@ func (ec *execContext) join(candidates []uint32, method JoinMethod) error {
 		// to the descent-per-probe path.
 		ec.cur.Reset(ix.btree)
 		for _, l := range left {
+			ec.maybeYield()
 			if ec.probeInner(inner, l.key, l.row) {
 				if ec.limitReached() {
 					return nil
@@ -456,6 +508,7 @@ func (ec *execContext) probeInner(inner *Table, key float64, leftRow uint32) boo
 // emitAll emits every candidate row (no join), honoring the LIMIT.
 func (ec *execContext) emitAll(candidates []uint32) {
 	for _, r := range candidates {
+		ec.maybeYield()
 		ec.emit(r)
 		if ec.limitReached() {
 			return

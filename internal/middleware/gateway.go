@@ -1,8 +1,10 @@
 package middleware
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -53,6 +55,11 @@ type GatewayConfig struct {
 	// at all when the result cache is disabled (see
 	// ServerConfig.WrapResultCache).
 	WrapResultCache func(dataset string, local ResultCache) ResultCache
+	// Sessions tunes session tracking and speculative tile prefetch. In a
+	// cluster deployment, sessions live at the routing tier instead (key
+	// routing fragments one session across replicas), so internal/cluster
+	// disables gateway-level tracking and drives Server.Prefetch remotely.
+	Sessions SessionConfig
 }
 
 // gatewayEntry is one dataset's serving slot: warming until done closes,
@@ -99,6 +106,20 @@ type Gateway struct {
 	mu      sync.RWMutex
 	entries map[string]*gatewayEntry
 
+	// Session tracking + speculative prefetch (nil/unused when disabled).
+	// prefetchSem is a token semaphore bounding concurrently-running
+	// prefetch goroutines; an unavailable token sheds the prediction
+	// immediately rather than queuing dispatch work behind live traffic.
+	// observeCh feeds a single observer goroutine: observation (parse,
+	// predict, dispatch) runs entirely off the request goroutine, so the
+	// serving path never waits behind prediction bookkeeping or a cold
+	// plan build in a freshly-spawned prefetch goroutine. Enqueueing
+	// happens before the handler returns, which keeps one session's
+	// observations in request order.
+	sessions    *SessionTracker
+	prefetchSem chan struct{}
+	observeCh   chan observation
+
 	// Gateway-level counters; per-dataset serving counters live on each
 	// Server's Metrics.
 	requests   atomic.Int64
@@ -129,11 +150,45 @@ func NewGateway(reg *workload.Registry, factory RewriterFactory, cfg GatewayConf
 		factory:     factory,
 		cfg:         cfg,
 		defaultName: def,
-		admit:       newAdmission(scfg.MaxConcurrent, scfg.MaxQueue),
+		admit:       newAdmission(scfg.MaxConcurrent, scfg.MaxQueue, scfg.PrefetchQueue),
 		start:       time.Now(),
 		entries:     make(map[string]*gatewayEntry),
 	}
+	if !cfg.Sessions.Disabled && scfg.ResultCacheSize > 0 {
+		sess := cfg.Sessions.Normalized()
+		g.sessions = NewSessionTracker(sess)
+		g.prefetchSem = make(chan struct{}, sess.Workers)
+		g.observeCh = make(chan observation, observeQueueCap)
+		go g.observeLoop()
+	}
 	return g, nil
+}
+
+// observation is one successfully-served viz request queued for session
+// tracking: enough to re-derive the viewport and dispatch predictions.
+type observation struct {
+	srv  *Server
+	sid  string
+	body []byte
+}
+
+// observeQueueCap bounds the observer backlog. A full queue drops the
+// observation — the cost is one round of predictions, never live latency.
+const observeQueueCap = 256
+
+// observeLoop is the gateway's single observer goroutine: it parses each
+// observed request, advances the session tracker, and dispatches the
+// predictions. It runs for the gateway's lifetime.
+func (g *Gateway) observeLoop() {
+	for obs := range g.observeCh {
+		req, err := ParseRequest(obs.body)
+		if err != nil || req.Region.Area() <= 0 {
+			continue
+		}
+		for _, pred := range g.sessions.Observe(obs.sid, req, obs.srv.DS.Extent) {
+			g.dispatchPrefetch(obs.srv, pred)
+		}
+	}
 }
 
 // DefaultDataset returns the name served when a request has no ?dataset.
@@ -343,14 +398,73 @@ func (g *Gateway) resolve(w http.ResponseWriter, r *http.Request) (*Server, bool
 // serveViz routes one visualization request to its dataset's server. The
 // Server path (decode, admission on the shared pool, handle, encode) is
 // reused unchanged — that is what makes gateway responses byte-identical to
-// standalone single-dataset responses.
+// standalone single-dataset responses. Requests carrying a session id are
+// additionally observed by the session tracker after a successful serve, and
+// the tracker's predictions are dispatched as speculative prefetches.
 func (g *Gateway) serveViz(w http.ResponseWriter, r *http.Request) {
 	g.requests.Add(1)
 	srv, ok := g.resolve(w, r)
 	if !ok {
 		return
 	}
-	srv.serveViz(w, r)
+	sid := ""
+	if g.sessions != nil && r.Header.Get(PrefetchHeader) == "" {
+		sid = SessionID(r)
+	}
+	if sid == "" {
+		srv.serveViz(w, r)
+		return
+	}
+	// Buffer the body so the session tracker can interpret the request with
+	// the same normalization the server used to answer it.
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	srv.serveViz(rec, r)
+	if rec.code >= 300 {
+		return // rejected/failed requests don't advance the viewport
+	}
+	// Hand the observation to the observer goroutine and return immediately:
+	// the client's perceived latency must not include prediction bookkeeping
+	// or the cold plan build a dispatched prefetch may pay.
+	select {
+	case g.observeCh <- observation{srv: srv, sid: sid, body: body}:
+	default: // observer saturated — drop the prediction round, not latency
+	}
+}
+
+// statusRecorder captures the response status so session observation can
+// skip failed serves.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// dispatchPrefetch runs one predicted request through Server.Prefetch on a
+// semaphore-bounded goroutine. No token free means the machine is saturated
+// with speculative work already: the prediction is shed on the spot (counted
+// as issued + shed, like a prefetch-lane rejection) instead of queuing
+// dispatch goroutines behind live traffic.
+func (g *Gateway) dispatchPrefetch(srv *Server, req Request) {
+	select {
+	case g.prefetchSem <- struct{}{}:
+		go func() {
+			defer func() { <-g.prefetchSem }()
+			srv.Prefetch(req)
+		}()
+	default:
+		srv.metrics.prefetchIssued.Add(1)
+		srv.metrics.prefetchShed.Add(1)
+	}
 }
 
 // serveIngest routes one ingest request to its dataset's server write path.
@@ -436,12 +550,14 @@ func (g *Gateway) serveHealthz(w http.ResponseWriter, r *http.Request) {
 
 // GatewaySnapshot is the gateway-level slice of /metrics?format=json.
 type GatewaySnapshot struct {
-	UptimeSec      float64           `json:"uptime_sec"`
-	Requests       int64             `json:"requests"`
-	UnknownDataset int64             `json:"unknown_dataset"`
-	Warming        int64             `json:"warming_rejections"`
-	FailedDataset  int64             `json:"failed_dataset"`
-	Datasets       map[string]string `json:"datasets"`
+	UptimeSec          float64           `json:"uptime_sec"`
+	Requests           int64             `json:"requests"`
+	UnknownDataset     int64             `json:"unknown_dataset"`
+	Warming            int64             `json:"warming_rejections"`
+	FailedDataset      int64             `json:"failed_dataset"`
+	QueueDepthLive     int               `json:"queue_depth_live"`
+	QueueDepthPrefetch int               `json:"queue_depth_prefetch"`
+	Datasets           map[string]string `json:"datasets"`
 }
 
 // GatewayMetricsSnapshot is the full JSON form of GET /metrics?format=json:
@@ -465,6 +581,7 @@ func (g *Gateway) Snapshot() GatewayMetricsSnapshot {
 		},
 		Datasets: make(map[string]MetricsSnapshot),
 	}
+	snap.Gateway.QueueDepthLive, snap.Gateway.QueueDepthPrefetch = g.admit.queueDepths()
 	for _, name := range g.reg.Names() {
 		st, _ := g.status(name)
 		snap.Gateway.Datasets[name] = st.String()
@@ -512,6 +629,8 @@ func (g *Gateway) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "maliva_gateway_unknown_dataset_total %d\n", g.notFound.Load())
 	fmt.Fprintf(w, "maliva_gateway_warming_rejections_total %d\n", g.notReady.Load())
 	fmt.Fprintf(w, "maliva_gateway_failed_dataset_total %d\n", g.failedDeps.Load())
+	live, prefetch := g.admit.queueDepths()
+	writeQueueDepths(w, live, prefetch)
 	names := g.reg.Names()
 	sort.Strings(names)
 	for _, name := range names {

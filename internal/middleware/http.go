@@ -3,6 +3,8 @@ package middleware
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"regexp"
 	"strconv"
@@ -59,6 +61,32 @@ func ParseRequest(body []byte) (Request, error) {
 	return hreq.toRequest()
 }
 
+// EncodeRequest renders a Request back into the /viz JSON wire format: the
+// inverse of ParseRequest for every field the serving path keys on. The
+// cluster routing tier uses it to dispatch predicted (session-prefetch)
+// requests to their owner replicas. The TTL staleness hint is deliberately
+// not representable — speculative requests must never probe stale versions.
+func EncodeRequest(req Request) ([]byte, error) {
+	h := httpRequest{
+		Keyword:  req.Keyword,
+		MinLon:   req.Region.MinLon,
+		MinLat:   req.Region.MinLat,
+		MaxLon:   req.Region.MaxLon,
+		MaxLat:   req.Region.MaxLat,
+		Kind:     string(req.Kind),
+		GridW:    req.GridW,
+		GridH:    req.GridH,
+		BudgetMs: req.BudgetMs,
+	}
+	if !req.From.IsZero() {
+		h.From = req.From.Format(time.RFC3339Nano)
+	}
+	if !req.To.IsZero() {
+		h.To = req.To.Format(time.RFC3339Nano)
+	}
+	return json.Marshal(h)
+}
+
 // Handler returns an http.Handler serving:
 //
 //	POST /viz      — visualization requests (admission-controlled)
@@ -75,22 +103,46 @@ func (s *Server) Handler() http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		live, prefetch := s.admit.queueDepths()
 		if r.URL.Query().Get("format") == "json" {
+			snap := s.metrics.Snapshot()
+			snap.QueueDepthLive, snap.QueueDepthPrefetch = live, prefetch
 			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(s.metrics.Snapshot())
+			_ = json.NewEncoder(w).Encode(snap)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.metrics.WritePrometheus(w)
+		writeQueueDepths(w, live, prefetch)
 	})
 	mux.HandleFunc("POST /viz", s.serveViz)
 	mux.HandleFunc("POST /ingest", s.serveIngest)
 	return mux
 }
 
+// writeQueueDepths emits the per-lane admission queue-depth gauges.
+func writeQueueDepths(w io.Writer, live, prefetch int) {
+	fmt.Fprintf(w, "maliva_admission_queue_depth{lane=\"live\"} %d\n", live)
+	fmt.Fprintf(w, "maliva_admission_queue_depth{lane=\"prefetch\"} %d\n", prefetch)
+}
+
 // serveViz decodes, admits, executes, and encodes one /viz request.
+// Requests carrying the prefetch header take the speculative path instead:
+// prefetch-lane admission, cache warming, no response body.
 func (s *Server) serveViz(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(PrefetchHeader) != "" {
+		s.servePrefetch(w, r)
+		return
+	}
 	s.metrics.requests.Add(1)
+	// Live-activity window for background parking: spans decode through the
+	// end of response encoding, plus a cooldown stamped on exit — wider than
+	// the admission slot, which misses the request's edges (see liveBusy).
+	s.liveHTTP.Add(1)
+	defer func() {
+		s.lastLiveNs.Store(s.cfg.Now().UnixNano())
+		s.liveHTTP.Add(-1)
+	}()
 	// Bound the body before doing any work: oversized payloads must not
 	// consume memory outside the admission accounting.
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
@@ -137,7 +189,7 @@ func (s *Server) serveViz(w http.ResponseWriter, r *http.Request) {
 	defer s.admit.release()
 
 	start := time.Now()
-	resp, cached, err := s.handle(req)
+	resp, cached, err := s.handle(req, false)
 	s.metrics.latency.observe(time.Since(start))
 	if err != nil {
 		if errors.Is(err, ErrBadRequest) {
@@ -160,6 +212,26 @@ func (s *Server) serveViz(w http.ResponseWriter, r *http.Request) {
 		// Headers already sent; nothing more to do.
 		return
 	}
+}
+
+// servePrefetch handles a /viz request flagged with the prefetch header
+// (the cluster routing tier dispatches speculative work this way, to the
+// key's owner replica). The body is the normal /viz wire format; the
+// response carries no payload — prefetch is fire-and-forget cache warming.
+func (s *Server) servePrefetch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var hreq httpRequest
+	if err := json.NewDecoder(r.Body).Decode(&hreq); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := hreq.toRequest()
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.Prefetch(req)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (h httpRequest) toRequest() (Request, error) {

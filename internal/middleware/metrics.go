@@ -99,6 +99,14 @@ type Metrics struct {
 	resultMisses  atomic.Int64
 	staleHits     atomic.Int64 // result hits served from an older version via ttl hint
 
+	subsumedHits  atomic.Int64 // requests answered by slicing a containing result
+	execCoalesced atomic.Int64 // requests that rode an identical in-flight execution
+
+	prefetchIssued   atomic.Int64 // speculative requests entering the prefetch lane
+	prefetchShed     atomic.Int64 // prefetches dropped by admission (no idle capacity)
+	prefetchComputed atomic.Int64 // prefetches that executed (cache warmed)
+	prefetchHits     atomic.Int64 // live requests served from a prefetched entry
+
 	budgetViolations atomic.Int64 // served responses with Trace.Viable == false
 
 	ingestRows    atomic.Int64 // rows accepted by the write path
@@ -131,6 +139,20 @@ type MetricsSnapshot struct {
 	ResultHitRate float64 `json:"result_cache_hit_rate"`
 
 	StaleHits int64 `json:"result_cache_stale_hits"`
+
+	SubsumedHits  int64 `json:"subsumed_hits"`
+	ExecCoalesced int64 `json:"exec_coalesced"`
+
+	PrefetchIssued   int64 `json:"prefetch_issued"`
+	PrefetchShed     int64 `json:"prefetch_shed"`
+	PrefetchComputed int64 `json:"prefetch_computed"`
+	PrefetchHits     int64 `json:"prefetch_hits"`
+
+	// Per-lane admission queue depths — instantaneous gauges filled in by
+	// the HTTP layer (the admission pool is server- or gateway-scoped;
+	// Metrics itself never sees it).
+	QueueDepthLive     int `json:"queue_depth_live"`
+	QueueDepthPrefetch int `json:"queue_depth_prefetch"`
 
 	BudgetViolations    int64   `json:"budget_violations"`
 	BudgetViolationRate float64 `json:"budget_violation_rate"`
@@ -174,6 +196,14 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		ResultMisses:  m.resultMisses.Load(),
 
 		StaleHits: m.staleHits.Load(),
+
+		SubsumedHits:  m.subsumedHits.Load(),
+		ExecCoalesced: m.execCoalesced.Load(),
+
+		PrefetchIssued:   m.prefetchIssued.Load(),
+		PrefetchShed:     m.prefetchShed.Load(),
+		PrefetchComputed: m.prefetchComputed.Load(),
+		PrefetchHits:     m.prefetchHits.Load(),
 
 		BudgetViolations: m.budgetViolations.Load(),
 
@@ -231,6 +261,12 @@ func (m *Metrics) WritePrometheusLabeled(w io.Writer, label string) {
 	p(`result_cache_misses_total`, float64(s.ResultMisses))
 	p(`result_cache_hit_rate`, s.ResultHitRate)
 	p(`result_cache_stale_hits_total`, float64(s.StaleHits))
+	p(`subsumed_hits_total`, float64(s.SubsumedHits))
+	p(`exec_coalesced_total`, float64(s.ExecCoalesced))
+	p(`prefetch_issued_total`, float64(s.PrefetchIssued))
+	p(`prefetch_hits_total`, float64(s.PrefetchHits))
+	p(`prefetch_shed_total`, float64(s.PrefetchShed))
+	p(`prefetch_computed_total`, float64(s.PrefetchComputed))
 	p(`budget_violations_total`, float64(s.BudgetViolations))
 	p(`budget_violation_rate`, s.BudgetViolationRate)
 	p(`ingest_rows_total`, float64(s.IngestRows))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/maliva/maliva/internal/core"
@@ -96,6 +97,16 @@ type ServerConfig struct {
 	// effective per-request deadline is min(QueueTimeout, its budget_ms
 	// as real time). Default 1s.
 	QueueTimeout time.Duration
+	// PrefetchQueue bounds the admission queue's prefetch lane (speculative
+	// requests waiting for idle capacity; shed first, served last). Default
+	// 64; negative disables queuing, so prefetches are admitted only against
+	// instantly-free idle slots.
+	PrefetchQueue int
+	// DisableSubsumption turns off containment-based request answering:
+	// every request is then served only by exact key identity (cache,
+	// single-flight) or execution. The prefetch-off benchmark pass and
+	// differential tests use it.
+	DisableSubsumption bool
 	// Ingest tunes the server's adaptive ingest batcher (zero values pick
 	// the engine defaults; see engine.IngestorConfig).
 	Ingest engine.IngestorConfig
@@ -172,11 +183,30 @@ type Server struct {
 	metrics *Metrics
 	ingest  *engine.Ingestor
 
+	// Session-aware serving state (nil when the result cache is disabled:
+	// with nothing to warm or share, every request simply executes).
+	flight     *execFlight    // exact + containment single-flight
+	regions    *regionIndex   // containment index (nil: subsumption disabled)
+	prefetched *prefetchMarks // speculative keys awaiting their first live hit
+
 	// rewriteMu serializes Rewriter.Rewrite: rewriters are not required to
 	// be concurrency-safe (the MDP agent's Q-network reuses forward-pass
 	// scratch buffers). Only cold plan-cache paths take it; cached shapes
 	// never plan again.
 	rewriteMu sync.Mutex
+
+	// liveHTTP counts live /viz requests between handler entry and the end
+	// of response encoding; lastLiveNs is when the count last dropped. The
+	// admission slot's livePressure window misses the edges of a request —
+	// connection read before acquire, response flush after release, the
+	// client goroutine's own wakeups on a co-located load generator — and a
+	// background execution resuming inside those edges adds a sub-ms stall
+	// per goroutine handoff, enough to push a warm hit past its SLO. The
+	// background yield hook therefore parks on this wider signal: any live
+	// request in the handler, or one that finished less than liveCooldown
+	// ago (covering the post-release edges).
+	liveHTTP   atomic.Int64
+	lastLiveNs atomic.Int64
 }
 
 // NewServer creates a middleware over a dataset using the given rewriter
@@ -203,8 +233,15 @@ func NewServerWithConfig(ds *workload.Dataset, rw core.Rewriter, space core.Spac
 		lookups:  engine.NewLookupCacheWithCap(lookupCacheCap),
 		plans:    newShardedPlanCache(cfg.PlanCacheSize, cfg.CacheShards),
 		results:  newShardedResultCache(cfg.ResultCacheSize, cfg.CacheShards, cfg.ResultTTL, cfg.Now),
-		admit:    newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		admit:    newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.PrefetchQueue),
 		metrics:  NewMetrics(),
+	}
+	if cfg.ResultCacheSize > 0 {
+		s.flight = newExecFlight()
+		s.prefetched = newPrefetchMarks(0)
+		if !cfg.DisableSubsumption {
+			s.regions = newRegionIndex(0)
+		}
 	}
 	if cfg.WrapResultCache != nil && s.results.(*shardedResultCache) != nil {
 		s.results = cfg.WrapResultCache(s.results)
@@ -361,8 +398,38 @@ func (s *Server) BuildQuery(req Request) (*engine.Query, error) {
 // concurrent requests for the same shape: treat it as immutable. (Disable
 // the result cache via ServerConfig to get per-call private responses.)
 func (s *Server) Handle(req Request) (*Response, error) {
-	resp, _, err := s.handle(req)
+	resp, _, err := s.handle(req, false)
 	return resp, err
+}
+
+// maxPrefetchWait caps how long a speculative request may sit in the
+// admission queue's prefetch lane. Predictions go stale fast (the user pans
+// again); a prefetch that can't start promptly is better shed than queued
+// into irrelevance.
+const maxPrefetchWait = 250 * time.Millisecond
+
+// Prefetch speculatively warms the result cache with req, admitted through
+// the prefetch lane (idle capacity only; shed first under load — a
+// prefetch can never cause a rejection a live request wouldn't have seen).
+// The staleness hint is stripped: speculative entries are only ever stored
+// under the current data version, never reachable solely via `/* ttl:N */`.
+// No-op when the result cache is disabled (nothing to warm).
+func (s *Server) Prefetch(req Request) {
+	if s.flight == nil {
+		return
+	}
+	s.metrics.prefetchIssued.Add(1)
+	req.TTL = 0
+	wait := s.cfg.QueueTimeout
+	if wait > maxPrefetchWait {
+		wait = maxPrefetchWait
+	}
+	if s.admit.acquirePrefetch(wait) != admitOK {
+		s.metrics.prefetchShed.Add(1)
+		return
+	}
+	defer s.admit.releasePrefetch()
+	_, _, _ = s.handle(req, true)
 }
 
 // effectiveBudget resolves a request's budget: zero/negative falls back to
@@ -386,6 +453,7 @@ type planned struct {
 	hint     engine.Hint
 	optLabel string
 	rkey     ResultKey
+	fam      famKey
 }
 
 // plan resolves a request to its rewrite decision and result-cache key
@@ -394,12 +462,16 @@ type planned struct {
 // the ResultKey. count selects whether the plan-cache counters observe this
 // resolution — the serving path counts, the routing-side key computation
 // (Server.ResultKeyFor) does not, so a request keyed on one replica and
-// served on another is not double-counted.
+// served on another is not double-counted. background marks a speculative
+// resolution: a cold context build (|Ω|+1 engine executions) then runs with
+// a cooperative yield so it cannot hold a processor against live requests.
+// The built context is bit-identical either way — a live request coalescing
+// onto a background build gets exactly the context it would have built.
 //
 // Callers must hold the DB's data read lock (see handle): the plan-cache key
 // and the ResultKey both embed the data version, and the version must stay
 // paired with the data the context build reads.
-func (s *Server) plan(req Request, count bool) (planned, error) {
+func (s *Server) plan(req Request, count, background bool) (planned, error) {
 	p := planned{budget: s.effectiveBudget(req)}
 	q, err := s.BuildQuery(req)
 	if err != nil {
@@ -427,9 +499,12 @@ func (s *Server) plan(req Request, count bool) (planned, error) {
 	// Trace.SQL stays the pure signature.
 	p.sig = q.SQL(engine.Hint{})
 	planKey := fmt.Sprintf("v%d\x00%s", version, p.sig)
-	entry, how, err := s.plans.get(planKey, func() (*core.QueryContext, error) {
+	entry, how, err := s.plans.get(planKey, !background, func(boost *atomic.Bool) (*core.QueryContext, error) {
 		ccfg := core.DefaultContextConfig(s.Space)
 		ccfg.Lookups = s.lookups
+		if background {
+			ccfg.Yield = s.backgroundYield(boost)
+		}
 		return core.BuildContext(s.DS.DB, q, ccfg)
 	})
 	if count {
@@ -466,6 +541,17 @@ func (s *Server) plan(req Request, count bool) (planned, error) {
 		SQL: p.rq.SQL(p.hint), Kind: kind, GridW: gw, GridH: gh,
 		Region: s.regionOrExtent(req), Budget: p.budget, DataVersion: version,
 	}
+	// The subsumption family: everything the key pins except the
+	// region/grid geometry. Time bounds collapse to the same instants the
+	// query predicate uses, so two spellings of one window share a family.
+	p.fam = famKey{
+		keyword: req.Keyword,
+		fromMs:  req.From.UnixMilli(),
+		toMs:    req.To.UnixMilli(),
+		kind:    kind,
+		budget:  p.budget,
+		version: version,
+	}
 	return p, nil
 }
 
@@ -479,7 +565,7 @@ func (s *Server) plan(req Request, count bool) (planned, error) {
 func (s *Server) ResultKeyFor(req Request) (ResultKey, error) {
 	s.DS.DB.RLockData()
 	defer s.DS.DB.RUnlockData()
-	p, err := s.plan(req, false)
+	p, err := s.plan(req, false, false)
 	return p.rkey, err
 }
 
@@ -488,18 +574,48 @@ func (s *Server) ResultKeyFor(req Request) (ResultKey, error) {
 // contract.
 const maxStaleProbes = 8
 
-// handle is Handle plus a flag reporting whether the response came from the
-// result cache (surfaced as the X-Cache header).
+// responseShell builds a response with the planned request's own trace,
+// leaving Bins/Points for the caller. A sliced (subsumed) response and a
+// directly-executed one therefore carry identical traces: the plan runs for
+// every request either way, and every trace field is a deterministic
+// function of (data version, shape, budget) — never of how the bins were
+// obtained.
+func responseShell(p planned) *Response {
+	return &Response{
+		Kind:  p.rkey.Kind,
+		GridW: p.rkey.GridW,
+		GridH: p.rkey.GridH,
+		Trace: Trace{
+			SQL:          p.sig,
+			RewrittenSQL: p.rkey.SQL,
+			Option:       p.optLabel,
+			BudgetMs:     p.budget,
+			PlanMs:       p.out.PlanMs,
+			ExecMs:       p.out.ExecMs,
+			TotalMs:      p.out.TotalMs,
+			Viable:       p.out.Viable,
+			Quality:      p.out.Quality,
+			NumExplored:  p.out.Explored,
+		},
+	}
+}
+
+// handle is Handle plus a flag reporting whether the response came without
+// executing here (cache hit, subsumption slice, or a coalesced in-flight
+// execution — surfaced as the X-Cache header). prefetch marks the
+// speculative path: plan-cache and result-cache counters skip it, computed
+// entries are remembered so their first live consumer counts as a prefetch
+// hit, and staleness hints never apply (Server.Prefetch strips TTL).
 //
 // The whole plan+probe+execute sequence runs under the DB's data read lock,
 // so it observes exactly one (data, version) pair: an ingest flush either
 // happens entirely before this request (which then plans, executes, and
 // caches at the new version) or entirely after it. That lock is what turns
 // "version-stamped keys" into the stale-read guarantee.
-func (s *Server) handle(req Request) (*Response, bool, error) {
+func (s *Server) handle(req Request, prefetch bool) (*Response, bool, error) {
 	s.DS.DB.RLockData()
 	defer s.DS.DB.RUnlockData()
-	p, err := s.plan(req, true)
+	p, err := s.plan(req, !prefetch, prefetch)
 	if err != nil {
 		return nil, false, err
 	}
@@ -509,15 +625,19 @@ func (s *Server) handle(req Request) (*Response, bool, error) {
 	// may be answered by the key's owning replica's cache (internal/cluster).
 	rkey := p.rkey
 	if resp := s.results.Get(rkey); resp != nil {
-		s.metrics.resultHits.Add(1)
-		s.noteOutcome(resp)
+		if !prefetch {
+			s.metrics.resultHits.Add(1)
+			s.notePrefetchHit(rkey)
+			s.noteOutcome(resp)
+		}
 		return resp, true, nil
 	}
 	// Staleness-tolerance hint: probe bounded-recent versions before paying
 	// for execution. Strictly a wider lookup — a stale hit is served as-is
 	// (its trace and bins are exactly the old version's answer) and nothing
-	// is ever stored under an old version's key.
-	if req.TTL > 0 {
+	// is ever stored under an old version's key. Subsumption never joins in
+	// here: containment candidates live at the current version only.
+	if req.TTL > 0 && !prefetch {
 		versions := s.table.VersionsWithin(req.TTL, s.cfg.Now())
 		if len(versions) > maxStaleProbes+1 {
 			versions = versions[:maxStaleProbes+1]
@@ -533,40 +653,173 @@ func (s *Server) handle(req Request) (*Response, bool, error) {
 			}
 		}
 	}
-	s.metrics.resultMisses.Add(1)
 
-	res, _, err := s.DS.DB.RunCached(p.rq, p.hint, s.lookups)
+	// Containment: a cached result whose region contains this one, with
+	// exactly-aligned cells, answers by slicing — byte-identical to direct
+	// execution (see subsume.go).
+	if resp := s.subsumeFromCache(p, prefetch); resp != nil {
+		if !prefetch {
+			s.metrics.resultHits.Add(1)
+			s.noteOutcome(resp)
+		}
+		return resp, true, nil
+	}
+
+	// Single-flight: join an identical in-flight execution, or — for
+	// heatmaps — a strictly-containing aligned one whose result this
+	// request can slice. If the primary dies without publishing, fall
+	// through and execute directly (unregistered, so no waiter chain forms
+	// behind a retry).
+	var call *execCall
+	if s.flight != nil {
+		c, primary, ox, oy, exactJoin := s.flight.join(p, prefetch, s.regions != nil)
+		if !primary {
+			if !prefetch {
+				// Waiting on a (possibly speculative) in-flight execution:
+				// boost it out of background parking — see execCall.boost.
+				c.boost.Store(true)
+			}
+			<-c.done
+			if c.err == nil {
+				if !prefetch && s.flight.claimPrefetchCredit(c) {
+					s.metrics.prefetchHits.Add(1)
+				}
+				if exactJoin {
+					if !prefetch {
+						s.metrics.execCoalesced.Add(1)
+						s.metrics.resultHits.Add(1)
+						s.noteOutcome(c.resp)
+					}
+					return c.resp, true, nil
+				}
+				resp := responseShell(p)
+				resp.Bins = sliceBins(c.resp.Bins, c.gw, ox, oy, p.rkey.GridW, p.rkey.GridH)
+				s.putResult(p, resp, prefetch)
+				if !prefetch {
+					s.metrics.subsumedHits.Add(1)
+					s.metrics.resultHits.Add(1)
+					s.noteOutcome(resp)
+				}
+				return resp, true, nil
+			}
+		} else {
+			call = c
+		}
+	}
+	if !prefetch {
+		s.metrics.resultMisses.Add(1)
+	}
+
+	resp, err := func() (resp *Response, err error) {
+		if call != nil {
+			// Publish whatever happened — including a panic unwinding —
+			// so waiters never hang (nil/nil is normalized to an abort
+			// error and waiters re-execute themselves).
+			defer func() { s.flight.finish(call, resp, err) }()
+		}
+		// Speculative executions run at background priority: between scan
+		// chunks they park while live requests are active (see
+		// backgroundYield), so a concurrently arriving live request is never
+		// stuck behind a prefetch for a scheduler quantum.
+		var yield func()
+		if prefetch {
+			var boost *atomic.Bool
+			if call != nil {
+				boost = &call.boost
+			}
+			yield = s.backgroundYield(boost)
+		}
+		res, _, err := s.DS.DB.RunCachedYield(p.rq, p.hint, s.lookups, yield)
+		if err != nil {
+			return nil, err
+		}
+		resp = responseShell(p)
+		switch rkey.Kind {
+		case VizScatter:
+			resp.Points = res.Points
+		default:
+			grid := viz.NewGrid(rkey.Region, rkey.GridW, rkey.GridH)
+			resp.Bins = grid.Counts(res.Points, res.Weight)
+		}
+		return resp, nil
+	}()
 	if err != nil {
 		return nil, false, err
 	}
-
-	resp := &Response{
-		Kind:  rkey.Kind,
-		GridW: rkey.GridW,
-		GridH: rkey.GridH,
-		Trace: Trace{
-			SQL:          p.sig,
-			RewrittenSQL: rkey.SQL,
-			Option:       p.optLabel,
-			BudgetMs:     p.budget,
-			PlanMs:       p.out.PlanMs,
-			ExecMs:       p.out.ExecMs,
-			TotalMs:      p.out.TotalMs,
-			Viable:       p.out.Viable,
-			Quality:      p.out.Quality,
-			NumExplored:  p.out.Explored,
-		},
+	// A speculative execution a live request already rode (claimed its
+	// credit mid-flight) is consumed, not pending: don't re-mark it.
+	mark := prefetch && (call == nil || !s.flight.wasClaimed(call))
+	s.putResult(p, resp, mark)
+	if prefetch {
+		s.metrics.prefetchComputed.Add(1)
+	} else {
+		s.noteOutcome(resp)
 	}
-	switch rkey.Kind {
-	case VizScatter:
-		resp.Points = res.Points
-	default:
-		grid := viz.NewGrid(rkey.Region, rkey.GridW, rkey.GridH)
-		resp.Bins = grid.Counts(res.Points, res.Weight)
-	}
-	s.results.Put(rkey, resp)
-	s.noteOutcome(resp)
 	return resp, false, nil
+}
+
+// backgroundNap is one parking interval of a paused background execution;
+// maxBackgroundPause caps the total parked time per execution (or context
+// build). The cap matters for lock safety, not fairness: a background
+// execution holds the DB's data read lock, and an ingest flush (writer)
+// queued behind it blocks *new* readers — so an unbounded pause waiting for
+// live readers to drain could deadlock with the readers waiting on the
+// writer. Bounded, the worst case is a short stall before the prefetch
+// proceeds at plain Gosched priority.
+const (
+	backgroundNap      = time.Millisecond
+	maxBackgroundPause = 100 * time.Millisecond
+)
+
+// liveCooldown extends the live-activity window past a request's completion
+// so background work stays parked while the response drains to the client
+// (and, on a co-located load generator, while the client goroutine consumes
+// it). A few milliseconds cover those handoffs; against interactive think
+// times it costs the prefetcher a negligible slice of idle time.
+const liveCooldown = 3 * time.Millisecond
+
+// liveBusy is the parking signal for background work: a live request holds
+// or awaits an admission slot, is anywhere inside the HTTP handler, or
+// finished less than liveCooldown ago.
+func (s *Server) liveBusy() bool {
+	if s.admit.livePressure() || s.liveHTTP.Load() > 0 {
+		return true
+	}
+	last := s.lastLiveNs.Load()
+	return last != 0 && s.cfg.Now().UnixNano()-last < int64(liveCooldown)
+}
+
+// backgroundYield returns the cooperative-yield hook for one speculative
+// execution or plan build. While any live request is active (see liveBusy),
+// the hook parks in short naps — handing the processor to the live request
+// entirely, not merely sharing it — up to a total pause budget; otherwise
+// (and after the budget) it degrades to runtime.Gosched. This is the
+// CPU-time half of the prefetch lane's "idle capacity only" contract; the
+// admission half (reserve slot, hold cap, shed-first queue) lives in
+// admission.go.
+//
+// boost (nil allowed) breaks a would-be livelock: when a live request
+// coalesces onto THIS speculative computation (single-flight or plan-cache
+// join), its wait keeps liveBusy true while it blocks on our completion —
+// parking would have the waiter waiting on the parker, for the full pause
+// budget. The joiner sets boost; the hook sees it and stops parking for
+// good.
+func (s *Server) backgroundYield(boost *atomic.Bool) func() {
+	pause := maxBackgroundPause
+	return func() {
+		if boost != nil && boost.Load() {
+			runtime.Gosched()
+			return
+		}
+		for pause > 0 && s.liveBusy() {
+			if boost != nil && boost.Load() {
+				break
+			}
+			time.Sleep(backgroundNap)
+			pause -= backgroundNap
+		}
+		runtime.Gosched()
+	}
 }
 
 // ResultCache exposes the server's (possibly wrapped) result cache for

@@ -1,6 +1,7 @@
 package middleware
 
 import (
+	"sync/atomic"
 	"time"
 
 	"github.com/maliva/maliva/internal/core"
@@ -69,11 +70,11 @@ func newShardedPlanCache(capacity, shards int) *shardedPlanCache {
 	return c
 }
 
-func (c *shardedPlanCache) get(key string, build func() (*core.QueryContext, error)) (*planEntry, planResult, error) {
+func (c *shardedPlanCache) get(key string, live bool, build func(*atomic.Bool) (*core.QueryContext, error)) (*planEntry, planResult, error) {
 	if c == nil {
-		return (*planCache)(nil).get(key, build)
+		return (*planCache)(nil).get(key, live, build)
 	}
-	return c.shards[fnv64(key)%uint64(len(c.shards))].get(key, build)
+	return c.shards[fnv64(key)%uint64(len(c.shards))].get(key, live, build)
 }
 
 // len sums the shard sizes (for tests).
