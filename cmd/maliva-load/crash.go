@@ -1,0 +1,580 @@
+// Crash drill (-crash): proves the durability contract end to end. A victim
+// maliva-load process (self-exec'd with -crash-victim-wal) serves a WAL-backed
+// gateway; the parent sync-ingests batches into it, SIGKILLs it mid-ingest,
+// restarts it over the same log, and asserts that (a) every acknowledged row
+// survived, (b) post-recovery reads are byte-identical to an uncrashed control
+// gateway holding the same rows, and (c) /healthz reported "recovering" while
+// the log replayed. A second phase SIGTERMs a victim under live read+write
+// load and asserts a clean drain: zero in-flight requests torn, exit code 0,
+// and a WAL whose replay reproduces exactly the acknowledged rows. A final
+// in-process pass prices the fsync policies (sync-ack latency per policy).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/engine"
+	"github.com/maliva/maliva/internal/middleware"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// crashBatchRows is the sync-ingest batch size; one batch is one WAL record,
+// so recovered row counts must be whole multiples of it.
+const crashBatchRows = 32
+
+// crashReport is the -crash section of the JSON report.
+type crashReport struct {
+	// Kill-recovery phase.
+	AckedRows       int64   `json:"acked_rows"`
+	RecoveredRows   int64   `json:"recovered_rows"`
+	LostAckedRows   int64   `json:"lost_acked_rows"`
+	UnackedApplied  int64   `json:"unacked_applied_rows"`
+	ReplayRecords   int64   `json:"replay_records"`
+	ReplayTruncated bool    `json:"replay_truncated"`
+	RecoverySec     float64 `json:"recovery_sec"`
+	RecoveringSeen  bool    `json:"recovering_health_seen"`
+	ReadChecks      int64   `json:"read_checks"`
+	ReadMismatches  int64   `json:"read_mismatches"`
+
+	// SIGTERM-under-load phase.
+	DrainOKReads   int64 `json:"drain_ok_reads"`
+	DrainRejected  int64 `json:"drain_rejected_reads"`
+	DrainDropped   int64 `json:"drain_dropped_inflight"`
+	DrainAckedRows int64 `json:"drain_acked_rows"`
+	DrainWALRows   int64 `json:"drain_wal_rows"`
+	DrainWALClean  bool  `json:"drain_wal_clean"`
+
+	// Fsync-policy pricing.
+	FsyncCosts []fsyncCost `json:"fsync_policies"`
+}
+
+// fsyncCost is one policy's sync-ingest acknowledgment latency.
+type fsyncCost struct {
+	Policy   string  `json:"policy"`
+	Batches  int     `json:"batches"`
+	AckP50Ms float64 `json:"ack_p50_ms"`
+	AckP95Ms float64 `json:"ack_p95_ms"`
+}
+
+// ---------------------------------------------------------------------------
+// Victim process
+// ---------------------------------------------------------------------------
+
+// runVictim is the re-exec'd server side of the crash drill: a single-dataset
+// WAL-backed gateway on a loopback port, announcing its address and replay
+// stats on stdout, shutting down gracefully on SIGTERM. It is the same wiring
+// maliva-server -wal-dir uses, small enough to be SIGKILLed guilt-free.
+func runVictim(walDir, fsyncMode string, rows int, budget float64) {
+	policy, err := engine.ParseFsyncPolicy(fsyncMode)
+	if err != nil {
+		fatal(err)
+	}
+	var walMu sync.Mutex
+	var wal *engine.WAL
+	reg := workload.NewRegistry()
+	build, err := workload.StandardBuilder("twitter", rows)
+	if err != nil {
+		fatal(err)
+	}
+	if err := reg.Register("twitter", func() (*workload.Dataset, error) {
+		ds, err := build()
+		if err != nil {
+			return nil, err
+		}
+		reg.MarkRecovering("twitter")
+		w, stats, err := ds.DB.AttachWAL(ds.Main, walDir, engine.WALConfig{Policy: policy})
+		if err != nil {
+			return nil, err
+		}
+		walMu.Lock()
+		wal = w
+		walMu.Unlock()
+		fmt.Printf("VICTIM_REPLAY records=%d rows=%d truncated=%t version=%d\n",
+			stats.Records, stats.CheckpointRows+stats.Rows, stats.Truncated, stats.Version)
+		return ds, nil
+	}); err != nil {
+		fatal(err)
+	}
+	gw, err := middleware.NewGateway(reg, middleware.OracleFactory, middleware.GatewayConfig{
+		Server:   middleware.ServerConfig{DefaultBudgetMs: budget},
+		Space:    core.HintOnlySpec(),
+		Sessions: middleware.SessionConfig{Disabled: true},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// Warm in the background so /healthz can be observed reporting
+	// "recovering" while the log replays.
+	go func() {
+		if err := gw.Warm(); err != nil {
+			fmt.Fprintln(os.Stderr, "victim warm:", err)
+			os.Exit(1)
+		}
+	}()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("VICTIM_ADDR http://%s\n", ln.Addr())
+	server := &http.Server{Handler: gw.Handler()}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-sigCh
+		gw.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := server.Shutdown(ctx)
+		cancel()
+		if cerr := gw.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		walMu.Lock()
+		w := wal
+		walMu.Unlock()
+		if w != nil {
+			if werr := w.Close(); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		if err != nil {
+			fatal(err)
+		}
+		os.Exit(0)
+	}()
+	if err := server.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	select {} // the signal goroutine exits the process
+}
+
+// ---------------------------------------------------------------------------
+// Parent-side victim management
+// ---------------------------------------------------------------------------
+
+// replayInfo is the victim's parsed VICTIM_REPLAY line.
+type replayInfo struct {
+	records   int64
+	rows      int64
+	truncated bool
+}
+
+// victimProc is one spawned victim server.
+type victimProc struct {
+	cmd      *exec.Cmd
+	url      string
+	replayCh chan replayInfo
+	// recoveringSeen is set by waitReady when a /healthz poll caught the
+	// dataset in the "recovering" state.
+	recoveringSeen bool
+}
+
+// spawnVictim re-execs this binary as a WAL-backed victim server and waits
+// for its listen address.
+func spawnVictim(walDir, fsyncMode string, rows int, budget float64) *victimProc {
+	cmd := exec.Command(os.Args[0],
+		"-crash-victim-wal", walDir,
+		"-fsync", fsyncMode,
+		"-rows", strconv.Itoa(rows),
+		"-budget", strconv.FormatFloat(budget, 'f', -1, 64),
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal(fmt.Errorf("crash: spawning victim: %w", err))
+	}
+	v := &victimProc{cmd: cmd, replayCh: make(chan replayInfo, 1)}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "VICTIM_ADDR "):
+				addrCh <- strings.TrimPrefix(line, "VICTIM_ADDR ")
+			case strings.HasPrefix(line, "VICTIM_REPLAY "):
+				var ri replayInfo
+				if _, err := fmt.Sscanf(line, "VICTIM_REPLAY records=%d rows=%d truncated=%t",
+					&ri.records, &ri.rows, &ri.truncated); err == nil {
+					v.replayCh <- ri
+				}
+			}
+		}
+	}()
+	select {
+	case v.url = <-addrCh:
+	case <-time.After(3 * time.Minute):
+		_ = cmd.Process.Kill()
+		fatal(fmt.Errorf("crash: victim never announced its address"))
+	}
+	return v
+}
+
+// waitReady polls the victim's /healthz until the dataset is ready, noting
+// whether any poll observed the "recovering" state on the way.
+func (v *victimProc) waitReady(client *http.Client) time.Duration {
+	start := time.Now()
+	deadline := start.Add(3 * time.Minute)
+	for {
+		resp, err := client.Get(v.url + "/healthz")
+		if err == nil {
+			var health struct {
+				Status   string            `json:"status"`
+				Datasets map[string]string `json:"datasets"`
+			}
+			decErr := json.NewDecoder(resp.Body).Decode(&health)
+			resp.Body.Close()
+			if decErr == nil {
+				if health.Status == "recovering" || health.Datasets["twitter"] == "recovering" {
+					v.recoveringSeen = true
+				}
+				if health.Datasets["twitter"] == "ready" {
+					return time.Since(start)
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			_ = v.cmd.Process.Kill()
+			fatal(fmt.Errorf("crash: victim never became ready"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// replay returns the victim's startup replay stats (printed before the
+// dataset turns ready, so after waitReady this never blocks for long).
+func (v *victimProc) replay() replayInfo {
+	select {
+	case ri := <-v.replayCh:
+		return ri
+	case <-time.After(10 * time.Second):
+		fatal(fmt.Errorf("crash: victim printed no replay stats"))
+		return replayInfo{}
+	}
+}
+
+// kill SIGKILLs the victim and reaps it — the crash under test.
+func (v *victimProc) kill() {
+	_ = v.cmd.Process.Kill()
+	_, _ = v.cmd.Process.Wait()
+}
+
+// terminate SIGTERMs the victim and requires a clean (exit 0) shutdown.
+func (v *victimProc) terminate(phase string) {
+	if err := v.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		fatal(fmt.Errorf("crash: %s: signaling victim: %w", phase, err))
+	}
+	state, err := v.cmd.Process.Wait()
+	if err != nil {
+		fatal(fmt.Errorf("crash: %s: reaping victim: %w", phase, err))
+	}
+	if !state.Success() {
+		fatal(fmt.Errorf("crash: %s: victim exited %s, want clean exit 0", phase, state))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The drill
+// ---------------------------------------------------------------------------
+
+// runCrash drives all three phases and fills report.Crash. Assertions fatal
+// immediately (the drill's job is to fail loudly).
+func runCrash(report *loadReport, built map[string]*workload.Dataset, shapes []shape, budget float64, rows int, seed int64, smoke bool) {
+	killAfter, drainLoad := 20, 600*time.Millisecond
+	fsyncBatches, readChecks := 150, 96
+	if smoke {
+		killAfter, drainLoad = 6, 250*time.Millisecond
+		fsyncBatches, readChecks = 40, 32
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	cr := &crashReport{}
+	report.Crash = cr
+
+	// ---- Phase 1: SIGKILL mid-ingest, restart, verify zero acked loss ----
+	walDir, err := os.MkdirTemp("", "maliva-crash-wal-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(walDir)
+
+	fmt.Fprintf(os.Stderr, "crash: spawning victim (fsync=always, wal=%s)...\n", walDir)
+	v1 := spawnVictim(walDir, "always", rows, budget)
+	v1.waitReady(client)
+	if ri := v1.replay(); ri.rows != 0 {
+		fatal(fmt.Errorf("crash: fresh WAL replayed %d rows, want 0", ri.rows))
+	}
+
+	// Sync-ingest batches; once killAfter acks are in, SIGKILL the victim
+	// while the writer keeps the wire hot — the crash lands mid-request.
+	sendStream, err := workload.NewIngestStream(built["twitter"], seed+900)
+	if err != nil {
+		fatal(err)
+	}
+	var acked atomic.Int64
+	killNow := make(chan struct{})
+	var killOnce sync.Once
+	writerDone := make(chan error, 1)
+	go func() {
+		for {
+			batch := sendStream.Next(crashBatchRows)
+			if err := postIngest(client, v1.url, "twitter", batch, true); err != nil {
+				writerDone <- err
+				return
+			}
+			if int(acked.Add(1)) >= killAfter {
+				killOnce.Do(func() { close(killNow) })
+			}
+		}
+	}()
+	select {
+	case <-killNow:
+		v1.kill()
+	case err := <-writerDone:
+		fatal(fmt.Errorf("crash: writer died before the kill point: %v", err))
+	}
+	<-writerDone // the in-flight request fails against the dead process
+	cr.AckedRows = acked.Load() * crashBatchRows
+
+	// Restart over the same log and time the recovery.
+	fmt.Fprintf(os.Stderr, "crash: victim killed after %d acked rows; restarting...\n", cr.AckedRows)
+	v2 := spawnVictim(walDir, "always", rows, budget)
+	recovery := v2.waitReady(client)
+	cr.RecoverySec = recovery.Seconds()
+	cr.RecoveringSeen = v2.recoveringSeen
+	ri := v2.replay()
+	cr.ReplayRecords, cr.RecoveredRows, cr.ReplayTruncated = ri.records, ri.rows, ri.truncated
+	if cr.RecoveredRows < cr.AckedRows {
+		cr.LostAckedRows = cr.AckedRows - cr.RecoveredRows
+		fatal(fmt.Errorf("crash: LOST %d acknowledged rows (acked %d, recovered %d)",
+			cr.LostAckedRows, cr.AckedRows, cr.RecoveredRows))
+	}
+	cr.UnackedApplied = cr.RecoveredRows - cr.AckedRows
+	if cr.RecoveredRows%crashBatchRows != 0 {
+		fatal(fmt.Errorf("crash: recovered %d rows is not whole batches of %d — a record was applied partially",
+			cr.RecoveredRows, crashBatchRows))
+	}
+
+	// Byte-identity: an uncrashed control gateway ingests the exact batch
+	// prefix the victim recovered (same seeded stream), then every shape
+	// must read identically from both.
+	ctrl := startGateway([]string{"twitter"}, built, budget, true, middleware.OracleFactory)
+	defer ctrl.close()
+	ctrlStream, err := workload.NewIngestStream(built["twitter"], seed+900)
+	if err != nil {
+		fatal(err)
+	}
+	for i := int64(0); i < cr.RecoveredRows/crashBatchRows; i++ {
+		if err := postIngest(client, ctrl.url, "twitter", ctrlStream.Next(crashBatchRows), true); err != nil {
+			fatal(fmt.Errorf("crash: control ingest: %v", err))
+		}
+	}
+	if readChecks > len(shapes) {
+		readChecks = len(shapes)
+	}
+	for i := 0; i < readChecks; i++ {
+		sh := shapes[i]
+		wantCode, want, err := fireRaw(client, ctrl.url, sh)
+		if err != nil || wantCode != http.StatusOK {
+			fatal(fmt.Errorf("crash: control read status %d, err %v", wantCode, err))
+		}
+		gotCode, got, err := fireRaw(client, v2.url, sh)
+		if err != nil || gotCode != http.StatusOK {
+			fatal(fmt.Errorf("crash: recovered read status %d, err %v", gotCode, err))
+		}
+		cr.ReadChecks++
+		if !bytes.Equal(want, got) {
+			cr.ReadMismatches++
+		}
+	}
+	if cr.ReadMismatches > 0 {
+		fatal(fmt.Errorf("crash: %d/%d post-recovery reads diverged from the uncrashed control",
+			cr.ReadMismatches, cr.ReadChecks))
+	}
+	v2.terminate("phase 1 teardown")
+
+	// ---- Phase 2: SIGTERM under live load drains cleanly ----
+	walDir2, err := os.MkdirTemp("", "maliva-crash-wal-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(walDir2)
+	fmt.Fprintf(os.Stderr, "crash: graceful-drain phase...\n")
+	v3 := spawnVictim(walDir2, "always", rows, budget)
+	v3.waitReady(client)
+
+	// Readers dial a fresh connection per request (no keep-alive pooling):
+	// reusing a pooled connection the shutting-down server just closed as
+	// idle yields an EOF that is NOT a dropped in-flight request, and Go's
+	// transport won't retry a POST. With fresh connections the outcomes are
+	// unambiguous — dial refused means never accepted (clean), any error
+	// after the dial means the server tore an accepted request (a drop).
+	readClient := &http.Client{
+		Timeout:   30 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	var okReads, rejected, dropped atomic.Int64
+	stopRead := make(chan struct{})
+	var readWG sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readWG.Add(1)
+		go func(w int) {
+			defer readWG.Done()
+			for i := w; ; i += 7 {
+				select {
+				case <-stopRead:
+					return
+				default:
+				}
+				code, _, err := fireRaw(readClient, v3.url, shapes[i%len(shapes)])
+				switch {
+				case err != nil && code == 0 && strings.Contains(err.Error(), "connection refused"):
+					// The listener is gone — this request was never
+					// accepted, so nothing in flight was dropped.
+					return
+				case err != nil && code == 0 && strings.Contains(err.Error(), "connection reset"):
+					// Reset before any status line: the kernel handshook the
+					// connection into the listen backlog but the server never
+					// accepted it (listener closed underneath). The request
+					// was never in flight server-side. The proof that no
+					// *accepted* request was torn is server.Shutdown
+					// returning nil — asserted via the victim's exit code.
+					continue
+				case err != nil:
+					// A status line arrived and then the body tore, or some
+					// other mid-request failure: a genuine dropped in-flight.
+					dropped.Add(1)
+				case code == http.StatusOK:
+					okReads.Add(1)
+				case code == http.StatusServiceUnavailable, code == http.StatusTooManyRequests:
+					rejected.Add(1) // clean drain/admission rejection
+				default:
+					dropped.Add(1)
+				}
+			}
+		}(w)
+	}
+	var acked2 atomic.Int64
+	drainStream, err := workload.NewIngestStream(built["twitter"], seed+901)
+	if err != nil {
+		fatal(err)
+	}
+	writer2Done := make(chan struct{})
+	go func() {
+		defer close(writer2Done)
+		for {
+			if err := postIngest(client, v3.url, "twitter", drainStream.Next(crashBatchRows), false); err != nil {
+				return // drained or listener closed: both are clean stops
+			}
+			acked2.Add(1)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	time.Sleep(drainLoad)
+	v3.terminate("graceful drain under load")
+	close(stopRead)
+	readWG.Wait()
+	<-writer2Done
+	cr.DrainOKReads = okReads.Load()
+	cr.DrainRejected = rejected.Load()
+	cr.DrainDropped = dropped.Load()
+	cr.DrainAckedRows = acked2.Load() * crashBatchRows
+	if cr.DrainDropped > 0 {
+		fatal(fmt.Errorf("crash: graceful drain dropped %d in-flight requests", cr.DrainDropped))
+	}
+	if cr.DrainOKReads == 0 {
+		fatal(fmt.Errorf("crash: graceful-drain phase served no reads; the drill measured nothing"))
+	}
+
+	// The drained WAL must replay exactly the acknowledged rows, untorn.
+	v4 := spawnVictim(walDir2, "always", rows, budget)
+	v4.waitReady(client)
+	ri4 := v4.replay()
+	cr.DrainWALRows = ri4.rows
+	cr.DrainWALClean = !ri4.truncated && ri4.rows == cr.DrainAckedRows
+	v4.terminate("phase 2 teardown")
+	if !cr.DrainWALClean {
+		fatal(fmt.Errorf("crash: post-drain WAL replayed %d rows (truncated=%t), want exactly %d acked",
+			ri4.rows, ri4.truncated, cr.DrainAckedRows))
+	}
+
+	// ---- Phase 3: price the fsync policies (sync-ack latency) ----
+	fmt.Fprintf(os.Stderr, "crash: pricing fsync policies (%d sync batches each)...\n", fsyncBatches)
+	for _, policy := range []string{"none", "always", "interval", "never"} {
+		cr.FsyncCosts = append(cr.FsyncCosts, priceFsync(policy, fsyncBatches, budget, seed))
+	}
+}
+
+// priceFsync measures the sync-ingest acknowledgment latency of one fsync
+// policy over a fresh WAL-backed gateway ("none" = durability off baseline).
+func priceFsync(policy string, batches int, budget float64, seed int64) fsyncCost {
+	build, err := workload.StandardBuilder("twitter", 8_000)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := build()
+	if err != nil {
+		fatal(err)
+	}
+	var wal *engine.WAL
+	if policy != "none" {
+		pol, err := engine.ParseFsyncPolicy(policy)
+		if err != nil {
+			fatal(err)
+		}
+		dir, err := os.MkdirTemp("", "maliva-fsync-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		wal, _, err = ds.DB.AttachWAL(ds.Main, dir, engine.WALConfig{Policy: pol})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	srv := startGateway([]string{"twitter"}, map[string]*workload.Dataset{"twitter": ds}, budget, true, middleware.OracleFactory)
+	defer srv.close()
+	if wal != nil {
+		defer wal.Close()
+	}
+	stream, err := workload.NewIngestStream(ds, seed+902)
+	if err != nil {
+		fatal(err)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	lat := make([]float64, 0, batches)
+	for i := 0; i < batches; i++ {
+		t0 := time.Now()
+		if err := postIngest(client, srv.url, "twitter", stream.Next(crashBatchRows), true); err != nil {
+			fatal(fmt.Errorf("crash: fsync pricing (%s): %v", policy, err))
+		}
+		lat = append(lat, float64(time.Since(t0).Microseconds())/1000)
+	}
+	sort.Float64s(lat)
+	return fsyncCost{
+		Policy:   policy,
+		Batches:  batches,
+		AckP50Ms: pct(lat, 0.50),
+		AckP95Ms: pct(lat, 0.95),
+	}
+}

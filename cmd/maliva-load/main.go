@@ -181,6 +181,12 @@ type loadReport struct {
 	PrefetchHitRate    float64 `json:"prefetch_hit_rate,omitempty"`
 	PrefetchWasteRate  float64 `json:"prefetch_waste_rate,omitempty"`
 	SubsumedHits       int64   `json:"subsumed_hits,omitempty"`
+
+	// Crash-drill results (crash mode only): the durability contract numbers
+	// — acked-vs-recovered row accounting after a SIGKILL, recovery time,
+	// byte-identity checks against an uncrashed control, graceful-drain
+	// accounting under SIGTERM, and per-fsync-policy sync-ack latency.
+	Crash *crashReport `json:"crash,omitempty"`
 }
 
 func main() {
@@ -201,6 +207,10 @@ func main() {
 		smoke    = flag.Bool("smoke", false, "tiny CI pass: small datasets, ~2s, exit non-zero on errors")
 		churn    = flag.Bool("churn", false, "replica-churn drill over the -replicas count (default 3): a healthy control pass, then a pass with replicas killed/drained/revived mid-run; fails on any non-identical 200 or availability below 99%")
 		ingest   = flag.Bool("ingest", false, "live-ingestion drill: idle and active-writes read passes, flush-latency distribution, and a zero-stale-read check against an uncached control gateway; fails on any stale read")
+		crash    = flag.Bool("crash", false, "crash-recovery drill: SIGKILL a WAL-backed victim server mid-ingest, restart it, and assert zero acked-row loss plus byte-identical reads vs an uncrashed control; also SIGTERMs a victim under load (zero dropped in-flight) and prices the fsync policies")
+
+		crashVictim = flag.String("crash-victim-wal", "", "internal: run as the crash drill's victim server with this WAL directory (spawned by -crash, not for direct use)")
+		fsyncMode   = flag.String("fsync", "always", "WAL fsync policy for the crash victim (always | interval | never)")
 
 		session   = flag.Bool("session", false, "pan/zoom session benchmark: replay identical seeded random-walk sessions against prefetch+subsumption OFF and ON gateways, verify byte identity, and report perceived-latency quantiles and prefetch hit/waste rates")
 		nSessions = flag.Int("sessions", 8, "concurrent simulated sessions (session mode)")
@@ -209,6 +219,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *crashVictim != "" {
+		runVictim(*crashVictim, *fsyncMode, *rows, *budget)
+		return
+	}
 	if *zipfS <= 1 {
 		fatal(fmt.Errorf("-zipf-s must be > 1 (got %v)", *zipfS))
 	}
@@ -217,7 +231,7 @@ func main() {
 		*workers = 4
 		*duration = time.Second
 		*nShapes = 30
-		if *repList == "" && !*churn && !*ingest && !*session {
+		if *repList == "" && !*churn && !*ingest && !*session && !*crash {
 			*compare = true
 		}
 		if *session {
@@ -231,6 +245,22 @@ func main() {
 		if *datasets == "" {
 			*datasets = "twitter,taxi"
 		}
+	}
+	if *crash {
+		for flagName, set := range map[string]bool{
+			"-compare": *compare, "-replicas": *repList != "", "-churn": *churn,
+			"-ingest": *ingest, "-session": *session, "-url": *url != "",
+		} {
+			if set {
+				fatal(fmt.Errorf("-crash and %s are mutually exclusive (the crash drill spawns its own victim servers)", flagName))
+			}
+		}
+		if *agent != "" {
+			fatal(fmt.Errorf("-crash and -agent are mutually exclusive (victim servers always serve the Oracle)"))
+		}
+		// The drill's victim and control must build byte-identical base data,
+		// so the dataset is pinned.
+		*datasets = "twitter"
 	}
 	if *datasets == "" {
 		*datasets = "twitter"
@@ -355,6 +385,8 @@ func main() {
 			runChurn(&report, r, names, built, shapes, factory, *budget, *workers, *duration, *zipfS, *seed)
 		} else if *ingest {
 			runIngest(&report, names, built, shapes, factory, *budget, *workers, *duration, *zipfS, *seed)
+		} else if *crash {
+			runCrash(&report, built, shapes, *budget, *rows, *seed, *smoke)
 		} else if len(replicaCounts) > 0 {
 			// Replica scaling compare: one warm cached pass per count. The
 			// hit rate is measured over the timed pass only (counter deltas
@@ -467,6 +499,20 @@ func main() {
 		fmt.Printf("stale reads: %d / %d post-flush checks  active/idle read QPS %.2fx\n",
 			report.StaleReads, report.StaleChecks, report.ActiveReadFactor)
 	}
+	if *crash && report.Crash != nil {
+		c := report.Crash
+		fmt.Printf("crash: %d rows acked, %d recovered in %.2fs (lost %d, unacked-applied %d; replay %d records, truncated %t, recovering-state seen %t)\n",
+			c.AckedRows, c.RecoveredRows, c.RecoverySec, c.LostAckedRows, c.UnackedApplied,
+			c.ReplayRecords, c.ReplayTruncated, c.RecoveringSeen)
+		fmt.Printf("  reads after recovery: %d/%d byte-identical to the uncrashed control\n",
+			c.ReadChecks-c.ReadMismatches, c.ReadChecks)
+		fmt.Printf("  graceful drain: %d reads ok, %d rejected cleanly, %d dropped in-flight; %d acked rows, WAL clean %t\n",
+			c.DrainOKReads, c.DrainRejected, c.DrainDropped, c.DrainAckedRows, c.DrainWALClean)
+		for _, f := range c.FsyncCosts {
+			fmt.Printf("  fsync %-8s sync-ack p50 %7.3f ms  p95 %7.3f ms  (%d batches)\n",
+				f.Policy, f.AckP50Ms, f.AckP95Ms, f.Batches)
+		}
+	}
 	if len(replicaCounts) > 1 {
 		base := report.Passes[0]
 		for _, p := range report.Passes[1:] {
@@ -539,7 +585,7 @@ func main() {
 			fatal(fmt.Errorf("ingest: the write path applied no flushes"))
 		}
 	}
-	if *smoke {
+	if *smoke && len(report.Passes) > 0 {
 		last := report.Passes[len(report.Passes)-1]
 		if last.Server != nil && !*ingest {
 			if hits, _ := hitRates(last.Server); hits == 0 {

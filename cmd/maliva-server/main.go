@@ -26,16 +26,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"slices"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"github.com/maliva/maliva/internal/cluster"
 	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/engine"
 	"github.com/maliva/maliva/internal/harness"
 	"github.com/maliva/maliva/internal/middleware"
 	"github.com/maliva/maliva/internal/qte"
@@ -144,6 +150,10 @@ func main() {
 		noCache     = flag.Bool("no-cache", false, "disable plan and result caches (baseline mode)")
 		noPrefetch  = flag.Bool("no-prefetch", false, "disable session tracking and speculative tile prefetch")
 		noSubsume   = flag.Bool("no-subsume", false, "disable answering requests by slicing a containing cached heatmap")
+
+		walDir       = flag.String("wal-dir", "", "directory for per-dataset write-ahead logs (empty = durability off); sync /ingest acks become durable before they are sent, and startup replays any existing log while /healthz reports \"recovering\"")
+		fsyncMode    = flag.String("fsync", "always", "WAL fsync policy: always (fsync before every sync ack), interval (background fsync, bounded loss window), never (OS page cache only)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget: how long in-flight requests may finish after SIGTERM/SIGINT before the listener is torn down")
 	)
 	flag.Parse()
 
@@ -164,6 +174,17 @@ func main() {
 	if len(peers) > 0 && (*replicaID < 0 || *replicaID >= len(peers)) {
 		fatal(fmt.Errorf("-replica-id %d outside the %d-entry -peer list", *replicaID, len(peers)))
 	}
+	if *walDir != "" && *replicas > 1 {
+		// In-process replicas share the built dataset values; one WAL cannot
+		// arbitrate N replicas' ingestors. Durable clusters run one process
+		// per replica (-peer), each with its own log.
+		fatal(fmt.Errorf("-wal-dir requires one process per replica (use -peer/-replica-id, not -replicas)"))
+	}
+	fsyncPolicy, err := engine.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		fatal(err)
+	}
+	walCfg := engine.WALConfig{Policy: fsyncPolicy}
 
 	healthCfg := cluster.HealthConfig{
 		Interval:    *probeInterval,
@@ -196,6 +217,8 @@ func main() {
 	sessions := middleware.SessionConfig{Disabled: *noPrefetch}
 
 	var handler http.Handler
+	var drain func()          // stop admitting new work; in-flight requests finish
+	var closeAll func() error // after Shutdown: flush ingest buffers, stop workers, sync+close WALs
 	switch {
 	case *replicas > 1:
 		// In-process cluster: datasets are built eagerly (replicas share
@@ -226,6 +249,21 @@ func main() {
 			"maliva cluster router listening on %s (replicas=%d, datasets=%s, rewriter=%s)\n",
 			*addr, *replicas, datasets.String(), *rewriter)
 		handler = cl.Handler()
+		drain = func() {
+			for i := 0; i < *replicas; i++ {
+				cl.Drain(i)
+			}
+		}
+		closeAll = func() error {
+			cl.Close()
+			var first error
+			for _, n := range cl.Nodes() {
+				if err := n.Gateway().Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		}
 
 	case len(peers) > 0:
 		// One process per replica: this node serves its gateway plus the
@@ -233,7 +271,8 @@ func main() {
 		// HTTP. Routing across replicas is the load balancer's job — any
 		// replica can serve any key through the peer-shared cache.
 		ring := cluster.NewRing(len(peers), 0)
-		node, err := cluster.NewNode(*replicaID, ring, newRegistry(datasets, *rows), factory, middleware.GatewayConfig{
+		reg, closeWALs := newRegistry(datasets, *rows, *walDir, walCfg)
+		node, err := cluster.NewNode(*replicaID, ring, reg, factory, middleware.GatewayConfig{
 			Server:      scfg,
 			Space:       core.HintOnlySpec(),
 			WarmWorkers: *warmWorkers,
@@ -262,9 +301,19 @@ func main() {
 			"maliva replica %d/%d listening on %s (datasets=%s, rewriter=%s)\n",
 			*replicaID, len(peers), *addr, datasets.String(), *rewriter)
 		handler = node.Handler()
+		drain = node.Drain
+		closeAll = func() error {
+			node.Close()
+			err := node.Gateway().Close()
+			if werr := closeWALs(); werr != nil && err == nil {
+				err = werr
+			}
+			return err
+		}
 
 	default:
-		gw, err := middleware.NewGateway(newRegistry(datasets, *rows), factory, middleware.GatewayConfig{
+		reg, closeWALs := newRegistry(datasets, *rows, *walDir, walCfg)
+		gw, err := middleware.NewGateway(reg, factory, middleware.GatewayConfig{
 			Server:      scfg,
 			Space:       core.HintOnlySpec(),
 			WarmWorkers: *warmWorkers,
@@ -285,27 +334,104 @@ func main() {
 			"maliva gateway listening on %s (datasets=%s, default=%s, rewriter=%s, lazy=%v)\n",
 			*addr, datasets.String(), gw.DefaultDataset(), *rewriter, *lazy)
 		handler = gw.Handler()
+		drain = gw.Drain
+		closeAll = func() error {
+			err := gw.Close()
+			if werr := closeWALs(); werr != nil && err == nil {
+				err = werr
+			}
+			return err
+		}
 	}
 
 	server := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
-	if err := server.ListenAndServe(); err != nil {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
 		fatal(err)
+	case sig := <-sigCh:
+		// Graceful shutdown: flip to draining (healthz answers 503 so load
+		// balancers and the cluster router fail over), let in-flight
+		// requests finish under the drain budget, then flush ingest buffers
+		// and sync+close the WALs. A second signal exits immediately.
+		fmt.Fprintf(os.Stderr, "maliva-server: %s: draining (budget %s; signal again to force exit)\n", sig, *drainTimeout)
+		go func() {
+			<-sigCh
+			fmt.Fprintln(os.Stderr, "maliva-server: forced exit")
+			os.Exit(1)
+		}()
+		drain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := server.Shutdown(ctx)
+		cancel()
+		if cerr := closeAll(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "maliva-server: clean shutdown")
 	}
 }
 
 // newRegistry registers the standard builders for the requested datasets.
-func newRegistry(datasets stringList, rows int) *workload.Registry {
+// With a non-empty walDir each builder, after generating its dataset,
+// attaches a write-ahead log at <walDir>/<name>: existing segments replay
+// into the fresh dataset (the registry reports "recovering" meanwhile) and
+// every subsequent ingest flush is logged before it is acknowledged. The
+// returned closer syncs and closes every attached WAL; call it after the
+// gateway (and its ingest buffers) have shut down.
+func newRegistry(datasets stringList, rows int, walDir string, wcfg engine.WALConfig) (*workload.Registry, func() error) {
 	reg := workload.NewRegistry()
+	var mu sync.Mutex
+	var wals []*engine.WAL
 	for _, name := range datasets {
 		build, err := workload.StandardBuilder(name, rows)
 		if err != nil {
 			fatal(err)
 		}
+		if walDir != "" {
+			inner := build
+			dir := filepath.Join(walDir, name)
+			build = func() (*workload.Dataset, error) {
+				ds, err := inner()
+				if err != nil {
+					return nil, err
+				}
+				reg.MarkRecovering(name)
+				t0 := time.Now()
+				wal, stats, err := ds.DB.AttachWAL(ds.Main, dir, wcfg)
+				if err != nil {
+					return nil, fmt.Errorf("attach WAL for %s: %w", name, err)
+				}
+				mu.Lock()
+				wals = append(wals, wal)
+				mu.Unlock()
+				fmt.Fprintf(os.Stderr, "%s: WAL at %s (replayed %d records / %d rows to version %d in %s)\n",
+					name, dir, stats.Records, stats.Rows, stats.Version, time.Since(t0).Round(time.Millisecond))
+				return ds, nil
+			}
+		}
 		if err := reg.Register(name, build); err != nil {
 			fatal(err)
 		}
 	}
-	return reg
+	closer := func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		var first error
+		for _, w := range wals {
+			if err := w.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return reg, closer
 }
 
 // buildDatasets generates the requested datasets eagerly (the in-process

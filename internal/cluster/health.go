@@ -17,6 +17,8 @@ import (
 //	rejoining ──(any failure)──▶ down
 //	any ──(operator drain / draining sentinel)──▶ draining
 //	draining ──(probe reports healthy again)──▶ rejoining
+//	any ──(recovering sentinel: replica replaying its WAL)──▶ recovering
+//	recovering ──(probe reports healthy again)──▶ rejoining
 //
 // Only live replicas receive routed traffic. Rejoining replicas are up but
 // held out of the routing set until they prove stable (hysteresis against
@@ -35,6 +37,11 @@ const (
 	// StateRejoining replicas are up again but not yet trusted with
 	// routed traffic.
 	StateRejoining
+	// StateRecovering replicas are up and probeable but replaying durable
+	// state (WAL recovery after a crash): traffic is held away until replay
+	// completes, then the normal rejoin hysteresis applies. Unlike down, a
+	// recovering replica answers probes, so there is no backoff.
+	StateRecovering
 )
 
 // String returns the lifecycle name used in /healthz and metrics labels.
@@ -48,6 +55,8 @@ func (s ReplicaState) String() string {
 		return "down"
 	case StateRejoining:
 		return "rejoining"
+	case StateRecovering:
+		return "recovering"
 	}
 	return fmt.Sprintf("state(%d)", int32(s))
 }
@@ -56,6 +65,13 @@ func (s ReplicaState) String() string {
 // must leave the routing set without being treated as crashed (no backoff,
 // no rejoin hysteresis once undrained... the probe keeps watching it).
 var ErrDraining = errors.New("cluster: replica is draining")
+
+// ErrRecovering is the probe result for a replica that is up but replaying
+// its write-ahead log after a restart: hold traffic away (its data is
+// incomplete until replay finishes) without the down state's probe backoff —
+// recovery completes on its own and the next successful probe starts the
+// rejoin hysteresis.
+var ErrRecovering = errors.New("cluster: replica is recovering")
 
 // Probe checks one replica's health: nil means live, ErrDraining means up
 // but draining, anything else means down. Probes must be safe for
@@ -176,6 +192,8 @@ func (p *HealthPool) Pulse(i int) {
 		p.note(i, probeOK, "")
 	case errors.Is(err, ErrDraining):
 		p.note(i, probeDraining, "")
+	case errors.Is(err, ErrRecovering):
+		p.note(i, probeRecovering, "")
 	default:
 		p.note(i, probeFail, err.Error())
 	}
@@ -207,6 +225,7 @@ type probeResult int
 const (
 	probeOK probeResult = iota
 	probeDraining
+	probeRecovering
 	probeFail
 )
 
@@ -219,7 +238,7 @@ func (p *HealthPool) note(i int, res probeResult, errText string) {
 	case probeOK:
 		h.fails, h.lastErr = 0, ""
 		switch h.state {
-		case StateDown, StateDraining:
+		case StateDown, StateDraining, StateRecovering:
 			h.succs = 1
 			h.state = StateRejoining
 		case StateRejoining:
@@ -233,6 +252,9 @@ func (p *HealthPool) note(i int, res probeResult, errText string) {
 	case probeDraining:
 		h.state = StateDraining
 		h.fails, h.succs = 0, 0
+	case probeRecovering:
+		h.state = StateRecovering
+		h.fails, h.succs = 0, 0
 	case probeFail:
 		h.lastErr = errText
 		h.succs = 0
@@ -242,9 +264,9 @@ func (p *HealthPool) note(i int, res probeResult, errText string) {
 			if h.fails >= p.cfg.FailAfter {
 				h.state = StateDown
 			}
-		case StateRejoining, StateDraining:
-			// A rejoining replica that fails again, or a draining one
-			// that stops answering entirely, is down.
+		case StateRejoining, StateDraining, StateRecovering:
+			// A rejoining replica that fails again, or a draining or
+			// recovering one that stops answering entirely, is down.
 			h.state = StateDown
 		}
 	}
@@ -266,6 +288,10 @@ func (p *HealthPool) ReportFailure(i int) {
 
 // ReportDraining records a draining sentinel seen by the routing tier.
 func (p *HealthPool) ReportDraining(i int) { p.note(i, probeDraining, "") }
+
+// ReportRecovering records a recovering sentinel seen by the routing tier: a
+// replica that refused traffic because it is still replaying its WAL.
+func (p *HealthPool) ReportRecovering(i int) { p.note(i, probeRecovering, "") }
 
 // ReportSuccess feeds a successful routed request into the state machine:
 // a non-live replica that just served real traffic makes progress toward
@@ -330,6 +356,9 @@ func NodeProbe(nodes []*Node) Probe {
 		case StateDraining:
 			return ErrDraining
 		}
+		if nodes[i].Recovering() {
+			return ErrRecovering
+		}
 		return nil
 	}
 }
@@ -350,8 +379,11 @@ func NewHTTPProbe(bases []string, timeout time.Duration) Probe {
 		}
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
-		if resp.Header.Get(ReplicaUnavailableHeader) == "draining" {
+		switch resp.Header.Get(ReplicaUnavailableHeader) {
+		case "draining":
 			return ErrDraining
+		case "recovering":
+			return ErrRecovering
 		}
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("cluster: replica %d healthz: %s", i, resp.Status)

@@ -15,7 +15,7 @@ import (
 )
 
 // ReplicaUnavailableHeader marks a response produced by a replica refusing
-// to serve (value "down" or "draining") instead of by its gateway. The
+// to serve (value "down", "draining", or "recovering") instead of by its gateway. The
 // routing tier treats it as an authoritative failure sentinel: fail the
 // request over to the next replica in the key's ring sequence and demote
 // the refusing replica in the health pool — without ever confusing the
@@ -231,6 +231,12 @@ func (n *Node) Drain() { n.state.Store(int32(StateDraining)) }
 // pool's rejoining hysteresis decides when routed traffic comes back.
 func (n *Node) Rejoin() { n.state.Store(int32(StateLive)) }
 
+// Recovering reports whether the node's gateway is replaying durable state
+// (WAL recovery after a restart). A recovering replica refuses routed
+// traffic with the recovering sentinel but keeps answering probes, peer
+// fetches, and metrics.
+func (n *Node) Recovering() bool { return n.gw.Recovering() }
+
 // SetFaults installs (or, with nil, removes) a fault injector on the
 // node's request surface: injected drops and errors answer with the down
 // sentinel — exactly what a crashed replica looks like to the router —
@@ -277,6 +283,14 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/viz" || r.URL.Path == "/query" || r.URL.Path == "/ingest" {
 			http.Error(w, fmt.Sprintf("replica %d is draining", n.id), http.StatusServiceUnavailable)
 			return
+		}
+	default:
+		if n.gw.Recovering() {
+			w.Header().Set(ReplicaUnavailableHeader, "recovering")
+			if r.URL.Path == "/viz" || r.URL.Path == "/query" || r.URL.Path == "/ingest" {
+				http.Error(w, fmt.Sprintf("replica %d is recovering", n.id), http.StatusServiceUnavailable)
+				return
+			}
 		}
 	}
 	if f := n.faults.Load(); f != nil {
@@ -364,17 +378,29 @@ func (n *Node) fillLoop() {
 		case <-n.stop:
 			return
 		case f := <-n.fills:
-			peer := n.peer(f.owner)
-			if peer == nil {
-				n.stats.fillsDropped.Add(1)
-				continue
-			}
-			if err := peer.FillResult(f.dataset, f.key, f.resp); err != nil {
-				n.stats.fillsDropped.Add(1)
-			} else {
-				n.stats.fillsSent.Add(1)
-			}
+			n.deliverFill(f)
 		}
+	}
+}
+
+// deliverFill sends one queued fill to its owner. A panicking peer-client
+// implementation is recovered and counted as a dropped fill instead of
+// killing the worker goroutine (fills are best effort by contract).
+func (n *Node) deliverFill(f fillReq) {
+	defer func() {
+		if r := recover(); r != nil {
+			n.stats.fillsDropped.Add(1)
+		}
+	}()
+	peer := n.peer(f.owner)
+	if peer == nil {
+		n.stats.fillsDropped.Add(1)
+		return
+	}
+	if err := peer.FillResult(f.dataset, f.key, f.resp); err != nil {
+		n.stats.fillsDropped.Add(1)
+	} else {
+		n.stats.fillsSent.Add(1)
 	}
 }
 

@@ -311,9 +311,12 @@ func (rt *Router) serveViz(w http.ResponseWriter, r *http.Request) {
 			// warming) do NOT carry the sentinel and are final — every
 			// replica would shed the same way.
 			rt.retries.Add(1)
-			if fw.unavailable == "draining" {
+			switch fw.unavailable {
+			case "draining":
 				rt.health.ReportDraining(idx)
-			} else {
+			case "recovering":
+				rt.health.ReportRecovering(idx)
+			default:
 				rt.health.ReportFailure(idx)
 			}
 			continue
@@ -361,9 +364,12 @@ func (rt *Router) serveIngest(w http.ResponseWriter, r *http.Request) {
 		rt.nodes[idx].ServeHTTP(fw, r2)
 		if fw.unavailable != "" {
 			rt.retries.Add(1)
-			if fw.unavailable == "draining" {
+			switch fw.unavailable {
+			case "draining":
 				rt.health.ReportDraining(idx)
-			} else {
+			case "recovering":
+				rt.health.ReportRecovering(idx)
+			default:
 				rt.health.ReportFailure(idx)
 			}
 			continue

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestAbortExecCancelsExecution: a yield hook calling AbortExec unwinds the
+// executor cleanly — ErrExecCanceled (or the given cause) comes back as an
+// ordinary error, nothing panics through, and the pooled context is recycled
+// (subsequent executions still work).
+func TestAbortExecCancelsExecution(t *testing.T) {
+	db := buildTestDB(t, 2000, 7)
+	q := testQuery(db)
+
+	_, _, err := db.RunCachedYield(q, Hint{}, nil, func() { AbortExec(nil) })
+	if !errors.Is(err, ErrExecCanceled) {
+		t.Fatalf("err = %v, want ErrExecCanceled", err)
+	}
+
+	cause := fmt.Errorf("client went away: %w", ErrExecCanceled)
+	_, _, err = db.RunCachedYield(q, Hint{}, nil, func() { AbortExec(cause) })
+	if !errors.Is(err, ErrExecCanceled) || err.Error() != cause.Error() {
+		t.Fatalf("err = %v, want wrapped cause", err)
+	}
+
+	// Cancel mid-stream on the last yield the execution makes, not the first.
+	total := 0
+	if _, _, err := db.RunCachedYield(q, Hint{}, nil, func() { total++ }); err != nil || total == 0 {
+		t.Fatalf("counting run: %d yields, err %v", total, err)
+	}
+	calls := 0
+	_, _, err = db.RunCachedYield(q, Hint{}, nil, func() {
+		calls++
+		if calls == total {
+			AbortExec(nil)
+		}
+	})
+	if !errors.Is(err, ErrExecCanceled) {
+		t.Fatalf("mid-stream cancel err = %v", err)
+	}
+
+	// The executor still serves after cancels (pool not poisoned).
+	if _, _, err := db.Run(q, Hint{}); err != nil {
+		t.Fatalf("post-cancel run failed: %v", err)
+	}
+}
+
+// TestCancelCheckYieldPreservesResults pins the non-canceled path: running
+// with a cancellation-checking yield hook that never fires produces results
+// and stats identical to a plain run — the check must not perturb execution.
+func TestCancelCheckYieldPreservesResults(t *testing.T) {
+	db := buildTestDB(t, 2000, 7)
+	q := testQuery(db)
+
+	want, wantStats, err := db.Run(q, Hint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled := false
+	got, gotStats, err := db.RunCachedYield(q, Hint{}, nil, func() {
+		if canceled { // never true; mirrors the serving layer's ctx check
+			AbortExec(nil)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("results diverge under a non-firing cancel check")
+	}
+	if wantStats != gotStats {
+		t.Fatalf("stats diverge: %+v vs %+v", wantStats, gotStats)
+	}
+
+	// Genuine panics still propagate unchanged.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-abort panic was swallowed")
+		}
+	}()
+	_, _, _ = db.RunCachedYield(q, Hint{}, nil, func() { panic("boom") })
+}

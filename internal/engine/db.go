@@ -18,6 +18,9 @@ type DB struct {
 
 	mu    sync.RWMutex
 	stats map[string]*TableStats
+	// wals maps base-table names to their attached write-ahead logs (see
+	// AttachWAL); ApplyBatch appends to a table's log before mutating it.
+	wals map[string]*WAL
 
 	// dataMu orders readers against ingest flushes: the serving layer holds
 	// the read side across one plan+execute sequence (see RLockData), and

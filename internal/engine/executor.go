@@ -1,11 +1,35 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
 	"sync"
 )
+
+// ErrExecCanceled is the error a canceled execution returns. A yield hook
+// cancels by calling AbortExec; the executor unwinds at the next stride
+// boundary, returns its pooled context, and reports this error (or the cause
+// passed to AbortExec).
+var ErrExecCanceled = errors.New("engine: execution canceled")
+
+// execAbort carries the cancellation cause through the panic-based unwind
+// from a yield hook back to RunCachedYield's recover. Using a private type
+// keeps genuine panics propagating unchanged.
+type execAbort struct{ err error }
+
+// AbortExec aborts the execution whose yield hook is currently running. It
+// must only be called from inside a yield hook passed to RunCachedYield; the
+// serving layer's cancellation check (client disconnected, deadline blown)
+// piggybacks on the existing yield stride this way, so the hot path pays
+// nothing new. A nil err reports ErrExecCanceled.
+func AbortExec(err error) {
+	if err == nil {
+		err = ErrExecCanceled
+	}
+	panic(execAbort{err: err})
+}
 
 // Result holds the rows produced by a query execution. Row ids always refer
 // to the *base* table (sample-table hits are translated back), so results of
@@ -144,7 +168,12 @@ func (db *DB) RunCached(q *Query, h Hint, cache *LookupCache) (*Result, ExecStat
 // unyielding execution otherwise holds a P for a full async-preemption
 // quantum (~10ms) and inflates the tail latency of everything concurrent.
 // A nil yield is exactly RunCached.
-func (db *DB) RunCachedYield(q *Query, h Hint, cache *LookupCache, yield func()) (*Result, ExecStats, error) {
+//
+// A yield hook may also cancel the execution by calling AbortExec (the
+// serving layer does this when the client has disconnected): the executor
+// unwinds at the stride boundary, recycles its context, and returns the
+// abort cause — a cooperative cancel with zero cost on the non-canceled path.
+func (db *DB) RunCachedYield(q *Query, h Hint, cache *LookupCache, yield func()) (res *Result, stats ExecStats, err error) {
 	t, err := db.resolveTable(q)
 	if err != nil {
 		return nil, ExecStats{}, err
@@ -180,6 +209,16 @@ func (db *DB) RunCachedYield(q *Query, h Hint, cache *LookupCache, yield func())
 		weight = 100.0 / float64(q.SamplePercent)
 	}
 	ec := getExecContext()
+	defer func() {
+		if r := recover(); r != nil {
+			ab, ok := r.(execAbort)
+			if !ok {
+				panic(r)
+			}
+			putExecContext(ec)
+			res, stats, err = nil, ExecStats{}, ab.err
+		}
+	}()
 	ec.db = db
 	ec.q = q
 	ec.t = t
@@ -224,7 +263,7 @@ func (db *DB) RunCachedYield(q *Query, h Hint, cache *LookupCache, yield func())
 	ec.stats.RowsOutput = len(ec.res.RowIDs)
 	ec.stats.SimMs = db.Profile.Cost.simMs(ec.stats, t.ScaleFactor)
 	ec.stats.SimMs *= db.Profile.noiseFactor(db.Seed, planFingerprint(q, positions, join))
-	res, stats := ec.res, ec.stats
+	res, stats = ec.res, ec.stats
 	putExecContext(ec)
 	return res, stats, nil
 }

@@ -206,12 +206,20 @@ func sampleKeep(seed int64, percent, row int) bool {
 }
 
 // ApplyBatch applies one append batch to the named base table: it takes the
-// data write lock, appends rows, maintains indexes and samples, bumps the
-// table's (and its samples') data version with flush time at, and drops the
-// now-stale optimizer statistics — then, outside the write lock, eagerly
-// rebuilds statistics and fires the registered flush hooks. It returns the
-// new data version.
+// data write lock, logs the batch to the table's write-ahead log (when one is
+// attached) so the flush is durable before it is visible, appends rows,
+// maintains indexes and samples, bumps the table's (and its samples') data
+// version with flush time at, and drops the now-stale optimizer statistics —
+// then, outside the write lock, eagerly rebuilds statistics, checkpoints the
+// WAL if it has grown past its bound, and fires the registered flush hooks.
+// It returns the new data version.
 func (db *DB) ApplyBatch(name string, b *Batch, at time.Time) (uint64, error) {
+	return db.applyBatch(name, b, at, true)
+}
+
+// applyBatch is ApplyBatch with the WAL append switchable: startup replay
+// applies recovered records through the same path but must not re-log them.
+func (db *DB) applyBatch(name string, b *Batch, at time.Time, logIt bool) (uint64, error) {
 	t := db.Table(name)
 	if t == nil {
 		return 0, fmt.Errorf("engine: ApplyBatch: unknown table %q", name)
@@ -219,7 +227,22 @@ func (db *DB) ApplyBatch(name string, b *Batch, at time.Time) (uint64, error) {
 	if t.SampleOf != nil {
 		return 0, fmt.Errorf("engine: ApplyBatch: %q is a sample table; ingest into its base", name)
 	}
+	wal := db.wal(name)
 	db.dataMu.Lock()
+	if wal != nil && logIt {
+		// Validate first so a record is only logged for a batch that will
+		// apply, then write-ahead: the record (and, under FsyncAlways, its
+		// fsync) precedes the mutation, so an acknowledged flush can always
+		// be replayed.
+		if err := t.validateBatch(b); err != nil {
+			db.dataMu.Unlock()
+			return 0, err
+		}
+		if err := wal.append(t.DataVersion()+1, at, b, t.Vocab); err != nil {
+			db.dataMu.Unlock()
+			return 0, fmt.Errorf("engine: wal append for %q: %w", name, err)
+		}
+	}
 	if err := t.appendBatch(b); err != nil {
 		db.dataMu.Unlock()
 		return 0, err
@@ -245,6 +268,15 @@ func (db *DB) ApplyBatch(name string, b *Batch, at time.Time) (uint64, error) {
 	for _, s := range t.Samples {
 		if db.Table(s.Name) != nil {
 			db.Stats(s.Name)
+		}
+	}
+	if wal != nil && logIt {
+		// Checkpoint under the read lock: writers are excluded, so the table
+		// state serialized is exactly the state the newest record produced. A
+		// checkpoint failure loses no data — the segments it would have
+		// superseded stay on disk — so it must not fail the flush.
+		if err := wal.maybeCheckpoint(t); err != nil {
+			wal.noteCheckpointErr(err)
 		}
 	}
 	db.RUnlockData()

@@ -140,6 +140,32 @@ func (t *Table) bumpVersion(at time.Time) uint64 {
 	return v
 }
 
+// historySnapshot copies the retained flush history, oldest first.
+func (t *Table) historySnapshot() []VersionStamp {
+	t.histMu.Lock()
+	defer t.histMu.Unlock()
+	return append([]VersionStamp(nil), t.history...)
+}
+
+// restoreVersion force-sets the data version and flush history, mirroring the
+// version onto every sample (ApplyBatch bumps base and samples in lockstep,
+// so after N flushes they agree). WAL checkpoint recovery uses it: the
+// checkpoint's compacted batch applies in one append without bumps, then this
+// reinstates the version state the compaction collapsed. Callers hold the
+// owning DB's data write lock.
+func (t *Table) restoreVersion(v uint64, stamps []VersionStamp) {
+	t.version.Store(v)
+	t.histMu.Lock()
+	t.history = append(t.history[:0], stamps...)
+	t.histMu.Unlock()
+	for _, s := range t.Samples {
+		s.version.Store(v)
+		s.histMu.Lock()
+		s.history = append(s.history[:0], stamps...)
+		s.histMu.Unlock()
+	}
+}
+
 // VersionsWithin returns data versions acceptable to a reader tolerating
 // maxAge of staleness at time now, newest first, always starting with the
 // current version. A historical version v is acceptable when the flush that

@@ -121,11 +121,20 @@ type Gateway struct {
 	observeCh   chan observation
 
 	// Gateway-level counters; per-dataset serving counters live on each
-	// Server's Metrics.
+	// Server's Metrics. gwMetrics backs the panic-recovery middleware for
+	// requests that die before resolving to a dataset's Server.
 	requests   atomic.Int64
 	notFound   atomic.Int64
 	notReady   atomic.Int64
 	failedDeps atomic.Int64
+	gwMetrics  *Metrics
+
+	// Lifecycle: draining is one-way (no new work, health fails over);
+	// quit stops the observer goroutine; Close is idempotent.
+	draining  atomic.Bool
+	quit      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // NewGateway builds a gateway over a registry. The registry must have at
@@ -153,6 +162,8 @@ func NewGateway(reg *workload.Registry, factory RewriterFactory, cfg GatewayConf
 		admit:       newAdmission(scfg.MaxConcurrent, scfg.MaxQueue, scfg.PrefetchQueue),
 		start:       time.Now(),
 		entries:     make(map[string]*gatewayEntry),
+		gwMetrics:   NewMetrics(),
+		quit:        make(chan struct{}),
 	}
 	if !cfg.Sessions.Disabled && scfg.ResultCacheSize > 0 {
 		sess := cfg.Sessions.Normalized()
@@ -178,15 +189,26 @@ const observeQueueCap = 256
 
 // observeLoop is the gateway's single observer goroutine: it parses each
 // observed request, advances the session tracker, and dispatches the
-// predictions. It runs for the gateway's lifetime.
+// predictions. It runs until Close; a panic in one observation (tracker or
+// prediction bug) drops that observation — counted on the dataset's metrics
+// — and the loop keeps going, because losing the observer forever would
+// silently disable prefetch for the gateway's whole lifetime.
 func (g *Gateway) observeLoop() {
-	for obs := range g.observeCh {
-		req, err := ParseRequest(obs.body)
-		if err != nil || req.Region.Area() <= 0 {
-			continue
-		}
-		for _, pred := range g.sessions.Observe(obs.sid, req, obs.srv.DS.Extent) {
-			g.dispatchPrefetch(obs.srv, pred)
+	for {
+		select {
+		case <-g.quit:
+			return
+		case obs := <-g.observeCh:
+			guardPanics(obs.srv.metrics, "observe", func() {
+				obs.srv.fault("observe")
+				req, err := ParseRequest(obs.body)
+				if err != nil || req.Region.Area() <= 0 {
+					return
+				}
+				for _, pred := range g.sessions.Observe(obs.sid, req, obs.srv.DS.Extent) {
+					g.dispatchPrefetch(obs.srv, pred)
+				}
+			})
 		}
 	}
 }
@@ -259,6 +281,9 @@ func (g *Gateway) build(name string, e *gatewayEntry) {
 		return
 	}
 	srv.admit = g.admit
+	if g.draining.Load() {
+		srv.Drain() // the gateway drained while this dataset was warming
+	}
 	e.srv = srv
 }
 
@@ -345,6 +370,82 @@ func (g *Gateway) ReadyServer(name string) (*Server, bool) {
 	}
 }
 
+// Drain stops the gateway admitting new work: /viz and /ingest answer 503 +
+// Retry-After, the health rollup reports "draining" (health-checked routing
+// fails over), speculative prefetch dispatch stops, and every built dataset
+// Server drains too. In-flight requests run to completion. One-way.
+func (g *Gateway) Drain() {
+	if !g.draining.CompareAndSwap(false, true) {
+		return
+	}
+	g.mu.RLock()
+	entries := make([]*gatewayEntry, 0, len(g.entries))
+	for _, e := range g.entries {
+		entries = append(entries, e)
+	}
+	g.mu.RUnlock()
+	for _, e := range entries {
+		select {
+		case <-e.done:
+			if e.srv != nil {
+				e.srv.Drain()
+			}
+		default:
+			// Still warming: build() drains it on completion.
+		}
+	}
+}
+
+// Close drains the gateway, stops the observer goroutine, and closes every
+// built dataset Server — each one's ingest batcher flushes buffered rows, so
+// acknowledged async writes are applied (and WAL-logged, when attached)
+// before Close returns. Builds still in flight are waited for and then
+// closed. Idempotent; later calls return the first error.
+func (g *Gateway) Close() error {
+	g.closeOnce.Do(func() {
+		g.Drain()
+		close(g.quit)
+		g.mu.RLock()
+		entries := make(map[string]*gatewayEntry, len(g.entries))
+		for name, e := range g.entries {
+			entries[name] = e
+		}
+		g.mu.RUnlock()
+		for name, e := range entries {
+			<-e.done
+			if e.srv == nil {
+				continue
+			}
+			if err := e.srv.Close(); err != nil && g.closeErr == nil {
+				g.closeErr = fmt.Errorf("middleware: closing dataset %q: %w", name, err)
+			}
+		}
+	})
+	return g.closeErr
+}
+
+// Draining reports whether the gateway has stopped admitting new work.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// Recovering reports whether any registered dataset is currently replaying
+// durable state (WAL recovery). Cluster probes use it to hold routed traffic
+// away from a freshly restarted replica until its data is complete.
+func (g *Gateway) Recovering() bool {
+	for _, name := range g.reg.Names() {
+		if st, _ := g.status(name); st == workload.StatusRecovering {
+			return true
+		}
+	}
+	return false
+}
+
+// rejectDraining writes the shutdown rejection for one gateway request.
+func (g *Gateway) rejectDraining(w http.ResponseWriter) {
+	g.gwMetrics.drainRejected.Add(1)
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "gateway is draining", http.StatusServiceUnavailable)
+}
+
 // Handler returns the gateway's HTTP surface:
 //
 //	POST /viz?dataset=<name>   — visualization requests (shared admission);
@@ -358,12 +459,12 @@ func (g *Gateway) ReadyServer(name string) (*Server, bool) {
 //	                             ?format=json for a structured snapshot
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /viz", g.serveViz)
-	mux.HandleFunc("POST /query", g.serveViz)
-	mux.HandleFunc("POST /ingest", g.serveIngest)
-	mux.HandleFunc("GET /datasets", g.serveDatasets)
-	mux.HandleFunc("GET /healthz", g.serveHealthz)
-	mux.HandleFunc("GET /metrics", g.serveMetrics)
+	mux.HandleFunc("POST /viz", recoverPanics(g.gwMetrics, "viz", g.serveViz))
+	mux.HandleFunc("POST /query", recoverPanics(g.gwMetrics, "viz", g.serveViz))
+	mux.HandleFunc("POST /ingest", recoverPanics(g.gwMetrics, "ingest", g.serveIngest))
+	mux.HandleFunc("GET /datasets", recoverPanics(g.gwMetrics, "datasets", g.serveDatasets))
+	mux.HandleFunc("GET /healthz", recoverPanics(g.gwMetrics, "healthz", g.serveHealthz))
+	mux.HandleFunc("GET /metrics", recoverPanics(g.gwMetrics, "metrics", g.serveMetrics))
 	return mux
 }
 
@@ -403,6 +504,10 @@ func (g *Gateway) resolve(w http.ResponseWriter, r *http.Request) (*Server, bool
 // the tracker's predictions are dispatched as speculative prefetches.
 func (g *Gateway) serveViz(w http.ResponseWriter, r *http.Request) {
 	g.requests.Add(1)
+	if g.draining.Load() {
+		g.rejectDraining(w)
+		return
+	}
 	srv, ok := g.resolve(w, r)
 	if !ok {
 		return
@@ -455,11 +560,17 @@ func (r *statusRecorder) WriteHeader(code int) {
 // as issued + shed, like a prefetch-lane rejection) instead of queuing
 // dispatch goroutines behind live traffic.
 func (g *Gateway) dispatchPrefetch(srv *Server, req Request) {
+	if g.draining.Load() {
+		return // speculative work is the first casualty of shutdown
+	}
 	select {
 	case g.prefetchSem <- struct{}{}:
 		go func() {
 			defer func() { <-g.prefetchSem }()
-			srv.Prefetch(req)
+			guardPanics(srv.metrics, "prefetch", func() {
+				srv.fault("prefetch")
+				srv.Prefetch(req)
+			})
 		}()
 	default:
 		srv.metrics.prefetchIssued.Add(1)
@@ -470,6 +581,10 @@ func (g *Gateway) dispatchPrefetch(srv *Server, req Request) {
 // serveIngest routes one ingest request to its dataset's server write path.
 func (g *Gateway) serveIngest(w http.ResponseWriter, r *http.Request) {
 	g.requests.Add(1)
+	if g.draining.Load() {
+		g.rejectDraining(w)
+		return
+	}
 	srv, ok := g.resolve(w, r)
 	if !ok {
 		return
@@ -486,20 +601,33 @@ type datasetInfo struct {
 }
 
 // status reports a dataset's gateway-level state: idle until first touch,
-// then the entry's lifecycle.
+// then the entry's lifecycle. A warming entry whose registry build is
+// replaying a write-ahead log reports recovering, so health consumers can
+// distinguish crash recovery from a cold build.
 func (g *Gateway) status(name string) (workload.Status, error) {
 	g.mu.RLock()
 	e, ok := g.entries[name]
 	g.mu.RUnlock()
 	if !ok {
-		if g.reg.Status(name) == workload.StatusUnknown {
+		switch g.reg.Status(name) {
+		case workload.StatusUnknown:
 			return workload.StatusUnknown, nil
+		case workload.StatusRecovering:
+			// The registry build was started directly (embedders, server
+			// boot) and is replaying a WAL; no gateway entry exists yet but
+			// the dataset is very much not idle.
+			return workload.StatusRecovering, nil
 		}
 		return workload.StatusIdle, nil
 	}
 	st := e.state()
-	if st == workload.StatusFailed {
+	switch st {
+	case workload.StatusFailed:
 		return st, e.err
+	case workload.StatusWarming:
+		if g.reg.Status(name) == workload.StatusRecovering {
+			return workload.StatusRecovering, nil
+		}
 	}
 	return st, nil
 }
@@ -536,13 +664,28 @@ func (g *Gateway) serveHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	statuses := make(map[string]string)
+	recovering := false
 	for _, name := range g.reg.Names() {
 		st, _ := g.status(name)
 		statuses[name] = st.String()
+		if st == workload.StatusRecovering {
+			recovering = true
+		}
+	}
+	// Rollup precedence: draining (shutdown in progress) > recovering (WAL
+	// replay; traffic must stay away until state is complete) > ok. Both
+	// non-ok states answer 503 so plain status-code health checks fail over.
+	status, code := "ok", http.StatusOK
+	switch {
+	case g.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case recovering:
+		status, code = "recovering", http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]any{
-		"status":     "ok",
+		"status":     status,
 		"uptime_sec": time.Since(g.start).Seconds(),
 		"datasets":   statuses,
 	})
@@ -558,6 +701,9 @@ type GatewaySnapshot struct {
 	QueueDepthLive     int               `json:"queue_depth_live"`
 	QueueDepthPrefetch int               `json:"queue_depth_prefetch"`
 	Datasets           map[string]string `json:"datasets"`
+	Draining           bool              `json:"draining,omitempty"`
+	DrainRejected      int64             `json:"drain_rejected,omitempty"`
+	Panics             map[string]int64  `json:"panics,omitempty"`
 }
 
 // GatewayMetricsSnapshot is the full JSON form of GET /metrics?format=json:
@@ -578,6 +724,9 @@ func (g *Gateway) Snapshot() GatewayMetricsSnapshot {
 			Warming:        g.notReady.Load(),
 			FailedDataset:  g.failedDeps.Load(),
 			Datasets:       make(map[string]string),
+			Draining:       g.draining.Load(),
+			DrainRejected:  g.gwMetrics.drainRejected.Load(),
+			Panics:         g.gwMetrics.panicsSnapshot(),
 		},
 		Datasets: make(map[string]MetricsSnapshot),
 	}
@@ -629,6 +778,16 @@ func (g *Gateway) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "maliva_gateway_unknown_dataset_total %d\n", g.notFound.Load())
 	fmt.Fprintf(w, "maliva_gateway_warming_rejections_total %d\n", g.notReady.Load())
 	fmt.Fprintf(w, "maliva_gateway_failed_dataset_total %d\n", g.failedDeps.Load())
+	fmt.Fprintf(w, "maliva_gateway_drain_rejected_total %d\n", g.gwMetrics.drainRejected.Load())
+	gwPanics := g.gwMetrics.panicsSnapshot()
+	gwHandlers := make([]string, 0, len(gwPanics))
+	for h := range gwPanics {
+		gwHandlers = append(gwHandlers, h)
+	}
+	sort.Strings(gwHandlers)
+	for _, h := range gwHandlers {
+		fmt.Fprintf(w, "maliva_gateway_panics_total{handler=%q} %d\n", h, gwPanics[h])
+	}
 	live, prefetch := g.admit.queueDepths()
 	writeQueueDepths(w, live, prefetch)
 	names := g.reg.Names()

@@ -9,7 +9,14 @@ import (
 	"regexp"
 	"strconv"
 	"time"
+
+	"github.com/maliva/maliva/internal/engine"
 )
+
+// statusClientClosedRequest is the nginx-convention status for requests
+// whose client disconnected before the response was ready (there is no
+// standard code; 499 is the de-facto one).
+const statusClientClosedRequest = 499
 
 // httpRequest is the JSON wire format of a visualization request.
 type httpRequest struct {
@@ -91,18 +98,17 @@ func EncodeRequest(req Request) ([]byte, error) {
 //
 //	POST /viz      — visualization requests (admission-controlled)
 //	POST /ingest   — append rows through the adaptive write batcher
-//	GET  /healthz  — liveness probe
+//	GET  /healthz  — liveness probe; status reflects the lifecycle
+//	                 ("ok" / "draining" / "closed")
 //	GET  /metrics  — Prometheus text format; ?format=json for a snapshot
+//
+// Every route runs under the panic-recovery middleware: a panicking request
+// becomes a 500 plus a maliva_panics_total{handler=...} increment, never a
+// dead process.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]any{
-			"status":     "ok",
-			"uptime_sec": time.Since(s.metrics.start).Seconds(),
-		})
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", recoverPanics(s.metrics, "healthz", s.serveHealthz))
+	mux.HandleFunc("GET /metrics", recoverPanics(s.metrics, "metrics", func(w http.ResponseWriter, r *http.Request) {
 		live, prefetch := s.admit.queueDepths()
 		if r.URL.Query().Get("format") == "json" {
 			snap := s.metrics.Snapshot()
@@ -114,10 +120,25 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.metrics.WritePrometheus(w)
 		writeQueueDepths(w, live, prefetch)
-	})
-	mux.HandleFunc("POST /viz", s.serveViz)
-	mux.HandleFunc("POST /ingest", s.serveIngest)
+	}))
+	mux.HandleFunc("POST /viz", recoverPanics(s.metrics, "viz", s.serveViz))
+	mux.HandleFunc("POST /ingest", recoverPanics(s.metrics, "ingest", s.serveIngest))
 	return mux
+}
+
+// serveHealthz reports liveness plus the lifecycle state. Draining and
+// closed servers answer 503 so health-checked load balancers (and the
+// cluster router's probes) fail over before the listener disappears.
+func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	status := lifecycleStatus(s.state.Load())
+	w.Header().Set("Content-Type", "application/json")
+	if status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":     status,
+		"uptime_sec": time.Since(s.metrics.start).Seconds(),
+	})
 }
 
 // writeQueueDepths emits the per-lane admission queue-depth gauges.
@@ -135,6 +156,11 @@ func (s *Server) serveViz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.requests.Add(1)
+	if s.Draining() {
+		s.rejectDraining(w)
+		return
+	}
+	s.fault("viz")
 	// Live-activity window for background parking: spans decode through the
 	// end of response encoding, plus a cooldown stamped on exit — wider than
 	// the admission slot, which misses the request's edges (see liveBusy).
@@ -189,13 +215,18 @@ func (s *Server) serveViz(w http.ResponseWriter, r *http.Request) {
 	defer s.admit.release()
 
 	start := time.Now()
-	resp, cached, err := s.handle(req, false)
+	resp, cached, err := s.handle(r.Context(), req, false)
 	s.metrics.latency.observe(time.Since(start))
 	if err != nil {
-		if errors.Is(err, ErrBadRequest) {
+		switch {
+		case errors.Is(err, ErrBadRequest):
 			s.metrics.clientErr.Add(1)
 			http.Error(w, err.Error(), http.StatusBadRequest)
-		} else {
+		case errors.Is(err, engine.ErrExecCanceled):
+			// The client is gone; the status code is for the access log only
+			// (nginx's 499 convention). Not a server error — nothing failed.
+			http.Error(w, err.Error(), statusClientClosedRequest)
+		default:
 			s.metrics.serverErr.Add(1)
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
@@ -219,6 +250,12 @@ func (s *Server) serveViz(w http.ResponseWriter, r *http.Request) {
 // key's owner replica). The body is the normal /viz wire format; the
 // response carries no payload — prefetch is fire-and-forget cache warming.
 func (s *Server) servePrefetch(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		// Speculative work is the first thing shed on shutdown.
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	s.fault("prefetch")
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	var hreq httpRequest
 	if err := json.NewDecoder(r.Body).Decode(&hreq); err != nil {
@@ -274,6 +311,11 @@ type httpIngest struct {
 
 // serveIngest decodes and applies one POST /ingest request.
 func (s *Server) serveIngest(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.rejectDraining(w)
+		return
+	}
+	s.fault("ingest")
 	r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
 	var hin httpIngest
 	if err := json.NewDecoder(r.Body).Decode(&hin); err != nil {

@@ -2,6 +2,7 @@ package middleware
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -147,7 +148,7 @@ func TestTTLHintBoundedStaleness(t *testing.T) {
 	req := validRequest()
 
 	// Cache at v0, then flush.
-	v0resp, cached, err := s.handle(req, false)
+	v0resp, cached, err := s.handle(context.Background(), req, false)
 	if err != nil || cached {
 		t.Fatalf("cold handle: cached=%v err=%v", cached, err)
 	}
@@ -163,7 +164,7 @@ func TestTTLHintBoundedStaleness(t *testing.T) {
 	// Hinted request within the window: served the v0 answer, byte for byte.
 	withTTL := req
 	withTTL.TTL = time.Minute
-	got, cached, err := s.handle(withTTL, false)
+	got, cached, err := s.handle(context.Background(), withTTL, false)
 	if err != nil || !cached {
 		t.Fatalf("ttl-hinted handle: cached=%v err=%v, want stale hit", cached, err)
 	}
@@ -177,7 +178,7 @@ func TestTTLHintBoundedStaleness(t *testing.T) {
 
 	// The stale hit stored nothing at the current version: an un-hinted
 	// request still recomputes — the v0 entry is unreachable without the hint.
-	if _, cached, err := s.handle(req, false); err != nil || cached {
+	if _, cached, err := s.handle(context.Background(), req, false); err != nil || cached {
 		t.Fatalf("post-stale-hit handle: cached=%v err=%v, want recompute", cached, err)
 	}
 
@@ -191,7 +192,7 @@ func TestTTLHintBoundedStaleness(t *testing.T) {
 	shape := req
 	shape.GridW, shape.GridH = 8, 4 // never served → no entry at any version
 	shape.TTL = time.Minute
-	if _, cached, err := s.handle(shape, false); err != nil || cached {
+	if _, cached, err := s.handle(context.Background(), shape, false); err != nil || cached {
 		t.Fatalf("expired-window handle: cached=%v err=%v, want recompute", cached, err)
 	}
 	if n := s.metrics.staleHits.Load(); n != 1 {

@@ -1,0 +1,308 @@
+package middleware
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/engine"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// postViz sends one valid /viz request and returns the response.
+func postViz(t *testing.T, url string, extra http.Header) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{
+		"keyword": "word0005",
+		"from":    "2016-03-01T00:00:00Z",
+		"to":      "2016-05-01T00:00:00Z",
+		"min_lon": workload.USExtent.MinLon, "min_lat": workload.USExtent.MinLat,
+		"max_lon": workload.USExtent.MaxLon, "max_lat": workload.USExtent.MaxLat,
+		"kind": "heatmap", "grid_w": 8, "grid_h": 8, "budget_ms": 500,
+	})
+	req, err := http.NewRequest(http.MethodPost, url+"/viz", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, vs := range extra {
+		for _, v := range vs {
+			req.Header.Set(k, v)
+		}
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestPanicRecoveryHTTP: a panic inside the serving path becomes a 500 plus
+// a counted recovery — the process (and the next request) survive.
+func TestPanicRecoveryHTTP(t *testing.T) {
+	s := testServer(t)
+	hsrv := httptest.NewServer(s.Handler())
+	defer hsrv.Close()
+
+	boom := true
+	s.SetFaultHook(func(stage string) {
+		if boom && stage == "viz" {
+			panic("injected viz fault")
+		}
+	})
+	resp := postViz(t, hsrv.URL, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking request = %d, want 500", resp.StatusCode)
+	}
+	if got := s.metrics.panicsSnapshot()["viz"]; got != 1 {
+		t.Fatalf("panics[viz] = %d, want 1", got)
+	}
+
+	// The process survived: the very next request serves normally.
+	boom = false
+	resp = postViz(t, hsrv.URL, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic request = %d, want 200", resp.StatusCode)
+	}
+
+	// The counter is exported with the handler label.
+	mr, err := http.Get(hsrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := mr.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	if !strings.Contains(sb.String(), `maliva_panics_total{handler="viz"} 1`) {
+		t.Fatalf("metrics missing panic series:\n%s", sb.String())
+	}
+}
+
+// TestPanicRecoveryWorker: a panic on a worker goroutine (the gateway's
+// session observer) is recovered and counted instead of killing the process,
+// and the observer keeps processing later observations.
+func TestPanicRecoveryWorker(t *testing.T) {
+	cfg := workload.TwitterConfig()
+	cfg.Rows = 4_000
+	reg := workload.NewRegistry()
+	if err := reg.Register("twitter", func() (*workload.Dataset, error) { return workload.Twitter(cfg) }); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGateway(reg, nil, GatewayConfig{Space: core.HintOnlySpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := g.Server("twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetFaultHook(func(stage string) {
+		if stage == "observe" {
+			panic("injected observer fault")
+		}
+	})
+
+	hsrv := httptest.NewServer(g.Handler())
+	defer hsrv.Close()
+	hdr := http.Header{}
+	hdr.Set(SessionHeader, "sess-1")
+	resp := postViz(t, hsrv.URL, hdr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("viz = %d", resp.StatusCode)
+	}
+
+	// The observation is processed asynchronously; wait for the recovery.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.metrics.panicsSnapshot()["observe"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("observer panic never recovered/counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The observer goroutine survived: with the fault cleared, another
+	// session request is observed without incident and serving still works.
+	srv.SetFaultHook(nil)
+	resp = postViz(t, hsrv.URL, hdr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery viz = %d", resp.StatusCode)
+	}
+}
+
+// TestServerDrainAndClose: draining flips /healthz to 503 "draining" and
+// rejects new /viz + /ingest with 503; Close flushes buffered async rows so
+// acknowledged writes are applied before shutdown completes.
+func TestServerDrainAndClose(t *testing.T) {
+	s := testServer(t)
+	hsrv := httptest.NewServer(s.Handler())
+	defer hsrv.Close()
+
+	// Buffer a few async rows, then drain.
+	stream, err := workload.NewIngestStream(s.DS, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := s.DataVersion()
+	rows := stream.Next(8)
+	if _, err := s.Ingest(rows, false); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+
+	hr, err := http.Get(hsrv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable || health.Status != "draining" {
+		t.Fatalf("healthz = %d %q, want 503 draining", hr.StatusCode, health.Status)
+	}
+
+	resp := postViz(t, hsrv.URL, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /viz = %d, want 503", resp.StatusCode)
+	}
+	ib, _ := json.Marshal(httpIngest{Rows: rows, Sync: true})
+	iresp, err := http.Post(hsrv.URL+"/ingest", "application/json", bytes.NewReader(ib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iresp.Body.Close()
+	if iresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /ingest = %d, want 503", iresp.StatusCode)
+	}
+	if got := s.metrics.drainRejected.Load(); got != 2 {
+		t.Fatalf("drainRejected = %d, want 2", got)
+	}
+
+	// Close honors the async ack contract: every accepted row is applied —
+	// whether the adaptive flusher beat us to it or Close's final flush did.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Ingestor().Pending() != 0 {
+		t.Fatalf("Close left %d rows buffered", s.Ingestor().Pending())
+	}
+	if s.DataVersion() == v0 {
+		t.Fatal("accepted rows never applied")
+	}
+	total, _ := s.Ingestor().Totals()
+	if total != int64(len(rows)) {
+		t.Fatalf("applied rows = %d, want %d", total, len(rows))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestCancelAbortsExecution: a dead request context aborts the engine
+// execution at its first yield — the error is ErrExecCanceled and the
+// counter records it. A live context on the same shape still serves.
+func TestCancelAbortsExecution(t *testing.T) {
+	s := testServer(t)
+	req := validRequest()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone when execution starts
+	_, _, err := s.handle(ctx, req, false)
+	if !errors.Is(err, engine.ErrExecCanceled) {
+		t.Fatalf("err = %v, want ErrExecCanceled", err)
+	}
+	if got := s.metrics.execCanceled.Load(); got == 0 {
+		t.Fatal("execCanceled counter not incremented")
+	}
+
+	// Nothing was cached for the canceled request; a live retry executes and
+	// serves normally.
+	resp, cached, err := s.handle(context.Background(), req, false)
+	if err != nil || resp == nil {
+		t.Fatalf("retry after cancel: cached=%v err=%v", cached, err)
+	}
+	if len(resp.Bins) == 0 {
+		t.Fatal("retry served empty heatmap")
+	}
+}
+
+// TestGatewayDrain: a draining gateway rejects new work at the gateway
+// level, reports "draining" on the health rollup, and drains every built
+// dataset server underneath.
+func TestGatewayDrain(t *testing.T) {
+	cfg := workload.TwitterConfig()
+	cfg.Rows = 4_000
+	reg := workload.NewRegistry()
+	if err := reg.Register("twitter", func() (*workload.Dataset, error) { return workload.Twitter(cfg) }); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGateway(reg, nil, GatewayConfig{Space: core.HintOnlySpec(), Sessions: SessionConfig{Disabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := g.Server("twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Drain()
+	if !srv.Draining() {
+		t.Fatal("gateway drain did not drain the dataset server")
+	}
+
+	hsrv := httptest.NewServer(g.Handler())
+	defer hsrv.Close()
+	hr, err := http.Get(hsrv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable || health.Status != "draining" {
+		t.Fatalf("rollup healthz = %d %q, want 503 draining", hr.StatusCode, health.Status)
+	}
+	resp := postViz(t, hsrv.URL, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining gateway /viz = %d, want 503", resp.StatusCode)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

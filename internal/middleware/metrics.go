@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -112,8 +114,42 @@ type Metrics struct {
 	ingestRows    atomic.Int64 // rows accepted by the write path
 	ingestFlushes atomic.Int64 // applied ingest flushes (data-version bumps)
 
+	execCanceled  atomic.Int64 // executions aborted because the client went away
+	drainRejected atomic.Int64 // requests refused while draining or closed
+
+	// panics counts recovered handler/worker panics by handler name. Panics
+	// are exceptional, so a mutex-guarded map (arbitrary labels, zero cost on
+	// the request path until a panic actually happens) beats pre-declared
+	// atomics here.
+	panicsMu sync.Mutex
+	panics   map[string]int64
+
 	latency      latencyHist
 	flushLatency latencyHist // ApplyBatch wall time per flush
+}
+
+// notePanic records one recovered panic under the given handler label.
+func (m *Metrics) notePanic(handler string) {
+	m.panicsMu.Lock()
+	if m.panics == nil {
+		m.panics = make(map[string]int64)
+	}
+	m.panics[handler]++
+	m.panicsMu.Unlock()
+}
+
+// panicsSnapshot copies the per-handler panic counts.
+func (m *Metrics) panicsSnapshot() map[string]int64 {
+	m.panicsMu.Lock()
+	defer m.panicsMu.Unlock()
+	if len(m.panics) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(m.panics))
+	for k, v := range m.panics {
+		out[k] = v
+	}
+	return out
 }
 
 // NewMetrics returns a zeroed metrics registry.
@@ -157,11 +193,16 @@ type MetricsSnapshot struct {
 	BudgetViolations    int64   `json:"budget_violations"`
 	BudgetViolationRate float64 `json:"budget_violation_rate"`
 
-	IngestRows    int64   `json:"ingest_rows"`
-	IngestFlushes int64   `json:"ingest_flushes"`
-	FlushP50Ms    float64 `json:"flush_latency_p50_ms"`
-	FlushP95Ms    float64 `json:"flush_latency_p95_ms"`
-	FlushMaxMs    float64 `json:"flush_latency_max_ms"`
+	IngestRows    int64 `json:"ingest_rows"`
+	IngestFlushes int64 `json:"ingest_flushes"`
+
+	ExecCanceled  int64            `json:"exec_canceled"`
+	DrainRejected int64            `json:"drain_rejected"`
+	Panics        map[string]int64 `json:"panics,omitempty"`
+
+	FlushP50Ms float64 `json:"flush_latency_p50_ms"`
+	FlushP95Ms float64 `json:"flush_latency_p95_ms"`
+	FlushMaxMs float64 `json:"flush_latency_max_ms"`
 
 	LatencyCount int64   `json:"latency_count"`
 	LatencyP50Ms float64 `json:"latency_p50_ms"`
@@ -209,6 +250,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 
 		IngestRows:    m.ingestRows.Load(),
 		IngestFlushes: m.ingestFlushes.Load(),
+		ExecCanceled:  m.execCanceled.Load(),
+		DrainRejected: m.drainRejected.Load(),
+		Panics:        m.panicsSnapshot(),
 		FlushP50Ms:    m.flushLatency.quantile(0.50),
 		FlushP95Ms:    m.flushLatency.quantile(0.95),
 		FlushMaxMs:    float64(m.flushLatency.maxNs.Load()) / float64(time.Millisecond),
@@ -271,6 +315,16 @@ func (m *Metrics) WritePrometheusLabeled(w io.Writer, label string) {
 	p(`budget_violation_rate`, s.BudgetViolationRate)
 	p(`ingest_rows_total`, float64(s.IngestRows))
 	p(`ingest_flushes_total`, float64(s.IngestFlushes))
+	p(`exec_canceled_total`, float64(s.ExecCanceled))
+	p(`drain_rejected_total`, float64(s.DrainRejected))
+	handlers := make([]string, 0, len(s.Panics))
+	for h := range s.Panics {
+		handlers = append(handlers, h)
+	}
+	sort.Strings(handlers)
+	for _, h := range handlers {
+		p(fmt.Sprintf("panics_total{handler=%q}", h), float64(s.Panics[h]))
+	}
 	p(`ingest_flush_latency_ms{quantile="0.5"}`, s.FlushP50Ms)
 	p(`ingest_flush_latency_ms{quantile="0.95"}`, s.FlushP95Ms)
 	p(`ingest_flush_latency_ms{quantile="max"}`, s.FlushMaxMs)

@@ -1,6 +1,7 @@
 package middleware
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -194,6 +195,14 @@ type Server struct {
 	// scratch buffers). Only cold plan-cache paths take it; cached shapes
 	// never plan again.
 	rewriteMu sync.Mutex
+
+	// Lifecycle: serving → draining → closed, one-way (see lifecycle.go).
+	// faultHook is the test-only fault injection point for the panic-recovery
+	// middleware.
+	state     atomic.Int32
+	closeOnce sync.Once
+	closeErr  error
+	faultHook atomic.Pointer[func(string)]
 
 	// liveHTTP counts live /viz requests between handler entry and the end
 	// of response encoding; lastLiveNs is when the count last dropped. The
@@ -398,7 +407,7 @@ func (s *Server) BuildQuery(req Request) (*engine.Query, error) {
 // concurrent requests for the same shape: treat it as immutable. (Disable
 // the result cache via ServerConfig to get per-call private responses.)
 func (s *Server) Handle(req Request) (*Response, error) {
-	resp, _, err := s.handle(req, false)
+	resp, _, err := s.handle(context.Background(), req, false)
 	return resp, err
 }
 
@@ -429,7 +438,7 @@ func (s *Server) Prefetch(req Request) {
 		return
 	}
 	defer s.admit.releasePrefetch()
-	_, _, _ = s.handle(req, true)
+	_, _, _ = s.handle(context.Background(), req, true)
 }
 
 // effectiveBudget resolves a request's budget: zero/negative falls back to
@@ -607,12 +616,18 @@ func responseShell(p planned) *Response {
 // entries are remembered so their first live consumer counts as a prefetch
 // hit, and staleness hints never apply (Server.Prefetch strips TTL).
 //
+// ctx is the request's cancellation scope: when it has a Done channel (the
+// HTTP path passes r.Context()), the execution checks it at every yield
+// stride and aborts once the client is gone — a disconnected pan/zoom burst
+// must not keep burning worker slots on answers nobody will read. Cache and
+// plan layers are unaffected; only the engine execution is cancelable.
+//
 // The whole plan+probe+execute sequence runs under the DB's data read lock,
 // so it observes exactly one (data, version) pair: an ingest flush either
 // happens entirely before this request (which then plans, executes, and
 // caches at the new version) or entirely after it. That lock is what turns
 // "version-stamped keys" into the stale-read guarantee.
-func (s *Server) handle(req Request, prefetch bool) (*Response, bool, error) {
+func (s *Server) handle(ctx context.Context, req Request, prefetch bool) (*Response, bool, error) {
 	s.DS.DB.RLockData()
 	defer s.DS.DB.RUnlockData()
 	p, err := s.plan(req, !prefetch, prefetch)
@@ -728,6 +743,8 @@ func (s *Server) handle(req Request, prefetch bool) (*Response, bool, error) {
 				boost = &call.boost
 			}
 			yield = s.backgroundYield(boost)
+		} else if ctx.Done() != nil {
+			yield = s.cancelYield(ctx)
 		}
 		res, _, err := s.DS.DB.RunCachedYield(p.rq, p.hint, s.lookups, yield)
 		if err != nil {
@@ -819,6 +836,25 @@ func (s *Server) backgroundYield(boost *atomic.Bool) func() {
 			pause -= backgroundNap
 		}
 		runtime.Gosched()
+	}
+}
+
+// cancelYield returns the live path's cooperative-cancellation hook: each
+// executor yield checks whether the request's context is done (client
+// disconnected, caller deadline blown) and aborts the zombie execution
+// instead of finishing an answer nobody will read. Virtual budgets
+// deliberately do not cancel — a blown budget still wants its (non-viable)
+// answer — so the only trigger is the context itself. When the hook never
+// fires, execution is byte-identical to an unhooked run (pinned by
+// TestCancelCheckYieldPreservesResults in the engine).
+func (s *Server) cancelYield(ctx context.Context) func() {
+	return func() {
+		select {
+		case <-ctx.Done():
+			s.metrics.execCanceled.Add(1)
+			engine.AbortExec(fmt.Errorf("%w: %v", engine.ErrExecCanceled, context.Cause(ctx)))
+		default:
+		}
 	}
 }
 

@@ -21,6 +21,12 @@ const (
 	// StatusFailed: generation failed; the error is cached (builders are
 	// deterministic, so retrying would fail identically).
 	StatusFailed
+	// StatusRecovering: the build is replaying durable state (a write-ahead
+	// log) rather than generating fresh data. Operationally a sub-state of
+	// warming — the dataset is not servable yet — but surfaced distinctly so
+	// health endpoints can tell a crash-recovering replica from a cold one
+	// and cluster health pools hold traffic away until replay completes.
+	StatusRecovering
 )
 
 // String returns the lowercase wire form used by the gateway endpoints.
@@ -34,6 +40,8 @@ func (s Status) String() string {
 		return "ready"
 	case StatusFailed:
 		return "failed"
+	case StatusRecovering:
+		return "recovering"
 	}
 	return "unknown"
 }
@@ -114,7 +122,7 @@ func (r *Registry) Lookup(name string) (*Dataset, error) {
 	case StatusReady, StatusFailed:
 		r.mu.Unlock()
 		return e.ds, e.err
-	case StatusWarming:
+	case StatusWarming, StatusRecovering:
 		done := e.done
 		r.mu.Unlock()
 		<-done
@@ -145,9 +153,10 @@ func (r *Registry) Poll(name string) (*Dataset, Status, error) {
 	case StatusReady, StatusFailed:
 		r.mu.Unlock()
 		return e.ds, e.status, e.err
-	case StatusWarming:
+	case StatusWarming, StatusRecovering:
+		st := e.status
 		r.mu.Unlock()
-		return nil, StatusWarming, nil
+		return nil, st, nil
 	}
 	e.status = StatusWarming
 	e.done = make(chan struct{})
@@ -156,8 +165,21 @@ func (r *Registry) Poll(name string) (*Dataset, Status, error) {
 	return nil, StatusWarming, nil
 }
 
+// MarkRecovering flags a warming dataset as replaying durable state: a
+// builder that attaches a write-ahead log calls it when startup replay
+// begins, so health endpoints report "recovering" instead of generic
+// warming. No-op unless the entry is currently warming; the build's terminal
+// status (ready/failed) overwrites it when the builder returns.
+func (r *Registry) MarkRecovering(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok && e.status == StatusWarming {
+		e.status = StatusRecovering
+	}
+}
+
 // runBuild executes one entry's builder and publishes the result. The entry
-// is in StatusWarming and owned by this call.
+// is in StatusWarming (or StatusRecovering) and owned by this call.
 func (r *Registry) runBuild(e *regEntry) {
 	ds, err := e.build()
 	r.mu.Lock()
