@@ -1,0 +1,419 @@
+// Approximation drill (-approx): maps the budget-feasibility frontier of the
+// approximate-answer tier against the exact-only rewrite space. The twitter
+// dataset is rebuilt at several virtual scales (stored rows stay fixed; the
+// cost model's Scale factor is multiplied 10–100x), and at every scale a
+// deterministic request mix — keyword counts, distinct-word counts, and
+// heatmaps — is replayed across a ladder of budgets against two uncached
+// servers: an exact arm (hint-only space, plain Oracle) and an approximate
+// arm (sampling + sketch actions, quality-aware Oracle). Per (scale, class,
+// budget) cell the drill records each arm's viable-plan rate, and for every
+// approximate answer the observed error against ground truth is checked
+// inside the response's own stated confidence interval (widened from the
+// stated 95% to 99.9%, i.e. z 3.29 vs 1.96 — the statistical slack a bounded
+// number of draws is entitled to). Two invariants ride on the drill: under a
+// generous budget the approximate arm must fall back to byte-equal exact
+// answers (the carve-out), and no approximate answer may sit outside its
+// stated error contract.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/engine"
+	"github.com/maliva/maliva/internal/middleware"
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// ciSlack widens each response's stated 95% interval to a 99.9% acceptance
+// band (z=3.29 over z=1.96): with hundreds of checks per run, a strict-95%
+// gate would fail a healthy estimator one time in twenty by design.
+const ciSlack = 3.29 / 1.96
+
+// truthBudgetMs is the effectively-unbounded budget used for ground truth
+// and for the exact-fallback check; every exact plan on every scale fits it.
+const truthBudgetMs = 1e9
+
+// approxCell is one (scale, class, budget) measurement.
+type approxCell struct {
+	Class    string  `json:"class"` // count | distinct | heatmap
+	BudgetMs float64 `json:"budget_ms"`
+
+	ExactViableRate  float64 `json:"exact_viable_rate"`
+	ApproxViableRate float64 `json:"approx_viable_rate"`
+	ApproxServedRate float64 `json:"approx_served_rate"`
+
+	ExactP95ExecMs  float64 `json:"exact_p95_exec_ms"`
+	ApproxP95ExecMs float64 `json:"approx_p95_exec_ms"`
+
+	ErrChecks    int64   `json:"err_checks"`
+	CIViolations int64   `json:"ci_violations"`
+	MeanRelErr   float64 `json:"mean_rel_err"`
+	MaxRelErr    float64 `json:"max_rel_err"`
+}
+
+// classFrontier is one request class's feasibility frontier at one scale:
+// the smallest swept budget each arm can serve with a viable plan for every
+// request of the class (0 = no swept budget sufficed).
+type classFrontier struct {
+	Class                  string  `json:"class"`
+	ExactFeasibleBudgetMs  float64 `json:"exact_feasible_budget_ms"`
+	ApproxFeasibleBudgetMs float64 `json:"approx_feasible_budget_ms"`
+}
+
+// approxScaleReport is one virtual-scale slice of the drill.
+type approxScaleReport struct {
+	Multiplier  float64         `json:"multiplier"`
+	VirtualRows float64         `json:"virtual_rows"`
+	Frontier    []classFrontier `json:"frontier"`
+	Cells       []approxCell    `json:"cells"`
+}
+
+// approxDrillReport is the -approx section of the JSON report.
+type approxDrillReport struct {
+	Rows      int       `json:"rows"`
+	Budgets   []float64 `json:"budgets_ms"`
+	ErrChecks int64     `json:"err_checks"`
+	// CIViolations counts approximate answers outside their own stated
+	// (slack-widened) error contract; the drill fails unless 0.
+	CIViolations int64   `json:"ci_violations"`
+	WorstRelErr  float64 `json:"worst_rel_err"`
+	// ExactPathChecks replays the mix under an unbounded budget on the
+	// approximate arm: every answer must come back exact and equal to the
+	// exact arm's — the bit-identity carve-out, exercised end to end.
+	ExactPathChecks     int64 `json:"exact_path_checks"`
+	ExactPathMismatches int64 `json:"exact_path_mismatches"`
+
+	Scales []approxScaleReport `json:"scales"`
+}
+
+// approxProbe is one request shape of the drill mix.
+type approxProbe struct {
+	class string
+	req   middleware.Request
+}
+
+// approxMix builds the deterministic request mix over one built dataset's
+// metadata: popular and tail keywords, two window lengths, full-extent and
+// quadrant viewports.
+func approxMix(ds *workload.Dataset) []approxProbe {
+	wide := [2]time.Time{ds.TimeOrigin.AddDate(0, 0, 30), ds.TimeOrigin.AddDate(0, 0, 90)}
+	narrow := [2]time.Time{ds.TimeOrigin.AddDate(0, 0, 10), ds.TimeOrigin.AddDate(0, 0, 24)}
+	windows := [][2]time.Time{wide, narrow}
+	ext := ds.Extent
+	quadrant := engine.Rect{
+		MinLon: ext.MinLon, MinLat: ext.MinLat,
+		MaxLon: (ext.MinLon + ext.MaxLon) / 2, MaxLat: (ext.MinLat + ext.MaxLat) / 2,
+	}
+
+	var probes []approxProbe
+	for _, kw := range []string{"word0003", "word0007", "word0025", "word0041"} {
+		for _, w := range windows {
+			probes = append(probes, approxProbe{class: "count", req: middleware.Request{
+				Kind: middleware.VizCount, Keyword: kw, From: w[0], To: w[1],
+			}})
+		}
+	}
+	for _, w := range windows {
+		probes = append(probes, approxProbe{class: "distinct", req: middleware.Request{
+			Kind: middleware.VizDistinct, From: w[0], To: w[1],
+		}})
+	}
+	for _, kw := range []string{"word0003", "word0025"} {
+		for _, region := range []engine.Rect{ext, quadrant} {
+			probes = append(probes, approxProbe{class: "heatmap", req: middleware.Request{
+				Kind: middleware.VizHeatmap, Keyword: kw, From: wide[0], To: wide[1],
+				Region: region, GridW: 32, GridH: 16,
+			}})
+		}
+	}
+	return probes
+}
+
+// answerTotal reduces a response to the scalar the error contract is stated
+// over: the aggregate value for count/distinct, the summed bin mass for
+// heatmaps (sampling CIs bound the total matched-row estimate).
+func answerTotal(resp *middleware.Response) float64 {
+	if resp.Value != nil {
+		return *resp.Value
+	}
+	var sum float64
+	for _, v := range resp.Bins {
+		sum += v
+	}
+	return sum
+}
+
+// sameAnswer compares only the answer surface (value, bins, points) — Trace
+// legitimately differs across rewrite spaces.
+func sameAnswer(a, b *middleware.Response) bool {
+	if (a.Value == nil) != (b.Value == nil) {
+		return false
+	}
+	if a.Value != nil && *a.Value != *b.Value {
+		return false
+	}
+	if len(a.Bins) != len(b.Bins) || len(a.Points) != len(b.Points) {
+		return false
+	}
+	for k, v := range a.Bins {
+		if b.Bins[k] != v {
+			return false
+		}
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// insideContract checks one approximate answer against its own stated error
+// bound (slack-widened; see ciSlack). Exact answers always pass.
+func insideContract(resp *middleware.Response, truth float64) bool {
+	if !resp.Approximate || resp.Approx == nil {
+		return true
+	}
+	got := answerTotal(resp)
+	const eps = 1e-9
+	switch resp.Approx.Bound {
+	case "exact-count":
+		return math.Abs(got-truth) <= eps
+	case "overestimate":
+		return got >= truth-eps && got <= truth+ciSlack*resp.Approx.CIHalfWidth+eps
+	case "truncation":
+		return got <= truth+eps
+	default: // two-sided
+		return math.Abs(got-truth) <= ciSlack*resp.Approx.CIHalfWidth+eps
+	}
+}
+
+// approxArm is one server-side of the drill at one scale.
+type approxArm struct {
+	name string
+	srv  *middleware.Server
+}
+
+// newApproxArms builds the two uncached single-dataset servers over a
+// freshly generated twitter dataset whose cost-model Scale is multiplied by
+// mult (stored rows unchanged — only the virtual dataset grows).
+func newApproxArms(rows int, mult float64) (exact, approx approxArm, ds *workload.Dataset, err error) {
+	cfg := workload.TwitterConfig()
+	if rows > 0 {
+		cfg.Scale = cfg.Scale * float64(cfg.Rows) / float64(rows)
+		cfg.Rows = rows
+	}
+	cfg.Scale *= mult
+	ds, err = workload.Twitter(cfg)
+	if err != nil {
+		return exact, approx, nil, err
+	}
+	if _, err := ds.DB.Table(ds.Main).BuildSketch("text", "created_at", 24*time.Hour); err != nil {
+		return exact, approx, nil, err
+	}
+	// Uncached and subsumption-free: every request is a fresh plan+execute,
+	// so viability and error are properties of the rewrite space, not of
+	// whatever an earlier budget happened to leave in a cache.
+	scfg := middleware.ServerConfig{
+		DefaultBudgetMs:    500,
+		PlanCacheSize:      -1,
+		ResultCacheSize:    -1,
+		DisableSubsumption: true,
+	}
+	rw, err := middleware.OracleFactory("twitter", ds)
+	if err != nil {
+		return exact, approx, nil, err
+	}
+	es, err := middleware.NewServerWithConfig(ds, rw, core.HintOnlySpec(), scfg)
+	if err != nil {
+		return exact, approx, nil, err
+	}
+	as, err := middleware.NewServerWithConfig(ds, core.QualityOracle{}, core.ApproxTierSpec(), scfg)
+	if err != nil {
+		return exact, approx, nil, err
+	}
+	return approxArm{name: "exact", srv: es}, approxArm{name: "approx", srv: as}, ds, nil
+}
+
+// runApprox runs the drill and fills report.Approx.
+func runApprox(report *loadReport, rows int, smoke bool) {
+	mults := []float64{10, 30, 100}
+	budgets := []float64{10, 25, 50, 100, 250, 1000, 2500, 10000, 25000, 100000}
+	if smoke {
+		mults = []float64{10, 100}
+		budgets = []float64{10, 100, 1000, 10000, 100000}
+	}
+	drill := &approxDrillReport{Rows: rows, Budgets: budgets}
+
+	for _, mult := range mults {
+		fmt.Fprintf(os.Stderr, "approx drill: building twitter at %gx virtual scale...\n", mult)
+		exact, approx, ds, err := newApproxArms(rows, mult)
+		if err != nil {
+			fatal(err)
+		}
+		probes := approxMix(ds)
+		sr := approxScaleReport{
+			Multiplier:  mult,
+			VirtualRows: 100e6 * mult,
+		}
+
+		// Ground truth per probe, plus the exact-fallback (carve-out) check:
+		// the approximate arm under an unbounded budget must answer exactly,
+		// with the same bytes on the answer surface as the exact arm.
+		truth := make([]float64, len(probes))
+		for i, p := range probes {
+			req := p.req
+			req.BudgetMs = truthBudgetMs
+			want, err := exact.srv.Handle(req)
+			if err != nil {
+				fatal(fmt.Errorf("approx drill: truth for probe %d: %w", i, err))
+			}
+			truth[i] = answerTotal(want)
+			got, err := approx.srv.Handle(req)
+			if err != nil {
+				fatal(fmt.Errorf("approx drill: fallback for probe %d: %w", i, err))
+			}
+			drill.ExactPathChecks++
+			if got.Approximate || !sameAnswer(want, got) {
+				drill.ExactPathMismatches++
+			}
+		}
+
+		// The budget sweep, one cell per (class, budget).
+		feasible := map[string]*classFrontier{}
+		for _, class := range []string{"count", "distinct", "heatmap"} {
+			feasible[class] = &classFrontier{Class: class}
+		}
+		for _, budget := range budgets {
+			cells := map[string]*approxCell{}
+			exec := map[string]*[2][]float64{} // class -> [exact, approx] exec ms
+			for _, class := range []string{"count", "distinct", "heatmap"} {
+				cells[class] = &approxCell{Class: class, BudgetMs: budget}
+				exec[class] = &[2][]float64{}
+			}
+			n := map[string]int{}
+			for i, p := range probes {
+				req := p.req
+				req.BudgetMs = budget
+				c := cells[p.class]
+				n[p.class]++
+
+				er, err := exact.srv.Handle(req)
+				if err != nil {
+					fatal(fmt.Errorf("approx drill: exact arm probe %d: %w", i, err))
+				}
+				if er.Trace.Viable {
+					c.ExactViableRate++
+				}
+				ar, err := approx.srv.Handle(req)
+				if err != nil {
+					fatal(fmt.Errorf("approx drill: approx arm probe %d: %w", i, err))
+				}
+				if ar.Trace.Viable {
+					c.ApproxViableRate++
+				}
+				exec[p.class][0] = append(exec[p.class][0], er.Trace.ExecMs)
+				exec[p.class][1] = append(exec[p.class][1], ar.Trace.ExecMs)
+				if ar.Approximate {
+					c.ApproxServedRate++
+					c.ErrChecks++
+					drill.ErrChecks++
+					rel := math.Abs(answerTotal(ar)-truth[i]) / math.Max(truth[i], 1)
+					c.MeanRelErr += rel
+					if rel > c.MaxRelErr {
+						c.MaxRelErr = rel
+					}
+					if rel > drill.WorstRelErr {
+						drill.WorstRelErr = rel
+					}
+					if !insideContract(ar, truth[i]) {
+						c.CIViolations++
+						drill.CIViolations++
+					}
+				}
+			}
+			for _, class := range []string{"count", "distinct", "heatmap"} {
+				c := cells[class]
+				total := float64(n[class])
+				if c.ErrChecks > 0 {
+					c.MeanRelErr /= float64(c.ErrChecks)
+				}
+				c.ExactViableRate /= total
+				c.ApproxViableRate /= total
+				c.ApproxServedRate /= total
+				sort.Float64s(exec[class][0])
+				sort.Float64s(exec[class][1])
+				c.ExactP95ExecMs = pct(exec[class][0], 0.95)
+				c.ApproxP95ExecMs = pct(exec[class][1], 0.95)
+				f := feasible[class]
+				if c.ExactViableRate == 1 && f.ExactFeasibleBudgetMs == 0 {
+					f.ExactFeasibleBudgetMs = budget
+				}
+				if c.ApproxViableRate == 1 && f.ApproxFeasibleBudgetMs == 0 {
+					f.ApproxFeasibleBudgetMs = budget
+				}
+				sr.Cells = append(sr.Cells, *c)
+			}
+		}
+		for _, class := range []string{"count", "distinct", "heatmap"} {
+			sr.Frontier = append(sr.Frontier, *feasible[class])
+		}
+		drill.Scales = append(drill.Scales, sr)
+	}
+	report.Approx = drill
+}
+
+// printApprox renders the drill's headline numbers.
+func printApprox(d *approxDrillReport) {
+	for _, sr := range d.Scales {
+		fmt.Printf("approx %gx (%.0g virtual rows):\n", sr.Multiplier, sr.VirtualRows)
+		for _, f := range sr.Frontier {
+			fmt.Printf("  %-8s exact feasible %s  approx feasible %s\n",
+				f.Class, feasibleStr(f.ExactFeasibleBudgetMs), feasibleStr(f.ApproxFeasibleBudgetMs))
+		}
+	}
+	fmt.Printf("approx error contract: %d checks, %d violations, worst rel err %.2f%%\n",
+		d.ErrChecks, d.CIViolations, 100*d.WorstRelErr)
+	fmt.Printf("exact fallback (carve-out): %d checks, %d mismatches\n",
+		d.ExactPathChecks, d.ExactPathMismatches)
+}
+
+func feasibleStr(b float64) string {
+	if b == 0 {
+		return "never (in sweep)"
+	}
+	return fmt.Sprintf("at %g ms", b)
+}
+
+// assertApprox enforces the drill's pass/fail contract.
+func assertApprox(d *approxDrillReport) {
+	if d.ExactPathMismatches > 0 {
+		fatal(fmt.Errorf("approx: %d of %d unbounded-budget answers on the approximate arm diverged from the exact arm (carve-out broken)", d.ExactPathMismatches, d.ExactPathChecks))
+	}
+	if d.CIViolations > 0 {
+		fatal(fmt.Errorf("approx: %d of %d approximate answers landed outside their stated error contract", d.CIViolations, d.ErrChecks))
+	}
+	if d.ErrChecks == 0 {
+		fatal(fmt.Errorf("approx: the approximate arm never served an approximate answer — no budget in the sweep exercised the tier"))
+	}
+	// The headline claim: at every scale, some request class is budget-
+	// feasible on the approximate arm strictly below (or despite) the exact
+	// arm's frontier.
+	for _, sr := range d.Scales {
+		ahead := false
+		for _, f := range sr.Frontier {
+			if f.ApproxFeasibleBudgetMs > 0 &&
+				(f.ExactFeasibleBudgetMs == 0 || f.ApproxFeasibleBudgetMs < f.ExactFeasibleBudgetMs) {
+				ahead = true
+			}
+		}
+		if !ahead {
+			fatal(fmt.Errorf("approx: at %gx no request class was feasible under a budget the exact space could not meet", sr.Multiplier))
+		}
+	}
+}

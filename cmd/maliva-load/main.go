@@ -187,6 +187,12 @@ type loadReport struct {
 	// byte-identity checks against an uncrashed control, graceful-drain
 	// accounting under SIGTERM, and per-fsync-policy sync-ack latency.
 	Crash *crashReport `json:"crash,omitempty"`
+
+	// Approx-drill results (approx mode only): the budget-feasibility
+	// frontier of the approximate tier vs the exact-only rewrite space
+	// across virtual dataset scales, plus the error-contract and
+	// exact-fallback check tallies.
+	Approx *approxDrillReport `json:"approx,omitempty"`
 }
 
 func main() {
@@ -208,6 +214,7 @@ func main() {
 		churn    = flag.Bool("churn", false, "replica-churn drill over the -replicas count (default 3): a healthy control pass, then a pass with replicas killed/drained/revived mid-run; fails on any non-identical 200 or availability below 99%")
 		ingest   = flag.Bool("ingest", false, "live-ingestion drill: idle and active-writes read passes, flush-latency distribution, and a zero-stale-read check against an uncached control gateway; fails on any stale read")
 		crash    = flag.Bool("crash", false, "crash-recovery drill: SIGKILL a WAL-backed victim server mid-ingest, restart it, and assert zero acked-row loss plus byte-identical reads vs an uncrashed control; also SIGTERMs a victim under load (zero dropped in-flight) and prices the fsync policies")
+		approx   = flag.Bool("approx", false, "approximation drill: rebuild twitter at 10-100x virtual scale and sweep budgets against an exact-only and an approximate-tier server; reports the per-class feasibility frontier and fails on any answer outside its stated error contract or any inexact unbounded-budget answer")
 
 		crashVictim = flag.String("crash-victim-wal", "", "internal: run as the crash drill's victim server with this WAL directory (spawned by -crash, not for direct use)")
 		fsyncMode   = flag.String("fsync", "always", "WAL fsync policy for the crash victim (always | interval | never)")
@@ -231,7 +238,7 @@ func main() {
 		*workers = 4
 		*duration = time.Second
 		*nShapes = 30
-		if *repList == "" && !*churn && !*ingest && !*session && !*crash {
+		if *repList == "" && !*churn && !*ingest && !*session && !*crash && !*approx {
 			*compare = true
 		}
 		if *session {
@@ -250,6 +257,7 @@ func main() {
 		for flagName, set := range map[string]bool{
 			"-compare": *compare, "-replicas": *repList != "", "-churn": *churn,
 			"-ingest": *ingest, "-session": *session, "-url": *url != "",
+			"-approx": *approx,
 		} {
 			if set {
 				fatal(fmt.Errorf("-crash and %s are mutually exclusive (the crash drill spawns its own victim servers)", flagName))
@@ -259,6 +267,23 @@ func main() {
 			fatal(fmt.Errorf("-crash and -agent are mutually exclusive (victim servers always serve the Oracle)"))
 		}
 		// The drill's victim and control must build byte-identical base data,
+		// so the dataset is pinned.
+		*datasets = "twitter"
+	}
+	if *approx {
+		// Strictly its own mode: the drill builds its own scaled datasets and
+		// its own exact/approximate server pair, so every other drill, remote
+		// targeting, and agent policies are rejected loudly.
+		for flagName, set := range map[string]bool{
+			"-compare": *compare, "-replicas": *repList != "", "-churn": *churn,
+			"-ingest": *ingest, "-session": *session, "-crash": *crash,
+			"-url": *url != "", "-agent": *agent != "",
+		} {
+			if set {
+				fatal(fmt.Errorf("-approx and %s are mutually exclusive (the approximation drill runs its own exact/approximate compare in-process)", flagName))
+			}
+		}
+		// The drill needs the generated text vocabulary and spatial extent,
 		// so the dataset is pinned.
 		*datasets = "twitter"
 	}
@@ -276,6 +301,7 @@ func main() {
 		for flagName, set := range map[string]bool{
 			"-compare": *compare, "-replicas": *repList != "",
 			"-churn": *churn, "-ingest": *ingest, "-url": *url != "",
+			"-approx": *approx,
 		} {
 			if set {
 				fatal(fmt.Errorf("-session and %s are mutually exclusive (the session drill runs its own OFF/ON compare in-process)", flagName))
@@ -345,7 +371,11 @@ func main() {
 		ZipfS:     *zipfS,
 	}
 
-	if *url != "" {
+	if *approx {
+		// The drill builds its own scaled datasets and servers; the generic
+		// pass machinery (shapes, gateways, workers) never runs.
+		runApprox(&report, *rows, *smoke)
+	} else if *url != "" {
 		shapes, err := remoteShapes(names, *nShapes, *budget, *seed)
 		if err != nil {
 			fatal(err)
@@ -499,6 +529,9 @@ func main() {
 		fmt.Printf("stale reads: %d / %d post-flush checks  active/idle read QPS %.2fx\n",
 			report.StaleReads, report.StaleChecks, report.ActiveReadFactor)
 	}
+	if *approx && report.Approx != nil {
+		printApprox(report.Approx)
+	}
 	if *crash && report.Crash != nil {
 		c := report.Crash
 		fmt.Printf("crash: %d rows acked, %d recovered in %.2fs (lost %d, unacked-applied %d; replay %d records, truncated %t, recovering-state seen %t)\n",
@@ -576,6 +609,9 @@ func main() {
 				fatal(fmt.Errorf("session smoke: no request was answered by containment slicing"))
 			}
 		}
+	}
+	if *approx && report.Approx != nil {
+		assertApprox(report.Approx)
 	}
 	if *ingest {
 		if report.StaleReads > 0 {

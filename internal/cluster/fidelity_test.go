@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"github.com/maliva/maliva/internal/workload"
+)
+
+// TestPeerFidelityRejects pins the cross-fidelity guards on the peer wire
+// surface: a fill whose payload's approximation class contradicts its key is
+// dropped, a poisoned cache entry is refused at fetch time, and a consistent
+// approximate entry is only ever reachable under its approximate-tagged key
+// — never from the exact spelling of the same request.
+func TestPeerFidelityRejects(t *testing.T) {
+	c, _ := newIngestCluster(t, 2)
+	cs := httptest.NewServer(c.Handler())
+	defer cs.Close()
+
+	before := c.Snapshot()
+	served := postOK(t, cs.URL+"/viz?dataset=twitter", twitterBody("word0025"))
+	owner := routedTo(t, before, c.Snapshot())
+	other := 1 - owner
+	key := resultKeyOf(t, served, workload.USExtent, 500)
+
+	resp, ok := c.Node(owner).fetchLocal("twitter", key)
+	if !ok || resp == nil {
+		t.Fatal("owner does not hold its own served key")
+	}
+	if resp.Approximate || key.Approx != "" {
+		t.Fatalf("fixture not exact (approximate=%v, key tag %q) — the test premise is broken", resp.Approximate, key.Approx)
+	}
+
+	// Exact key, approximate payload: dropped and counted, nothing stored.
+	approx := *resp
+	approx.Approximate = true
+	stats := c.Node(other).CacheSnapshot()
+	c.Node(other).fillLocal("twitter", key, &approx)
+	after := c.Node(other).CacheSnapshot()
+	if d := after.FillFidelityRejects - stats.FillFidelityRejects; d != 1 {
+		t.Errorf("fill fidelity rejects delta = %d, want 1", d)
+	}
+	if d := after.FillsReceived - stats.FillsReceived; d != 0 {
+		t.Errorf("cross-fidelity fill was accepted (fills received delta %d)", d)
+	}
+
+	// Approximate-tagged key, exact payload: equally dropped.
+	akey := key
+	akey.Approx = "rows:0.2:0"
+	stats = c.Node(other).CacheSnapshot()
+	c.Node(other).fillLocal("twitter", akey, resp)
+	if d := c.Node(other).CacheSnapshot().FillFidelityRejects - stats.FillFidelityRejects; d != 1 {
+		t.Errorf("exact-payload fill under approx key: fidelity rejects delta = %d, want 1", d)
+	}
+
+	// Consistent approximate fill: accepted, reachable under its own key only.
+	stats = c.Node(other).CacheSnapshot()
+	c.Node(other).fillLocal("twitter", akey, &approx)
+	if d := c.Node(other).CacheSnapshot().FillsReceived - stats.FillsReceived; d != 1 {
+		t.Errorf("consistent approximate fill not accepted (delta %d)", d)
+	}
+	if got, ok := c.Node(other).fetchLocal("twitter", akey); !ok || !got.Approximate {
+		t.Error("approximate entry not fetchable under its approximate key")
+	}
+	if _, ok := c.Node(other).fetchLocal("twitter", key); ok {
+		t.Error("exact key reached an entry on a node holding only the approximate variant")
+	}
+
+	// Fetch-side guard: poison the owner's local cache with an approximate
+	// payload under the exact key (bypassing the fill gate) — the peer fetch
+	// surface must refuse to serve it.
+	c.Node(owner).cacheFor("twitter").local.Put(key, &approx)
+	stats = c.Node(owner).CacheSnapshot()
+	if _, ok := c.Node(owner).fetchLocal("twitter", key); ok {
+		t.Error("owner served a payload whose fidelity contradicts the key")
+	}
+	if d := c.Node(owner).CacheSnapshot().FetchFidelityRejects - stats.FetchFidelityRejects; d != 1 {
+		t.Errorf("fetch fidelity rejects delta = %d, want 1", d)
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/maliva/maliva/internal/engine"
+)
+
+// countRules tallies enumerated options per approximation kind.
+func countRules(opts []Option) map[ApproxKind]int {
+	n := make(map[ApproxKind]int)
+	for _, o := range opts {
+		n[o.Approx.Kind]++
+	}
+	return n
+}
+
+// TestApproxTierEligibility: the tier's sketch rules enter Ω only for query
+// shapes the summaries can answer, and sampling rules only on the
+// single-table path — ineligible rules vanish from the space instead of
+// surfacing as runtime errors.
+func TestApproxTierEligibility(t *testing.T) {
+	db, q := smallDB(t, 2_000)
+	tb := db.Table("docs")
+
+	// Geo predicate present, no sketch built: sampling rules only.
+	opts := EnumerateOptions(db, q, ApproxTierSpec())
+	n := countRules(opts)
+	if n[ApproxNone] != 8 || n[ApproxRowSample] != 3 || n[ApproxReservoir] != 1 {
+		t.Fatalf("geo query space wrong: %v", n)
+	}
+	if n[ApproxCMS] != 0 || n[ApproxHLL] != 0 {
+		t.Fatalf("sketch rules entered Ω without a sketch: %v", n)
+	}
+
+	if _, err := tb.BuildSketch("text", "ts", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Still geo-shaped: sketch rules stay out.
+	if n := countRules(EnumerateOptions(db, q, ApproxTierSpec())); n[ApproxCMS] != 0 || n[ApproxHLL] != 0 {
+		t.Fatalf("sketch rules accepted a geo predicate: %v", n)
+	}
+
+	// Keyword + time window: CMS in, HLL out (it takes no keyword).
+	kw := &engine.Query{Table: "docs", Preds: []engine.Predicate{
+		{Col: "text", Kind: engine.PredKeyword, Word: 3},
+		{Col: "ts", Kind: engine.PredRange, Lo: 100, Hi: 700},
+	}}
+	n = countRules(EnumerateOptions(db, kw, ApproxTierSpec()))
+	if n[ApproxCMS] != 1 || n[ApproxHLL] != 0 {
+		t.Fatalf("keyword+window space wrong: %v", n)
+	}
+
+	// Time window only: HLL in, CMS out (it needs a keyword).
+	win := &engine.Query{Table: "docs", Preds: []engine.Predicate{
+		{Col: "ts", Kind: engine.PredRange, Lo: 100, Hi: 700},
+	}}
+	n = countRules(EnumerateOptions(db, win, ApproxTierSpec()))
+	if n[ApproxCMS] != 0 || n[ApproxHLL] != 1 {
+		t.Fatalf("window-only space wrong: %v", n)
+	}
+
+	// A join removes the whole tier (engine defines no sampled joins).
+	jq := kw.Clone()
+	jq.Join = &engine.JoinClause{Table: "dims", LeftCol: "fk", RightCol: "id"}
+	n = countRules(EnumerateOptions(db, jq, ApproxTierSpec()))
+	if n[ApproxRowSample] != 0 || n[ApproxReservoir] != 0 || n[ApproxCMS] != 0 || n[ApproxHLL] != 0 {
+		t.Fatalf("join query admitted approximate-tier rules: %v", n)
+	}
+
+	// A LIMIT blocks the sketch rules (their answer ignores limits) but not
+	// row sampling.
+	lq := kw.Clone()
+	lq.Limit = 10
+	n = countRules(EnumerateOptions(db, lq, ApproxTierSpec()))
+	if n[ApproxCMS] != 0 || n[ApproxRowSample] != 3 {
+		t.Fatalf("limited query space wrong: %v", n)
+	}
+}
+
+// TestBuildRQApproxTier: the option→engine-spec mapping — rates are
+// percent/100, reservoir K is sized from the real-scale cardinality estimate
+// like LIMIT rules, and sketch options carry no parameters.
+func TestBuildRQApproxTier(t *testing.T) {
+	_, q := smallDB(t, 1_000)
+	rq, _ := BuildRQ(q, Option{Approx: ApproxRule{Kind: ApproxRowSample, Percent: 4}}, 10_000, 1)
+	if rq.Approx.Method != engine.ApproxRows || rq.Approx.Rate != 0.04 {
+		t.Fatalf("rows spec = %+v", rq.Approx)
+	}
+	rq, _ = BuildRQ(q, Option{Approx: ApproxRule{Kind: ApproxReservoir, Percent: 4}}, 10_000, 1)
+	if rq.Approx.Method != engine.ApproxReservoir || rq.Approx.K != 400 {
+		t.Fatalf("reservoir spec = %+v, want K=400 (4%% of 10k)", rq.Approx)
+	}
+	// Virtual scale divides the stored-row reservoir like it divides LIMITs.
+	rq, _ = BuildRQ(q, Option{Approx: ApproxRule{Kind: ApproxReservoir, Percent: 4}}, 10_000, 100)
+	if rq.Approx.K != 4 {
+		t.Fatalf("scaled reservoir K = %d, want 4", rq.Approx.K)
+	}
+	rq, _ = BuildRQ(q, Option{Approx: ApproxRule{Kind: ApproxCMS}}, 10_000, 1)
+	if rq.Approx.Method != engine.ApproxSketchCount {
+		t.Fatalf("cms spec = %+v", rq.Approx)
+	}
+	rq, _ = BuildRQ(q, Option{Approx: ApproxRule{Kind: ApproxHLL}}, 10_000, 1)
+	if rq.Approx.Method != engine.ApproxSketchDistinct {
+		t.Fatalf("hll spec = %+v", rq.Approx)
+	}
+	// Exact options leave the approx clause zero.
+	rq, _ = BuildRQ(q, Option{Mask: 1, HasHint: true}, 10_000, 1)
+	if rq.Approx.Method != engine.ApproxOff {
+		t.Fatalf("hint option set approx spec %+v", rq.Approx)
+	}
+}
+
+// TestContextBuildApproxTier: a context built over the tier grades every
+// option — exact options at quality 1, sketch aggregates by relative
+// aggregate error — and the sketch options cost far less virtual time than
+// the baseline.
+func TestContextBuildApproxTier(t *testing.T) {
+	db, _ := smallDB(t, 2_000)
+	// 10ms buckets: fine-grained relative to the query window, so the
+	// bucket-cover overestimate stays small.
+	if _, err := db.Table("docs").BuildSketch("text", "ts", 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	q := &engine.Query{Table: "docs", OutputCols: []string{"loc"}, Preds: []engine.Predicate{
+		{Col: "text", Kind: engine.PredKeyword, Word: 3, WordText: "w3"},
+		{Col: "ts", Kind: engine.PredRange, Lo: 100, Hi: 700},
+	}}
+	ctx, err := BuildContext(db, q, DefaultContextConfig(ApproxTierSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCMS := false
+	for i, o := range ctx.Options {
+		if ctx.Quality[i] < 0 || ctx.Quality[i] > 1 {
+			t.Fatalf("option %s quality %v out of [0,1]", o.Label(len(q.Preds)), ctx.Quality[i])
+		}
+		if !o.IsApprox() && ctx.Quality[i] != 1 {
+			t.Errorf("exact option %s quality %v, want 1", o.Label(len(q.Preds)), ctx.Quality[i])
+		}
+		if o.Approx.Kind == ApproxCMS {
+			sawCMS = true
+			if ctx.Quality[i] <= 0.5 {
+				t.Errorf("CMS quality %v implausibly low (ε·N bound should keep it near 1)", ctx.Quality[i])
+			}
+			// The probe's marginal cost is a few index-entry touches; on
+			// this small fixture the fixed StartupMs floor dominates, so
+			// "cheap" means well under the baseline, not a fixed ratio.
+			if ctx.TrueMs[i] >= ctx.BaselineMs/2 {
+				t.Errorf("CMS option costs %.4f ms, baseline %.4f — not a cheap action", ctx.TrueMs[i], ctx.BaselineMs)
+			}
+		}
+	}
+	if !sawCMS {
+		t.Fatal("tier context missing the CMS option")
+	}
+}
+
+// qualityOracleCtx builds a synthetic four-option context: two exact, two
+// approximate with distinct qualities and times.
+func qualityOracleCtx() *QueryContext {
+	return &QueryContext{
+		Options: []Option{
+			{Mask: 1, HasHint: true},
+			{Mask: 2, HasHint: true},
+			{Approx: ApproxRule{Kind: ApproxRowSample, Percent: 20}},
+			{Approx: ApproxRule{Kind: ApproxCMS}},
+		},
+		TrueMs:  []float64{50, 30, 10, 2},
+		Quality: []float64{1, 1, 0.9, 0.8},
+	}
+}
+
+// TestQualityOracle: exact-first within budget, then highest-quality
+// feasible approximation, then fastest overall — the upper bound the
+// approximate tier's drills measure policies against.
+func TestQualityOracle(t *testing.T) {
+	ctx := qualityOracleCtx()
+	for _, tc := range []struct {
+		budget  float64
+		pick    int
+		viable  bool
+		quality float64
+	}{
+		{40, 1, true, 1},   // exact B fits: approximations ignored
+		{20, 2, true, 0.9}, // no exact fits: best-quality feasible approx
+		{5, 3, true, 0.8},  // only the sketch fits
+		{1, 3, false, 0.8}, // nothing fits: fastest overall, not viable
+		{100, 1, true, 1},  // plenty of budget: still the fastest exact
+	} {
+		out := QualityOracle{}.Rewrite(ctx, tc.budget)
+		if out.Option != tc.pick || out.Viable != tc.viable || out.Quality != tc.quality {
+			t.Errorf("budget %v: got option %d viable %v quality %v, want %d %v %v",
+				tc.budget, out.Option, out.Viable, out.Quality, tc.pick, tc.viable, tc.quality)
+		}
+		if out.PlanMs != 0 {
+			t.Errorf("budget %v: oracle charged %v planning ms", tc.budget, out.PlanMs)
+		}
+	}
+	// Equal quality breaks toward the faster option.
+	ctx.Quality[3] = 0.9
+	if out := (QualityOracle{}).Rewrite(ctx, 20); out.Option != 3 {
+		t.Errorf("quality tie at budget 20 picked option %d, want the faster 3", out.Option)
+	}
+}
+
+// TestAggQuality: the relative-error → [0,1] mapping, including the
+// zero-truth guard.
+func TestAggQuality(t *testing.T) {
+	for _, tc := range []struct{ est, truth, want float64 }{
+		{100, 100, 1},
+		{110, 100, 0.9},
+		{300, 100, 0}, // clamped
+		{0, 0, 1},     // zero truth, zero estimate
+		{2, 0, 0},     // zero truth, wrong estimate (denominator floor 1)
+	} {
+		if got := aggQuality(tc.est, tc.truth); got != tc.want {
+			t.Errorf("aggQuality(%v, %v) = %v, want %v", tc.est, tc.truth, got, tc.want)
+		}
+	}
+}

@@ -186,6 +186,19 @@ func BuildContext(db *engine.DB, q *engine.Query, cfg ContextConfig) (*QueryCont
 	grid := qualityGrid(t, q, cfg)
 	origPixels := grid.Rasterize(baseRes.Points)
 
+	// Exact aggregates for sketch-option quality: the true matched-row
+	// count is the baseline's cardinality; the true distinct-word count is
+	// computed once here (it is exactly the expensive scan the HLL action
+	// exists to avoid, paid only when the space contains an HLL rule).
+	trueCount := float64(len(baseRes.RowIDs))
+	trueDistinct := -1.0
+	for _, o := range opts {
+		if o.Approx.Kind == ApproxHLL {
+			trueDistinct = float64(engine.DistinctWordsExact(t, baseRes.RowIDs, t.Sketch.TextCol))
+			break
+		}
+	}
+
 	// True selectivities and deterministic sampled estimates.
 	ctx.SelTrue = db.TrueSelectivitiesCached(q, cache)
 	ctx.SelSampled = make([]float64, len(ctx.SelTrue))
@@ -214,9 +227,18 @@ func BuildContext(db *engine.DB, q *engine.Query, cfg ContextConfig) (*QueryCont
 		ctx.TrueMs[i] = stats.SimMs
 		ctx.NeedSels[i] = NeededSels(q, o)
 		ctx.PlanEst[i] = db.EstimatePlan(rq, h)
-		if o.IsApprox() {
+		switch {
+		case res.HasAgg:
+			// Sketch-served aggregates have no pixels; quality is relative
+			// aggregate accuracy (QTE-comparable: 1 = exact, 0 = useless).
+			truth := trueCount
+			if o.Approx.Kind == ApproxHLL {
+				truth = trueDistinct
+			}
+			ctx.Quality[i] = aggQuality(res.AggValue, truth)
+		case o.IsApprox():
 			ctx.Quality[i] = viz.JaccardPixels(origPixels, grid.Rasterize(res.Points))
-		} else {
+		default:
 			ctx.Quality[i] = 1
 		}
 		return nil
@@ -234,6 +256,16 @@ func BuildContext(db *engine.DB, q *engine.Query, cfg ContextConfig) (*QueryCont
 		}
 	}
 	return ctx, nil
+}
+
+// aggQuality maps an aggregate estimate's relative error onto [0,1]:
+// 1 − min(1, |est − truth| / max(truth, 1)).
+func aggQuality(est, truth float64) float64 {
+	relErr := math.Abs(est-truth) / math.Max(truth, 1)
+	if relErr > 1 {
+		relErr = 1
+	}
+	return 1 - relErr
 }
 
 // qualityGrid picks the raster extent: the query's geo predicate box when

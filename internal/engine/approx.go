@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file defines the approximate execution tier's query-side surface:
+// the ApproxSpec rewrite clause (Bernoulli row sampling, reservoir
+// sampling, sketch-served aggregates) and the deterministic machinery —
+// per-(seed, fingerprint) keep hashes and counter-stream PRNGs — that makes
+// every approximate answer reproducible bit-for-bit for a fixed
+// (seed, fingerprint, data-version) triple. See docs/ARCHITECTURE.md,
+// "Approximation & the bit-identity carve-out".
+
+// ApproxMethod enumerates the approximate execution strategies.
+type ApproxMethod uint8
+
+const (
+	// ApproxOff is the exact path (zero value).
+	ApproxOff ApproxMethod = iota
+	// ApproxRows keeps each candidate row independently with probability
+	// Rate (Bernoulli sampling by a row-id hash), scaling counts by 1/Rate.
+	ApproxRows
+	// ApproxReservoir draws a uniform K-row sample of the matching rows
+	// (Algorithm R over the candidate stream); the matched count is exact,
+	// per-cell counts are scaled by matched/K.
+	ApproxReservoir
+	// ApproxSketchCount answers a keyword-count query from the table's
+	// Count-Min sketch without touching rows (overestimate-only bound).
+	ApproxSketchCount
+	// ApproxSketchDistinct answers a distinct-words query from the table's
+	// HyperLogLog summaries (relative-standard-error bound).
+	ApproxSketchDistinct
+)
+
+// String names the method as it appears in rendered SQL and fingerprints.
+func (m ApproxMethod) String() string {
+	switch m {
+	case ApproxOff:
+		return "off"
+	case ApproxRows:
+		return "rows"
+	case ApproxReservoir:
+		return "reservoir"
+	case ApproxSketchCount:
+		return "cms"
+	case ApproxSketchDistinct:
+		return "hll"
+	}
+	return fmt.Sprintf("ApproxMethod(%d)", uint8(m))
+}
+
+// IsSketch reports whether the method is answered from summaries alone.
+func (m ApproxMethod) IsSketch() bool {
+	return m == ApproxSketchCount || m == ApproxSketchDistinct
+}
+
+// ApproxSpec is a query's approximate-execution clause. The zero value is
+// the exact path.
+type ApproxSpec struct {
+	Method ApproxMethod
+	// Rate is the Bernoulli keep probability for ApproxRows, in (0, 1).
+	Rate float64
+	// K is the reservoir size for ApproxReservoir.
+	K int
+	// Seed pins the sampling stream. Zero derives a seed from the DB seed
+	// and the query fingerprint, so the sampled row set is a deterministic
+	// function of (DB seed, query shape) and — deliberately — NOT of the
+	// physical plan: every hint variant of one query samples the same rows.
+	Seed uint64
+}
+
+// validate rejects spec combinations the executor does not define.
+func (a ApproxSpec) validate(q *Query) error {
+	if a.Method == ApproxOff {
+		return nil
+	}
+	if q.Join != nil {
+		return fmt.Errorf("engine: approx method %s does not support joins", a.Method)
+	}
+	if q.SamplePercent > 0 {
+		return fmt.Errorf("engine: approx method %s cannot run on a sample table", a.Method)
+	}
+	switch a.Method {
+	case ApproxRows:
+		if !(a.Rate > 0 && a.Rate < 1) {
+			return fmt.Errorf("engine: ApproxRows rate must be in (0,1), got %g", a.Rate)
+		}
+	case ApproxReservoir:
+		if a.K <= 0 {
+			return fmt.Errorf("engine: ApproxReservoir needs K > 0, got %d", a.K)
+		}
+		if q.Limit > 0 {
+			return fmt.Errorf("engine: ApproxReservoir is incompatible with LIMIT")
+		}
+	}
+	return nil
+}
+
+// effSeed resolves the sampling seed: an explicit spec seed wins, otherwise
+// one is derived from the DB seed and the plan-independent query
+// fingerprint (positions nil, JoinAuto — the physical plan must not change
+// which rows a sample keeps).
+func (a ApproxSpec) effSeed(dbSeed int64, q *Query) uint64 {
+	if a.Seed != 0 {
+		return a.Seed
+	}
+	return mix64(uint64(dbSeed) ^ planFingerprint(q, nil, JoinAuto))
+}
+
+// keepThreshold precomputes the 32-bit comparison bound for keepRow.
+func keepThreshold(rate float64) uint64 { return uint64(rate * float64(1<<32)) }
+
+// keepRow is the Bernoulli keep decision for one row: a pure hash of
+// (seed, row id), so the sampled set is independent of scan order, physical
+// plan, and ingest flush boundaries — the same row stream always yields the
+// same sample, which is what makes WAL replay reproduce approximate bytes.
+func keepRow(seed uint64, row uint32, threshold uint64) bool {
+	return mix64(seed^uint64(row)*0x9E3779B97F4A7C15)>>32 < threshold
+}
+
+// SampleCountCI returns the half-width of the z-scaled confidence interval
+// on a Bernoulli-sampled count estimate: kept rows scaled by 1/rate
+// estimate the true matched count with standard error √(kept·(1-rate))/rate,
+// plus a z²/2+1 continuity term so the interval stays honest at tiny kept
+// counts — in particular kept=0, where the naive width collapses to ±0 even
+// though (rule of three) up to ~3/rate matching rows are entirely consistent
+// with an empty sample. z=1.96 gives the 95% two-sided interval.
+func SampleCountCI(kept int, rate, z float64) float64 {
+	if kept < 0 || rate <= 0 || rate >= 1 {
+		return 0
+	}
+	return (z*math.Sqrt(float64(kept)*(1-rate)) + z*z/2 + 1) / rate
+}
+
+// sprng is a deterministic counter-stream PRNG (splitmix64) used by the
+// reservoir step. Each call advances the counter and finalizes it, so the
+// stream depends only on the seed — never on timing or goroutine identity.
+type sprng struct{ state uint64 }
+
+func (r *sprng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	return mix64(r.state)
+}
+
+// runSketch serves a sketch-answered aggregate without an execContext: it
+// validates the query shape the summaries can answer, merges the covered
+// bucket sketches, and returns a single-value result whose virtual cost is
+// the handful of bucket merges — the "approximate now" action's whole point.
+func (db *DB) runSketch(q *Query, t *Table) (*Result, ExecStats, error) {
+	sk := t.Sketch
+	if sk == nil {
+		return nil, ExecStats{}, fmt.Errorf("engine: table %q has no sketch (call BuildSketch first)", t.Name)
+	}
+	var word uint32
+	var haveWord, windowed bool
+	var loMs, hiMs int64
+	for _, p := range q.Preds {
+		switch p.Kind {
+		case PredKeyword:
+			if haveWord {
+				return nil, ExecStats{}, fmt.Errorf("engine: sketch path supports at most one keyword predicate")
+			}
+			haveWord, word = true, p.Word
+		case PredRange:
+			if p.Col != sk.TimeCol {
+				return nil, ExecStats{}, fmt.Errorf("engine: sketch path only supports ranges on %q, got %q", sk.TimeCol, p.Col)
+			}
+			if windowed {
+				return nil, ExecStats{}, fmt.Errorf("engine: sketch path supports at most one time predicate")
+			}
+			windowed, loMs, hiMs = true, int64(p.Lo), int64(p.Hi)
+		default:
+			return nil, ExecStats{}, fmt.Errorf("engine: sketch path cannot serve %s predicates", p.Kind)
+		}
+	}
+	res := &Result{Weight: 1, Approx: true, HasAgg: true}
+	var stats ExecStats
+	var touched int
+	switch q.Approx.Method {
+	case ApproxSketchCount:
+		if !haveWord {
+			return nil, ExecStats{}, fmt.Errorf("engine: ApproxSketchCount needs a keyword predicate")
+		}
+		res.AggValue, res.AggBound, touched = sk.KeywordCount(word, loMs, hiMs, windowed)
+	case ApproxSketchDistinct:
+		if haveWord {
+			return nil, ExecStats{}, fmt.Errorf("engine: ApproxSketchDistinct takes no keyword predicate")
+		}
+		var relErr float64
+		res.AggValue, relErr, touched = sk.DistinctWords(loMs, hiMs, windowed, nil)
+		// Stated 95% two-sided interval from the HLL standard error.
+		res.AggBound = 1.96 * relErr * res.AggValue
+	default:
+		return nil, ExecStats{}, fmt.Errorf("engine: runSketch on non-sketch method %s", q.Approx.Method)
+	}
+	// Virtual cost: each merged bucket summary charges like an index-entry
+	// touch — a few dozen at most, so a sketch probe is effectively free
+	// next to any row-touching plan.
+	stats.IndexEntries = touched
+	stats.RowsOutput = 1
+	stats.SimMs = db.Profile.Cost.simMs(stats, t.ScaleFactor)
+	stats.SimMs *= db.Profile.noiseFactor(db.Seed, planFingerprint(q, nil, JoinAuto))
+	return res, stats, nil
+}

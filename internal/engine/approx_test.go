@@ -1,0 +1,446 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// approxCountQuery is the sampling tests' workhorse: one indexed range
+// predicate matching roughly half the table, so sampled-count statistics
+// have enough mass for the normal-approximation CIs to be meaningful.
+func approxCountQuery() *Query {
+	return &Query{
+		Table: "events",
+		Preds: []Predicate{{Col: "ts", Kind: PredRange, Lo: 2000, Hi: 7000}},
+	}
+}
+
+// TestApproxRowsPlanIndependent: the Bernoulli sample is a pure function of
+// (seed, row id), so every physical plan — any index subset, or the forced
+// sequential scan — keeps exactly the same rows. This is the approximate
+// tier's analogue of TestAllHintPlansEquivalent.
+func TestApproxRowsPlanIndependent(t *testing.T) {
+	db := buildTestDB(t, 4_000, 1)
+	q := testQuery(db)
+	q.Approx = ApproxSpec{Method: ApproxRows, Rate: 0.3}
+	ref, _, err := db.Run(q, ForcedHint(nil, JoinAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Approx || ref.Weight != 1/0.3 || ref.SampledRows != len(ref.RowIDs) {
+		t.Fatalf("approx metadata wrong: %+v", ref)
+	}
+	for mask := 0; mask < 8; mask++ {
+		res, _, err := db.Run(q, ForcedHint(PositionsFromMask(uint32(mask), 3), JoinAuto))
+		if err != nil {
+			t.Fatalf("mask %d: %v", mask, err)
+		}
+		if !equalRows(res.RowIDs, ref.RowIDs) {
+			t.Errorf("mask %d: sampled rows differ from seq-scan sample", mask)
+		}
+	}
+}
+
+// TestApproxRowsSubsetAndScaling: the sample is a subset of the exact result
+// and every binned cell count is the kept-count scaled by exactly 1/rate.
+func TestApproxRowsSubsetAndScaling(t *testing.T) {
+	db := buildTestDB(t, 4_000, 1)
+	exactQ := approxCountQuery()
+	exactQ.Bin = &BinSpec{Col: "loc", Extent: Rect{MinLon: 0, MinLat: 0, MaxLon: 100, MaxLat: 50}, W: 8, H: 8}
+	exact, _, err := db.Run(exactQ, AutoHint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := exactQ.Clone()
+	q.Approx = ApproxSpec{Method: ApproxRows, Rate: 0.25}
+	res, _, err := db.Run(q, AutoHint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactSet := make(map[uint32]bool, len(exact.RowIDs))
+	for _, r := range exact.RowIDs {
+		exactSet[r] = true
+	}
+	for _, r := range res.RowIDs {
+		if !exactSet[r] {
+			t.Fatalf("sampled row %d not in the exact result", r)
+		}
+	}
+	for cell, v := range res.Bins {
+		if ev, ok := exact.Bins[cell]; !ok {
+			t.Fatalf("sampled cell %d missing from exact heatmap", cell)
+		} else if v > ev*res.Weight {
+			t.Fatalf("cell %d: scaled count %.1f exceeds max possible %.1f", cell, v, ev*res.Weight)
+		}
+		kept := v / res.Weight
+		if math.Abs(kept-math.Round(kept)) > 1e-9 {
+			t.Fatalf("cell %d: %.6f not an integer multiple of weight", cell, v)
+		}
+	}
+}
+
+// TestApproxRowsUnbiasedCoverage is the tier's headline statistical test:
+// across 300 sampling seeds, the scaled count estimate (kept/rate) must (a)
+// average out to the true count within 2%, and (b) fall inside its stated
+// 95% CI at least 88% of the time. Both thresholds sit below the nominal
+// guarantees (0% bias, 95% coverage) so the fixed-seed run can never flake,
+// while a biased estimator or a mis-stated interval still fails hard.
+func TestApproxRowsUnbiasedCoverage(t *testing.T) {
+	db := buildTestDB(t, 4_000, 1)
+	exact, _, err := db.Run(approxCountQuery(), AutoHint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(len(exact.RowIDs))
+	if truth < 500 {
+		t.Fatalf("fixture too selective (%d rows) for CLT-based assertions", len(exact.RowIDs))
+	}
+	const rate, seeds = 0.2, 300
+	sum, covered := 0.0, 0
+	for s := 1; s <= seeds; s++ {
+		q := approxCountQuery()
+		q.Approx = ApproxSpec{Method: ApproxRows, Rate: rate, Seed: uint64(s)}
+		res, _, err := db.Run(q, AutoHint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept := len(res.RowIDs)
+		est := float64(kept) * res.Weight
+		sum += est
+		if math.Abs(est-truth) <= SampleCountCI(kept, rate, 1.96) {
+			covered++
+		}
+	}
+	if bias := math.Abs(sum/seeds-truth) / truth; bias > 0.02 {
+		t.Errorf("mean estimate off truth by %.1f%% over %d seeds, want ≤ 2%%", bias*100, seeds)
+	}
+	if frac := float64(covered) / seeds; frac < 0.88 {
+		t.Errorf("stated 95%% CI covered truth on %.1f%% of seeds, want ≥ 88%%", frac*100)
+	}
+}
+
+// TestApproxRowsCostScales: skipping happens before per-row cost accrues, so
+// a 10% sample's virtual fetch/scan work lands near 10% of exact — the
+// property that makes the action budget-feasible, not just fast wall-clock.
+func TestApproxRowsCostScales(t *testing.T) {
+	db := buildTestDB(t, 4_000, 1)
+	q := approxCountQuery()
+	_, exactStats, err := db.Run(q, ForcedHint(nil, JoinAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Approx = ApproxSpec{Method: ApproxRows, Rate: 0.1}
+	_, sampStats, err := db.Run(q, ForcedHint(nil, JoinAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(sampStats.RowsScanned) / float64(exactStats.RowsScanned)
+	if ratio < 0.05 || ratio > 0.15 {
+		t.Errorf("10%% sample scanned %.1f%% of rows, want ≈10%%", ratio*100)
+	}
+	if sampStats.SimMs >= exactStats.SimMs {
+		t.Errorf("sampled SimMs %.3f not below exact %.3f", sampStats.SimMs, exactStats.SimMs)
+	}
+}
+
+// TestApproxReservoir: the drawn sample has exactly K rows, is a subset of
+// the exact result in ascending order, reports the exact matched count, and
+// is identical under every physical plan.
+func TestApproxReservoir(t *testing.T) {
+	db := buildTestDB(t, 4_000, 1)
+	exact, _, err := db.Run(approxCountQuery(), AutoHint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 64
+	q := approxCountQuery()
+	q.Approx = ApproxSpec{Method: ApproxReservoir, K: k}
+	ref, _, err := db.Run(q, ForcedHint(nil, JoinAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.RowIDs) != k {
+		t.Fatalf("reservoir kept %d rows, want %d", len(ref.RowIDs), k)
+	}
+	if ref.MatchedRows != len(exact.RowIDs) {
+		t.Fatalf("MatchedRows %d, want exact %d", ref.MatchedRows, len(exact.RowIDs))
+	}
+	if want := float64(ref.MatchedRows) / k; ref.Weight != want {
+		t.Fatalf("Weight %.4f, want matched/K = %.4f", ref.Weight, want)
+	}
+	exactSet := make(map[uint32]bool, len(exact.RowIDs))
+	for _, r := range exact.RowIDs {
+		exactSet[r] = true
+	}
+	for i, r := range ref.RowIDs {
+		if !exactSet[r] {
+			t.Fatalf("reservoir row %d not in exact result", r)
+		}
+		if i > 0 && ref.RowIDs[i-1] >= r {
+			t.Fatal("reservoir rows not strictly ascending")
+		}
+	}
+	for mask := 0; mask < 2; mask++ { // seq scan and the ts index path
+		res, _, err := db.Run(q, ForcedHint(PositionsFromMask(uint32(mask), 1), JoinAuto))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalRows(res.RowIDs, ref.RowIDs) {
+			t.Errorf("mask %d: reservoir draw differs across plans", mask)
+		}
+	}
+}
+
+// TestApproxReservoirSmallMatch: when the match count is at or under K the
+// reservoir degenerates to the exact result at weight 1.
+func TestApproxReservoirSmallMatch(t *testing.T) {
+	db := buildTestDB(t, 4_000, 1)
+	exact, _, err := db.Run(testQuery(db), AutoHint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testQuery(db)
+	q.Approx = ApproxSpec{Method: ApproxReservoir, K: len(exact.RowIDs) + 10}
+	res, _, err := db.Run(q, AutoHint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalRows(res.RowIDs, exact.RowIDs) || res.Weight != 1 {
+		t.Fatalf("undersized match must return the exact rows at weight 1, got %d rows weight %.2f",
+			len(res.RowIDs), res.Weight)
+	}
+	if !res.Approx || res.MatchedRows != len(exact.RowIDs) {
+		t.Fatalf("approx metadata wrong: %+v", res)
+	}
+}
+
+// TestApproxValidate: the spec combinations the executor does not define are
+// rejected before any work happens.
+func TestApproxValidate(t *testing.T) {
+	db := buildTestDB(t, 500, 1)
+	if _, err := db.Table("events").BuildSample(20, 1); err != nil {
+		t.Fatal(err)
+	}
+	base := approxCountQuery()
+	for name, mut := range map[string]func(q *Query){
+		"join": func(q *Query) {
+			q.Approx = ApproxSpec{Method: ApproxRows, Rate: 0.5}
+			q.Join = &JoinClause{Table: "dims", LeftCol: "fk", RightCol: "id"}
+		},
+		"sample-table": func(q *Query) {
+			q.Approx = ApproxSpec{Method: ApproxRows, Rate: 0.5}
+			q.SamplePercent = 20
+		},
+		"rate-zero": func(q *Query) { q.Approx = ApproxSpec{Method: ApproxRows} },
+		"rate-one":  func(q *Query) { q.Approx = ApproxSpec{Method: ApproxRows, Rate: 1} },
+		"k-zero":    func(q *Query) { q.Approx = ApproxSpec{Method: ApproxReservoir} },
+		"reservoir-limit": func(q *Query) {
+			q.Approx = ApproxSpec{Method: ApproxReservoir, K: 10}
+			q.Limit = 5
+		},
+	} {
+		q := base.Clone()
+		mut(q)
+		if _, _, err := db.Run(q, AutoHint()); err == nil {
+			t.Errorf("%s: invalid spec accepted", name)
+		}
+	}
+}
+
+// TestApproxSketchRun: sketch-served aggregates through the normal Run path —
+// CMS keyword counts honor the one-sided bound against the exact executor,
+// HLL distinct counts carry a sane CI, and both cost a vanishing fraction of
+// the exact plan's virtual time.
+func TestApproxSketchRun(t *testing.T) {
+	db := buildTestDB(t, 4_000, 1)
+	tb := db.Table("events")
+	if _, err := tb.BuildSketch("text", "ts", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	kw := &Query{Table: "events", Preds: []Predicate{
+		{Col: "text", Kind: PredKeyword, Word: 3, WordText: "c"},
+		{Col: "ts", Kind: PredRange, Lo: 2000, Hi: 7000},
+	}}
+	exact, exactStats, err := db.Run(kw, ForcedHint(nil, JoinAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := kw.Clone()
+	q.Approx = ApproxSpec{Method: ApproxSketchCount}
+	res, stats, err := db.Run(q, AutoHint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(len(exact.RowIDs))
+	if !res.Approx || !res.HasAgg {
+		t.Fatalf("sketch result not marked approximate: %+v", res)
+	}
+	if res.AggValue < truth || res.AggValue > truth+res.AggBound {
+		t.Fatalf("CMS estimate %.0f outside [truth, truth+bound] = [%.0f, %.1f]",
+			res.AggValue, truth, truth+res.AggBound)
+	}
+	if stats.SimMs >= exactStats.SimMs/10 {
+		t.Errorf("sketch probe SimMs %.4f not ≪ exact %.4f", stats.SimMs, exactStats.SimMs)
+	}
+	// Determinism: a second probe returns identical bytes.
+	res2, stats2, err := db.Run(q, AutoHint())
+	if err != nil || !reflect.DeepEqual(res, res2) || stats.SimMs != stats2.SimMs {
+		t.Fatalf("sketch probe not deterministic: %v", err)
+	}
+
+	dq := &Query{Table: "events", Preds: []Predicate{{Col: "ts", Kind: PredRange, Lo: 2000, Hi: 7000}},
+		Approx: ApproxSpec{Method: ApproxSketchDistinct}}
+	dres, _, err := db.Run(dq, AutoHint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dres.HasAgg || dres.AggValue <= 0 || dres.AggBound <= 0 {
+		t.Fatalf("HLL result malformed: %+v", dres)
+	}
+	alo, ahi := tb.Sketch.AlignWindow(2000, 7000)
+	var rows []uint32
+	times := tb.Col("ts").Ints
+	for r := 0; r < tb.Rows; r++ {
+		if times[r] >= alo && times[r] <= ahi {
+			rows = append(rows, uint32(r))
+		}
+	}
+	dTruth := float64(DistinctWordsExact(tb, rows, "text"))
+	if math.Abs(dres.AggValue-dTruth) > math.Max(2, 2*dres.AggBound) {
+		t.Fatalf("HLL estimate %.1f vs exact %.0f over aligned window, bound %.1f",
+			dres.AggValue, dTruth, dres.AggBound)
+	}
+
+	// Shapes the summaries cannot serve are refused.
+	for name, bad := range map[string]*Query{
+		"geo-pred": {Table: "events", Preds: []Predicate{
+			{Col: "loc", Kind: PredGeo, Box: Rect{MaxLon: 50, MaxLat: 25}}},
+			Approx: ApproxSpec{Method: ApproxSketchCount}},
+		"no-keyword": {Table: "events", Preds: []Predicate{
+			{Col: "ts", Kind: PredRange, Lo: 0, Hi: 100}},
+			Approx: ApproxSpec{Method: ApproxSketchCount}},
+		"hll-keyword": {Table: "events", Preds: []Predicate{
+			{Col: "text", Kind: PredKeyword, Word: 3}},
+			Approx: ApproxSpec{Method: ApproxSketchDistinct}},
+		"range-not-time": {Table: "events", Preds: []Predicate{
+			{Col: "text", Kind: PredKeyword, Word: 3},
+			{Col: "val", Kind: PredRange, Lo: 0, Hi: 10}},
+			Approx: ApproxSpec{Method: ApproxSketchCount}},
+	} {
+		if _, _, err := db.Run(bad, AutoHint()); err == nil {
+			t.Errorf("%s: unservable sketch query accepted", name)
+		}
+	}
+	// A table without a sketch refuses sketch methods.
+	db2 := buildTestDB(t, 100, 2)
+	if _, _, err := db2.Run(q, AutoHint()); err == nil {
+		t.Error("sketch query accepted on a table with no sketch")
+	}
+}
+
+// TestApproxHeatmapDifferentialFuzz: property-based differential check of
+// sampled heatmaps against the exact executor over random rates, seeds, and
+// windows — cells are a subset, scaled counts are integer multiples of the
+// weight, and a repeated run returns identical bytes.
+func TestApproxHeatmapDifferentialFuzz(t *testing.T) {
+	db := buildTestDB(t, 3_000, 5)
+	prop := func(seed uint64, rawRate uint16, winLo uint16) bool {
+		rate := 0.05 + float64(rawRate%900)/1000 // [0.05, 0.95)
+		lo := float64(winLo % 8000)
+		q := &Query{
+			Table: "events",
+			Preds: []Predicate{{Col: "ts", Kind: PredRange, Lo: lo, Hi: lo + 2000}},
+			Bin:   &BinSpec{Col: "loc", Extent: Rect{MinLon: 0, MinLat: 0, MaxLon: 100, MaxLat: 50}, W: 16, H: 16},
+		}
+		exact, _, err := db.Run(q, AutoHint())
+		if err != nil {
+			return false
+		}
+		q.Approx = ApproxSpec{Method: ApproxRows, Rate: rate, Seed: seed}
+		a, _, err := db.Run(q, AutoHint())
+		if err != nil {
+			return false
+		}
+		b, _, err := db.Run(q, AutoHint())
+		if err != nil || !reflect.DeepEqual(a, b) {
+			return false
+		}
+		for cell, v := range a.Bins {
+			kept := v / a.Weight
+			if math.Abs(kept-math.Round(kept)) > 1e-9 {
+				return false
+			}
+			if ev, ok := exact.Bins[cell]; !ok || kept > ev+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApproxFingerprintSeparation: every distinct approximation spec draws a
+// distinct plan fingerprint (so caches can never alias across fidelities or
+// parameters), while an exact query's fingerprint ignores the Approx struct
+// entirely — the bit-identity carve-out's cache-key face.
+func TestApproxFingerprintSeparation(t *testing.T) {
+	db := buildTestDB(t, 100, 1)
+	q := testQuery(db)
+	specs := []ApproxSpec{
+		{},
+		{Method: ApproxRows, Rate: 0.1},
+		{Method: ApproxRows, Rate: 0.2},
+		{Method: ApproxRows, Rate: 0.2, Seed: 7},
+		{Method: ApproxReservoir, K: 100},
+		{Method: ApproxReservoir, K: 200},
+		{Method: ApproxSketchCount},
+		{Method: ApproxSketchDistinct},
+	}
+	seen := make(map[uint64]int)
+	for i, s := range specs {
+		qc := q.Clone()
+		qc.Approx = s
+		fp := planFingerprint(qc, nil, JoinAuto)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("specs %d and %d share fingerprint %x", prev, i, fp)
+		}
+		seen[fp] = i
+	}
+	// The zero spec's fingerprint equals the plain query's (field absent vs
+	// zero must be indistinguishable — exact keys never move).
+	if fp := planFingerprint(q, nil, JoinAuto); fp != func() uint64 {
+		qc := q.Clone()
+		qc.Approx = ApproxSpec{}
+		return planFingerprint(qc, nil, JoinAuto)
+	}() {
+		t.Error("zero ApproxSpec changed the exact fingerprint")
+	}
+}
+
+// TestApproxSQLRendering: the rendered SQL names the approximation so logs
+// and traces show what actually ran.
+func TestApproxSQLRendering(t *testing.T) {
+	q := approxCountQuery()
+	q.Approx = ApproxSpec{Method: ApproxRows, Rate: 0.25, Seed: 9}
+	if sql := q.SQL(AutoHint()); !strings.Contains(sql, "TABLESAMPLE BERNOULLI (25.0000) REPEATABLE (9)") {
+		t.Errorf("rows SQL missing TABLESAMPLE clause: %s", sql)
+	}
+	q.Approx = ApproxSpec{Method: ApproxReservoir, K: 500, Seed: 9}
+	if sql := q.SQL(AutoHint()); !strings.Contains(sql, "TABLESAMPLE RESERVOIR (500 ROWS) REPEATABLE (9)") {
+		t.Errorf("reservoir SQL missing TABLESAMPLE clause: %s", sql)
+	}
+	q.Approx = ApproxSpec{Method: ApproxSketchCount}
+	if sql := q.SQL(AutoHint()); !strings.Contains(sql, "APPROX_COUNT(*)") {
+		t.Errorf("CMS SQL missing APPROX_COUNT: %s", sql)
+	}
+	q.Approx = ApproxSpec{Method: ApproxSketchDistinct}
+	if sql := q.SQL(AutoHint()); !strings.Contains(sql, "APPROX_DISTINCT(*)") {
+		t.Errorf("HLL SQL missing APPROX_DISTINCT: %s", sql)
+	}
+}

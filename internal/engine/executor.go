@@ -39,7 +39,17 @@ type Result struct {
 	Points    []Point         // output points, parallel to RowIDs, when a point column is projected or binned
 	Bins      map[int]float64 // BIN_ID → (scaled) count, when Bin != nil
 	Truncated bool            // a LIMIT stopped execution early
-	Weight    float64         // per-row weight (100/SamplePercent for samples)
+	Weight    float64         // per-row weight (100/SamplePercent for samples, 1/Rate for row sampling, matched/K for reservoirs)
+
+	// Approximate-tier fields (see ApproxSpec). Approx marks any result
+	// produced by the approximate tier; exact executions leave every field
+	// below at its zero value.
+	Approx      bool    // result came from an approximate execution
+	SampledRows int     // rows the sample actually kept (ApproxRows/ApproxReservoir)
+	MatchedRows int     // exact matched-row count, when known (ApproxReservoir)
+	HasAgg      bool    // AggValue/AggBound carry a sketch-served aggregate
+	AggValue    float64 // the aggregate estimate (keyword count or distinct count)
+	AggBound    float64 // stated error bound (overestimate for CMS, 95% CI half-width for HLL)
 }
 
 // execContext carries state through one query execution. Contexts are pooled:
@@ -67,11 +77,18 @@ type execContext struct {
 	yield     func()
 	yieldTick int
 
+	// Bernoulli row-sampling state (ApproxRows): rows whose keep hash
+	// misses the threshold are skipped before any per-row cost accrues.
+	sampling   bool
+	keepSeed   uint64
+	keepThresh uint64
+
 	// Scratch buffers reused across executions via ecPool.
 	lists [][]uint32
 	accA  []uint32
 	accB  []uint32
 	cand  []uint32
+	resv  []uint32 // reservoir slots (ApproxReservoir)
 	// Join scratch: the hash-join key set and the merge-join sort buffer.
 	// Both hold no pointers, so keeping them across executions pins at most
 	// the footprint of the largest join seen, not any table data.
@@ -104,6 +121,8 @@ func getExecContext() *execContext {
 	ec.points = nil
 	ec.yield = nil
 	ec.yieldTick = 0
+	ec.sampling = false
+	ec.keepSeed, ec.keepThresh = 0, 0
 	return ec
 }
 
@@ -178,6 +197,13 @@ func (db *DB) RunCachedYield(q *Query, h Hint, cache *LookupCache, yield func())
 	if err != nil {
 		return nil, ExecStats{}, err
 	}
+	if err := q.Approx.validate(q); err != nil {
+		return nil, ExecStats{}, err
+	}
+	if q.Approx.Method.IsSketch() {
+		// Summary-served aggregates never touch rows or plans.
+		return db.runSketch(q, t)
+	}
 	positions := h.UseIndex
 	join := h.Join
 	forced := h.Forced
@@ -208,6 +234,9 @@ func (db *DB) RunCachedYield(q *Query, h Hint, cache *LookupCache, yield func())
 	if q.SamplePercent > 0 {
 		weight = 100.0 / float64(q.SamplePercent)
 	}
+	if q.Approx.Method == ApproxRows {
+		weight = 1 / q.Approx.Rate
+	}
 	ec := getExecContext()
 	defer func() {
 		if r := recover(); r != nil {
@@ -228,6 +257,13 @@ func (db *DB) RunCachedYield(q *Query, h Hint, cache *LookupCache, yield func())
 	ec.limit = q.Limit
 	if q.Bin != nil {
 		ec.res.Bins = make(map[int]float64)
+	}
+	if q.Approx.Method == ApproxRows || q.Approx.Method == ApproxReservoir {
+		ec.keepSeed = q.Approx.effSeed(db.Seed, q)
+		if q.Approx.Method == ApproxRows {
+			ec.sampling = true
+			ec.keepThresh = keepThreshold(q.Approx.Rate)
+		}
 	}
 	// Resolve emit-time projection state once per execution.
 	if t.SampleOf != nil {
@@ -252,13 +288,20 @@ func (db *DB) RunCachedYield(q *Query, h Hint, cache *LookupCache, yield func())
 		putExecContext(ec)
 		return nil, ExecStats{}, err
 	}
-	if q.Join == nil {
+	switch {
+	case q.Approx.Method == ApproxReservoir:
+		ec.reservoirEmit(candidates)
+	case q.Join == nil:
 		ec.emitAll(candidates)
-	} else {
+	default:
 		if err := ec.join(candidates, join); err != nil {
 			putExecContext(ec)
 			return nil, ExecStats{}, err
 		}
+	}
+	if q.Approx.Method != ApproxOff {
+		ec.res.Approx = true
+		ec.res.SampledRows = len(ec.res.RowIDs)
 	}
 	ec.stats.RowsOutput = len(ec.res.RowIDs)
 	ec.stats.SimMs = db.Profile.Cost.simMs(ec.stats, t.ScaleFactor)
@@ -341,10 +384,16 @@ func (ec *execContext) access(positions []int) ([]uint32, error) {
 			ec.yield()
 		}
 	}
-	// Fetch candidates, evaluate residual predicates.
+	// Fetch candidates, evaluate residual predicates. Under row sampling
+	// the keep decision comes before the fetch, so the virtual cost of the
+	// fetch+residual phase scales with the sampling rate (the posting-list
+	// work above is already paid — it is the cheap part of the plan).
 	out := ec.cand[:0]
 	for _, r := range acc {
 		ec.maybeYield()
+		if ec.sampling && !keepRow(ec.keepSeed, r, ec.keepThresh) {
+			continue
+		}
 		ec.stats.RowsFetched++
 		ok := true
 		for i, p := range q.Preds {
@@ -376,6 +425,13 @@ func (ec *execContext) seqScan(earlyLimit int) []uint32 {
 	out := ec.cand[:0]
 	for r := 0; r < t.Rows; r++ {
 		ec.maybeYield()
+		// Row sampling skips before the per-row cost accrues: the virtual
+		// clock treats the sample as a block-sampled scan whose cost is
+		// Rate × the full scan, which is what makes "approximate now" fit
+		// budgets the exact scan blows.
+		if ec.sampling && !keepRow(ec.keepSeed, uint32(r), ec.keepThresh) {
+			continue
+		}
 		ec.stats.RowsScanned++
 		ok := true
 		for _, p := range q.Preds {
@@ -544,6 +600,38 @@ func (ec *execContext) probeInner(inner *Table, key float64, leftRow uint32) boo
 	return emitted
 }
 
+// reservoirEmit draws the K-row Algorithm R sample of the candidate set and
+// emits it. Candidates arrive in ascending row order from every access path
+// (seqScan scans forward; posting lists are sorted and intersection/fetch
+// preserve order), and the PRNG stream is a pure function of the sampling
+// seed, so the drawn sample — and therefore the output bytes — is
+// independent of the physical plan. The matched count is exact; per-row
+// weight matched/K makes the scaled per-cell counts unbiased.
+func (ec *execContext) reservoirEmit(candidates []uint32) {
+	k := ec.q.Approx.K
+	matched := len(candidates)
+	ec.res.MatchedRows = matched
+	if matched <= k {
+		ec.emitAll(candidates)
+		return
+	}
+	rng := sprng{state: ec.keepSeed}
+	res := ec.resv[:0]
+	res = append(res, candidates[:k]...)
+	for i := k; i < matched; i++ {
+		ec.maybeYield()
+		if j := rng.next() % uint64(i+1); j < uint64(k) {
+			res[j] = candidates[i]
+		}
+	}
+	ec.resv = res
+	slices.Sort(res)
+	ec.res.Weight = float64(matched) / float64(k)
+	for _, r := range res {
+		ec.emit(r)
+	}
+}
+
 // emitAll emits every candidate row (no join), honoring the LIMIT.
 func (ec *execContext) emitAll(candidates []uint32) {
 	for _, r := range candidates {
@@ -616,6 +704,16 @@ func planFingerprint(q *Query, positions []int, join JoinMethod) uint64 {
 	mix(uint64(join) + 7)
 	mix(uint64(q.Limit) + 13)
 	mix(uint64(q.SamplePercent) + 17)
+	// Approximate-tier clause: mixed only when present, so every exact
+	// query's fingerprint — and with it the hint-drop and noise draws the
+	// golden traces pin — is byte-for-byte what it was before the tier
+	// existed.
+	if q.Approx.Method != ApproxOff {
+		mix(uint64(q.Approx.Method) + 53)
+		mix(uint64(int64(q.Approx.Rate*1e6)) + 59)
+		mix(uint64(q.Approx.K) + 61)
+		mix(q.Approx.Seed + 67)
+	}
 	for _, p := range q.Preds {
 		mix(uint64(p.Kind))
 		mix(uint64(p.Word))

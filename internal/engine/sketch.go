@@ -1,0 +1,356 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// This file holds the streaming summaries behind the approximate execution
+// tier: a Count-Min sketch for keyword frequencies, a HyperLogLog for
+// distinct counts, and the TableSketch that buckets both by time so window
+// queries can be answered by merging a handful of bucket summaries instead
+// of touching rows. All updates are commutative (CMS counters add, HLL
+// registers max), so bulk building at dataset construction, incremental
+// ingest maintenance, and WAL replay all converge on the identical sketch —
+// the property the approximate tier's per-(seed, fingerprint, data-version)
+// determinism contract stands on.
+
+// CountMinSketch estimates per-key frequencies with one-sided error: an
+// estimate is never below the true count, and exceeds it by more than
+// Epsilon()·N (N = total additions) only with probability ≤ exp(-depth).
+// Counters are a flat array; Add and Estimate allocate nothing.
+type CountMinSketch struct {
+	width    int // power of two
+	depth    int
+	counters []uint64
+	adds     uint64 // total count mass added (the N of the ε·N bound)
+}
+
+// NewCountMinSketch builds a sketch with the given width (rounded up to a
+// power of two, min 16) and depth (min 1).
+func NewCountMinSketch(width, depth int) *CountMinSketch {
+	if width < 16 {
+		width = 16
+	}
+	w := 1
+	for w < width {
+		w <<= 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	return &CountMinSketch{width: w, depth: depth, counters: make([]uint64, w*depth)}
+}
+
+// Epsilon is the sketch's relative error bound: with probability at least
+// 1-exp(-depth), Estimate(key) ≤ true(key) + Epsilon()·N.
+func (c *CountMinSketch) Epsilon() float64 { return math.E / float64(c.width) }
+
+// Adds returns N, the total count mass added so far.
+func (c *CountMinSketch) Adds() uint64 { return c.adds }
+
+// Add increments key's count by n. Zero allocations.
+func (c *CountMinSketch) Add(key uint64, n uint64) {
+	h1 := mix64(key)
+	h2 := mix64(key^0xa5a5a5a5a5a5a5a5) | 1
+	mask := uint64(c.width - 1)
+	for i := 0; i < c.depth; i++ {
+		idx := (h1 + uint64(i)*h2) & mask
+		c.counters[i*c.width+int(idx)] += n
+	}
+	c.adds += n
+}
+
+// Estimate returns the minimum counter across rows — an overestimate of the
+// true count, never an underestimate. Zero allocations.
+func (c *CountMinSketch) Estimate(key uint64) uint64 {
+	h1 := mix64(key)
+	h2 := mix64(key^0xa5a5a5a5a5a5a5a5) | 1
+	mask := uint64(c.width - 1)
+	est := uint64(math.MaxUint64)
+	for i := 0; i < c.depth; i++ {
+		idx := (h1 + uint64(i)*h2) & mask
+		if v := c.counters[i*c.width+int(idx)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// hllP is the HyperLogLog precision: 2^hllP registers. p=12 gives a relative
+// standard error of 1.04/√4096 ≈ 1.6% in 4KB.
+const hllP = 12
+
+// HyperLogLog estimates the number of distinct 64-bit hashes added. Merge is
+// a register-wise max, so sketches built over disjoint row ranges union
+// exactly.
+type HyperLogLog struct {
+	registers [1 << hllP]uint8
+}
+
+// NewHyperLogLog returns an empty HLL.
+func NewHyperLogLog() *HyperLogLog { return &HyperLogLog{} }
+
+// Add observes one hashed element. Zero allocations.
+func (h *HyperLogLog) Add(hash uint64) {
+	idx := hash >> (64 - hllP)
+	rank := uint8(bits.LeadingZeros64(hash<<hllP|1<<(hllP-1))) + 1
+	if rank > h.registers[idx] {
+		h.registers[idx] = rank
+	}
+}
+
+// Merge folds other into h (register-wise max).
+func (h *HyperLogLog) Merge(other *HyperLogLog) {
+	for i := range h.registers {
+		if other.registers[i] > h.registers[i] {
+			h.registers[i] = other.registers[i]
+		}
+	}
+}
+
+// Reset clears the sketch (scratch reuse in window queries).
+func (h *HyperLogLog) Reset() { clear(h.registers[:]) }
+
+// RelStdErr is the estimator's relative standard error (≈1.04/√m).
+func (h *HyperLogLog) RelStdErr() float64 {
+	return 1.04 / math.Sqrt(float64(len(h.registers)))
+}
+
+// Estimate returns the distinct-count estimate with the standard
+// small-range (linear counting) correction.
+func (h *HyperLogLog) Estimate() float64 {
+	m := float64(len(h.registers))
+	sum := 0.0
+	zeros := 0
+	for _, r := range h.registers {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	est := alpha * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		est = m * math.Log(m/float64(zeros))
+	}
+	return est
+}
+
+// wordHash maps a vocab word id to the 64-bit hash space HLL consumes.
+func wordHash(word uint32) uint64 { return mix64(uint64(word) ^ 0x51ed2701) }
+
+// bucketSketch summarizes one time bucket of a table: keyword frequencies
+// (CMS over distinct words per row) and distinct words (HLL), plus the raw
+// tallies the error bounds need.
+type bucketSketch struct {
+	cms  *CountMinSketch
+	hll  *HyperLogLog
+	rows uint64 // rows whose timestamp fell in this bucket
+}
+
+// Default TableSketch shape: per-bucket CMS of 512×4 counters (ε ≈ 0.0053,
+// failure probability ≈ exp(-4) ≈ 1.8%) costs ~16KB; weekly buckets keep
+// typical dashboards merging a few dozen summaries.
+const (
+	defaultSketchCMSWidth = 512
+	defaultSketchCMSDepth = 4
+	defaultSketchBucket   = 7 * 24 * time.Hour
+)
+
+// TableSketch is the per-table summary store: one bucketSketch per time
+// bucket of the configured width, keyed by floor(tsMs / bucketMs). It is
+// built once at dataset construction and maintained incrementally by the
+// ingest path; it is NOT internally synchronized — updates happen under the
+// DB's data write lock, reads under the read lock, exactly like row data.
+type TableSketch struct {
+	TextCol  string
+	TimeCol  string
+	BucketMs int64
+
+	buckets    map[int64]*bucketSketch
+	minB, maxB int64 // observed bucket-key range (valid when rows > 0)
+	rows       uint64
+}
+
+// NewTableSketch builds an empty sketch store over the named text and time
+// columns. bucket <= 0 picks the weekly default.
+func NewTableSketch(textCol, timeCol string, bucket time.Duration) *TableSketch {
+	if bucket <= 0 {
+		bucket = defaultSketchBucket
+	}
+	return &TableSketch{
+		TextCol:  textCol,
+		TimeCol:  timeCol,
+		BucketMs: bucket.Milliseconds(),
+		buckets:  make(map[int64]*bucketSketch),
+	}
+}
+
+// Rows returns the number of rows summarized.
+func (ts *TableSketch) Rows() uint64 { return ts.rows }
+
+// Buckets returns how many time buckets hold data (diagnostics and the
+// virtual cost of a sketch probe).
+func (ts *TableSketch) Buckets() int { return len(ts.buckets) }
+
+// bucketOf maps a timestamp to its bucket key (floor division, correct for
+// negative timestamps too).
+func (ts *TableSketch) bucketOf(tsMs int64) int64 {
+	b := tsMs / ts.BucketMs
+	if tsMs%ts.BucketMs < 0 {
+		b--
+	}
+	return b
+}
+
+// AddRow feeds one row: each *distinct* word of its (sorted) token list
+// counts once in the bucket's CMS and HLL, so CMS estimates answer "rows
+// containing word", matching what the exact keyword predicate counts.
+// Zero allocations once the row's bucket exists.
+func (ts *TableSketch) AddRow(tsMs int64, tokens []uint32) {
+	b := ts.bucketOf(tsMs)
+	bs := ts.buckets[b]
+	if bs == nil {
+		bs = &bucketSketch{
+			cms: NewCountMinSketch(defaultSketchCMSWidth, defaultSketchCMSDepth),
+			hll: NewHyperLogLog(),
+		}
+		ts.buckets[b] = bs
+		if ts.rows == 0 || b < ts.minB {
+			ts.minB = b
+		}
+		if ts.rows == 0 || b > ts.maxB {
+			ts.maxB = b
+		}
+	}
+	prev := uint32(math.MaxUint32)
+	for _, w := range tokens {
+		if w == prev {
+			continue // token lists are sorted; equal neighbors are duplicates
+		}
+		prev = w
+		bs.cms.Add(uint64(w), 1)
+		bs.hll.Add(wordHash(w))
+	}
+	bs.rows++
+	ts.rows++
+}
+
+// coverRange resolves a time window to the inclusive bucket-key range that
+// covers it. An empty window (lo > hi, e.g. no time predicate) covers every
+// bucket.
+func (ts *TableSketch) coverRange(loMs, hiMs int64, windowed bool) (lo, hi int64) {
+	if !windowed || ts.rows == 0 {
+		return ts.minB, ts.maxB
+	}
+	lo, hi = ts.bucketOf(loMs), ts.bucketOf(hiMs)
+	if lo < ts.minB {
+		lo = ts.minB
+	}
+	if hi > ts.maxB {
+		hi = ts.maxB
+	}
+	return lo, hi
+}
+
+// AlignWindow snaps a time window outward to the bucket lattice — the
+// window a sketch probe actually summarizes. Distinct-count serving aligns
+// both the exact and the approximate path to this window so the HLL's
+// stated standard error applies to exactly the set the exact path counts.
+func (ts *TableSketch) AlignWindow(loMs, hiMs int64) (alo, ahi int64) {
+	lo := ts.bucketOf(loMs)
+	hi := ts.bucketOf(hiMs)
+	return lo * ts.BucketMs, (hi+1)*ts.BucketMs - 1
+}
+
+// KeywordCount estimates how many rows in the window contain word, plus the
+// stated worst-case overestimate: per covered bucket the CMS may exceed
+// truth by ε·N_b, and boundary buckets only partially inside the window
+// contribute up to their full row count of out-of-window rows. The estimate
+// is one-sided — never below the true in-window count — because each
+// per-bucket CMS overestimates and the bucket cover is a superset of the
+// window. touched reports how many bucket summaries were merged (the
+// probe's virtual cost).
+func (ts *TableSketch) KeywordCount(word uint32, loMs, hiMs int64, windowed bool) (est, bound float64, touched int) {
+	lo, hi := ts.coverRange(loMs, hiMs, windowed)
+	for b := lo; b <= hi; b++ {
+		bs := ts.buckets[b]
+		if bs == nil {
+			continue
+		}
+		touched++
+		est += float64(bs.cms.Estimate(uint64(word)))
+		bound += bs.cms.Epsilon() * float64(bs.cms.Adds())
+		if windowed && (b == lo && loMs > b*ts.BucketMs || b == hi && hiMs < (b+1)*ts.BucketMs-1) {
+			// Partial boundary bucket: its whole row count may be excess.
+			bound += float64(bs.rows)
+		}
+	}
+	return est, bound, touched
+}
+
+// DistinctWords estimates the number of distinct words across the window's
+// bucket cover (the bucket-aligned window; see AlignWindow), with the HLL's
+// relative standard error as the stated accuracy. scratch (optional) is
+// reused as the merge target to avoid allocating per probe.
+func (ts *TableSketch) DistinctWords(loMs, hiMs int64, windowed bool, scratch *HyperLogLog) (est, relStdErr float64, touched int) {
+	if scratch == nil {
+		scratch = NewHyperLogLog()
+	} else {
+		scratch.Reset()
+	}
+	lo, hi := ts.coverRange(loMs, hiMs, windowed)
+	for b := lo; b <= hi; b++ {
+		bs := ts.buckets[b]
+		if bs == nil {
+			continue
+		}
+		touched++
+		scratch.Merge(bs.hll)
+	}
+	return scratch.Estimate(), scratch.RelStdErr(), touched
+}
+
+// BuildSketch constructs (or returns) the table's sketch store over textCol
+// and timeCol, summarizing every current row. Ingest appends maintain it
+// incrementally (see appendBatch); commutativity makes the incremental
+// result identical to rebuilding from scratch.
+func (t *Table) BuildSketch(textCol, timeCol string, bucket time.Duration) (*TableSketch, error) {
+	if t.Sketch != nil {
+		return t.Sketch, nil
+	}
+	if t.SampleOf != nil {
+		return nil, fmt.Errorf("engine: sketches live on base tables, not sample %q", t.Name)
+	}
+	tc, ok := t.byName[textCol]
+	if !ok || tc.Type != ColText {
+		return nil, fmt.Errorf("engine: BuildSketch needs a text column, %q is not one", textCol)
+	}
+	cc, ok := t.byName[timeCol]
+	if !ok || cc.Type != ColTime {
+		return nil, fmt.Errorf("engine: BuildSketch needs a time column, %q is not one", timeCol)
+	}
+	sk := NewTableSketch(textCol, timeCol, bucket)
+	for r := 0; r < t.Rows; r++ {
+		sk.AddRow(cc.Ints[r], tc.Texts[r])
+	}
+	t.Sketch = sk
+	return sk, nil
+}
+
+// DistinctWordsExact counts the distinct words among the given rows of the
+// table's text column — the exact comparator for HLL estimates (and the
+// expensive path the HLL action buys its way out of).
+func DistinctWordsExact(t *Table, rows []uint32, textCol string) int {
+	c := t.Col(textCol)
+	seen := make(map[uint32]struct{})
+	for _, r := range rows {
+		for _, w := range c.Texts[r] {
+			seen[w] = struct{}{}
+		}
+	}
+	return len(seen)
+}

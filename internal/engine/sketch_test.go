@@ -1,0 +1,336 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The sketch tests pin the two statistical contracts the approximate tier
+// states to clients: CMS estimates are one-sided (never below truth) and
+// exceed it by more than ε·N only rarely; HLL estimates sit within a few
+// multiples of the stated relative standard error. Every test uses fixed
+// seeds, so the "statistical" assertions are deterministic — thresholds are
+// set with slack below the nominal guarantees precisely so they cannot
+// flake, while still catching an implementation whose error behavior is
+// wrong in kind (an underestimating CMS, a biased HLL).
+
+// TestCMSOverestimateOnly: for every key, Estimate >= truth — the property
+// that makes sketch-served counts safe to state as upper-bounded.
+func TestCMSOverestimateOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	cms := NewCountMinSketch(512, 4)
+	truth := make(map[uint64]uint64)
+	for i := 0; i < 20_000; i++ {
+		k := uint64(rng.Intn(2000)) // heavy collisions across 2000 keys
+		n := uint64(rng.Intn(5) + 1)
+		cms.Add(k, n)
+		truth[k] += n
+	}
+	for k, want := range truth {
+		if got := cms.Estimate(k); got < want {
+			t.Fatalf("key %d: estimate %d below truth %d (CMS must overestimate)", k, got, want)
+		}
+	}
+	// Unseen keys may collide into occupied counters but never go negative.
+	for k := uint64(1 << 40); k < 1<<40+100; k++ {
+		_ = cms.Estimate(k)
+	}
+}
+
+// TestCMSEpsilonBound: the fraction of keys whose estimate exceeds
+// truth + ε·N stays within the sketch's stated failure probability
+// (≈ exp(-depth) ≈ 1.8% at depth 4; we allow 5% slack headroom).
+func TestCMSEpsilonBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	cms := NewCountMinSketch(512, 4)
+	truth := make(map[uint64]uint64)
+	for i := 0; i < 50_000; i++ {
+		k := uint64(rng.Intn(5000))
+		cms.Add(k, 1)
+		truth[k]++
+	}
+	limit := cms.Epsilon() * float64(cms.Adds())
+	violations := 0
+	for k, want := range truth {
+		if float64(cms.Estimate(k)) > float64(want)+limit {
+			violations++
+		}
+	}
+	if frac := float64(violations) / float64(len(truth)); frac > 0.05 {
+		t.Fatalf("%.1f%% of keys exceed the ε·N bound (%d/%d), want ≤ 5%%",
+			frac*100, violations, len(truth))
+	}
+}
+
+// TestCMSWidthRounding: width rounds up to a power of two with a floor, and
+// Epsilon shrinks as width grows.
+func TestCMSWidthRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 16}, {16, 16}, {17, 32}, {512, 512}, {513, 1024}} {
+		if got := NewCountMinSketch(tc.in, 1).width; got != tc.want {
+			t.Errorf("width %d rounds to %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if NewCountMinSketch(512, 4).Epsilon() >= NewCountMinSketch(256, 4).Epsilon() {
+		t.Error("Epsilon must shrink with width")
+	}
+}
+
+// TestHLLAccuracy: estimates land within 3 standard errors of truth across
+// two orders of magnitude of cardinality, and the small-range linear
+// counting regime is near-exact.
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{100, 1_000, 10_000, 100_000} {
+		h := NewHyperLogLog()
+		for i := 0; i < n; i++ {
+			h.Add(mix64(uint64(i) ^ 0xdecafbad))
+		}
+		est := h.Estimate()
+		relErr := math.Abs(est-float64(n)) / float64(n)
+		tol := 3 * h.RelStdErr() // ≈ 4.9% at p=12
+		if n <= 1000 {
+			tol = 0.02 // linear-counting regime: near exact
+		}
+		if relErr > tol {
+			t.Errorf("n=%d: estimate %.0f, relative error %.3f > %.3f", n, est, relErr, tol)
+		}
+	}
+}
+
+// TestHLLMergeIsUnion: merging sketches of two overlapping sets yields the
+// identical register state as sketching the union directly — the property
+// that makes per-bucket summaries composable over any window.
+func TestHLLMergeIsUnion(t *testing.T) {
+	a, b, u := NewHyperLogLog(), NewHyperLogLog(), NewHyperLogLog()
+	for i := 0; i < 5_000; i++ {
+		h := mix64(uint64(i))
+		a.Add(h)
+		u.Add(h)
+	}
+	for i := 2_500; i < 7_500; i++ {
+		h := mix64(uint64(i))
+		b.Add(h)
+		u.Add(h)
+	}
+	a.Merge(b)
+	if a.registers != u.registers {
+		t.Fatal("merged registers differ from union's registers")
+	}
+	// Idempotent: merging again changes nothing.
+	before := a.registers
+	a.Merge(b)
+	if a.registers != before {
+		t.Fatal("repeated merge changed registers")
+	}
+}
+
+// TestHLLDeterministic: the same input stream in any order produces the same
+// registers (register max is commutative).
+func TestHLLDeterministic(t *testing.T) {
+	fwd, rev := NewHyperLogLog(), NewHyperLogLog()
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		fwd.Add(mix64(uint64(i)))
+		rev.Add(mix64(uint64(n - 1 - i)))
+	}
+	if fwd.registers != rev.registers {
+		t.Fatal("insertion order changed HLL state")
+	}
+}
+
+// sketchTestTable builds a small table plus a 1-second-bucket sketch and
+// returns both with the DB, shared by the TableSketch tests.
+func sketchTestTable(t *testing.T, rows int) (*DB, *Table, *TableSketch) {
+	t.Helper()
+	db := buildTestDB(t, rows, 9)
+	tb := db.Table("events")
+	sk, err := tb.BuildSketch("text", "ts", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tb, sk
+}
+
+// exactKeywordCount counts rows in [loMs, hiMs] containing word — the truth
+// the CMS path's one-sided bound is stated against.
+func exactKeywordCount(tb *Table, word uint32, loMs, hiMs int64) int {
+	times := tb.Col("ts").Ints
+	texts := tb.Col("text").Texts
+	n := 0
+	for r := 0; r < tb.Rows; r++ {
+		if times[r] < loMs || times[r] > hiMs {
+			continue
+		}
+		for _, w := range texts[r] {
+			if w == word {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// TestTableSketchKeywordCountBound: for every vocabulary word and several
+// windows, the windowed estimate is one-sided (≥ truth) and within the
+// stated bound (≤ truth + bound).
+func TestTableSketchKeywordCountBound(t *testing.T) {
+	_, tb, sk := sketchTestTable(t, 4_000)
+	windows := []struct {
+		lo, hi   int64
+		windowed bool
+	}{
+		{0, 0, false},      // whole table
+		{2000, 7000, true}, // partial boundary buckets on both ends
+		{0, 9999, true},    // full range, aligned
+		{4500, 4600, true}, // sub-bucket window
+	}
+	for word := uint32(1); word <= 50; word++ {
+		for _, w := range windows {
+			est, bound, touched := sk.KeywordCount(word, w.lo, w.hi, w.windowed)
+			lo, hi := w.lo, w.hi
+			if !w.windowed {
+				lo, hi = math.MinInt64, math.MaxInt64
+			}
+			truth := float64(exactKeywordCount(tb, word, lo, hi))
+			if est < truth {
+				t.Fatalf("word %d window %+v: estimate %.0f below truth %.0f", word, w, est, truth)
+			}
+			if est > truth+bound {
+				t.Fatalf("word %d window %+v: estimate %.0f exceeds truth %.0f + bound %.1f", word, w, est, truth, bound)
+			}
+			if touched <= 0 {
+				t.Fatalf("word %d window %+v: touched %d buckets", word, w, touched)
+			}
+		}
+	}
+}
+
+// TestTableSketchDistinctWords: the HLL estimate over a window's bucket
+// cover tracks the exact distinct count over the bucket-aligned window (the
+// window AlignWindow reports), and reusing a scratch HLL changes nothing.
+func TestTableSketchDistinctWords(t *testing.T) {
+	_, tb, sk := sketchTestTable(t, 4_000)
+	scratch := NewHyperLogLog()
+	for _, w := range []struct{ lo, hi int64 }{{2000, 7000}, {0, 9999}, {4500, 4600}} {
+		est, relErr, touched := sk.DistinctWords(w.lo, w.hi, true, nil)
+		est2, _, _ := sk.DistinctWords(w.lo, w.hi, true, scratch)
+		if est != est2 {
+			t.Fatalf("window %+v: scratch reuse changed the estimate (%.2f vs %.2f)", w, est, est2)
+		}
+		alo, ahi := sk.AlignWindow(w.lo, w.hi)
+		var rows []uint32
+		times := tb.Col("ts").Ints
+		for r := 0; r < tb.Rows; r++ {
+			if times[r] >= alo && times[r] <= ahi {
+				rows = append(rows, uint32(r))
+			}
+		}
+		truth := float64(DistinctWordsExact(tb, rows, "text"))
+		tol := math.Max(2, 3*relErr*truth)
+		if math.Abs(est-truth) > tol {
+			t.Fatalf("window %+v: estimate %.1f vs exact %.0f (tolerance %.1f)", w, est, truth, tol)
+		}
+		if touched <= 0 {
+			t.Fatalf("window %+v: touched %d buckets", w, touched)
+		}
+	}
+}
+
+// TestTableSketchIncrementalEqualsBulk: a sketch maintained incrementally by
+// the ingest path over N batches is probe-for-probe identical to a sketch
+// rebuilt from scratch over the final rows — the commutativity property WAL
+// replay determinism stands on.
+func TestTableSketchIncrementalEqualsBulk(t *testing.T) {
+	db := buildTestDB(t, 1_000, 9)
+	tb := db.Table("events")
+	if _, err := tb.BuildSketch("text", "ts", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	at := time.Unix(1700000000, 0)
+	for i := 0; i < 5; i++ {
+		if _, err := db.ApplyBatch("events", ingestBatch(t, 800+int64(i), 60), at.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	incr := tb.Sketch
+
+	bulk := NewTableSketch("text", "ts", time.Second)
+	times := tb.Col("ts").Ints
+	texts := tb.Col("text").Texts
+	for r := 0; r < tb.Rows; r++ {
+		bulk.AddRow(times[r], texts[r])
+	}
+
+	if incr.Rows() != bulk.Rows() || incr.Buckets() != bulk.Buckets() {
+		t.Fatalf("shape diverges: rows %d/%d buckets %d/%d",
+			incr.Rows(), bulk.Rows(), incr.Buckets(), bulk.Buckets())
+	}
+	for b, ib := range incr.buckets {
+		bb := bulk.buckets[b]
+		if bb == nil {
+			t.Fatalf("bucket %d missing from bulk rebuild", b)
+		}
+		if ib.rows != bb.rows {
+			t.Fatalf("bucket %d rows %d vs %d", b, ib.rows, bb.rows)
+		}
+		for i := range ib.cms.counters {
+			if ib.cms.counters[i] != bb.cms.counters[i] {
+				t.Fatalf("bucket %d CMS counter %d diverges", b, i)
+			}
+		}
+		if ib.hll.registers != bb.hll.registers {
+			t.Fatalf("bucket %d HLL registers diverge", b)
+		}
+	}
+}
+
+// TestTableSketchBucketOf: floor-division bucketing, including negative
+// timestamps (an epoch-before-1970 row must not share a bucket with an
+// epoch-after row).
+func TestTableSketchBucketOf(t *testing.T) {
+	sk := NewTableSketch("text", "ts", time.Second)
+	for _, tc := range []struct {
+		ts   int64
+		want int64
+	}{{0, 0}, {999, 0}, {1000, 1}, {-1, -1}, {-1000, -1}, {-1001, -2}} {
+		if got := sk.bucketOf(tc.ts); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.ts, got, tc.want)
+		}
+	}
+	alo, ahi := sk.AlignWindow(1500, 3500)
+	if alo != 1000 || ahi != 3999 {
+		t.Errorf("AlignWindow(1500,3500) = [%d,%d], want [1000,3999]", alo, ahi)
+	}
+}
+
+// TestBuildSketchValidation: sample tables and non-text/non-time columns are
+// rejected; a second build returns the existing sketch.
+func TestBuildSketchValidation(t *testing.T) {
+	db := buildTestDB(t, 500, 9)
+	tb := db.Table("events")
+	if _, err := tb.BuildSample(20, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Samples[20].BuildSketch("text", "ts", 0); err == nil {
+		t.Error("BuildSketch on a sample table must fail")
+	}
+	if _, err := tb.BuildSketch("ts", "ts", 0); err == nil {
+		t.Error("BuildSketch with a non-text text column must fail")
+	}
+	if _, err := tb.BuildSketch("text", "val", 0); err == nil {
+		t.Error("BuildSketch with a non-time time column must fail")
+	}
+	sk, err := tb.BuildSketch("text", "ts", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := tb.BuildSketch("text", "ts", time.Minute) // config ignored: already built
+	if err != nil || again != sk {
+		t.Fatalf("BuildSketch not idempotent: %v %p vs %p", err, again, sk)
+	}
+	if sk.Rows() != uint64(tb.Rows) {
+		t.Fatalf("sketch summarizes %d rows, table has %d", sk.Rows(), tb.Rows)
+	}
+}

@@ -90,6 +90,11 @@ type Table struct {
 	Indexes map[string]*Index // by column name
 	Samples map[int]*Table    // by percent (e.g. 20 → 20% sample)
 
+	// Sketch is the table's time-bucketed summary store (Count-Min keyword
+	// frequencies + HyperLogLog distinct words), nil until BuildSketch.
+	// Maintained incrementally by appendBatch under the data write lock.
+	Sketch *TableSketch
+
 	// SampleOf is the base table when this table is a sample, else nil.
 	SampleOf *Table
 	// SamplePercent is the sampling rate when SampleOf != nil.

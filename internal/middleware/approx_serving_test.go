@@ -1,0 +1,327 @@
+package middleware
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/maliva/maliva/internal/core"
+	"github.com/maliva/maliva/internal/engine"
+)
+
+// approxServers builds two servers over one sketch-bearing dataset, both
+// planning over the approximate tier with the quality oracle: the subject
+// (full caching) and a cache-less reference that always executes. Determinism
+// of the tier means the two must produce byte-identical answers for any
+// request either way it is served.
+func approxServers(t *testing.T) (subject, reference *Server) {
+	t.Helper()
+	ds := testDataset(t)
+	if _, err := ds.DB.Table(ds.Main).BuildSketch("text", "created_at", 24*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	subject, err := NewServerWithConfig(ds, core.QualityOracle{}, core.ApproxTierSpec(),
+		ServerConfig{DefaultBudgetMs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err = NewServerWithConfig(ds, core.QualityOracle{}, core.ApproxTierSpec(),
+		ServerConfig{DefaultBudgetMs: 500, DisableSubsumption: true, PlanCacheSize: -1, ResultCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return subject, reference
+}
+
+// approxWindowReq is the shared keyword+time-window request shape (no region,
+// so the sketch rules stay eligible for aggregate kinds).
+func approxWindowReq(kind VizKind, keyword string, budget float64) Request {
+	return Request{
+		Keyword:  keyword,
+		From:     time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC),
+		To:       time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC),
+		Kind:     kind,
+		BudgetMs: budget,
+	}
+}
+
+// tightBudgetMs sits above the 2ms virtual startup floor (so the cheap
+// approximate actions stay feasible) but far below any exact row-touching
+// plan at the fixture's 12500x scale factor.
+const tightBudgetMs = 12
+
+// assertWithinStatedError checks an approximate aggregate against the exact
+// answer under its own stated error contract. The slack multipliers are
+// generous (the fixtures are fixed-seed, so any pass is a permanent pass) but
+// still tight enough that a broken estimator cannot hide.
+func assertWithinStatedError(t *testing.T, meta *ApproxMeta, got, exact float64) {
+	t.Helper()
+	switch meta.Method {
+	case "cms":
+		if got < exact-1e-9 || got > exact+meta.CIHalfWidth+1e-9 {
+			t.Errorf("cms estimate %v outside [exact, exact+bound] = [%v, %v]", got, exact, exact+meta.CIHalfWidth)
+		}
+	case "rows", "sample":
+		slack := 2.5 * meta.CIHalfWidth // ~5σ of the stated 1.96σ interval
+		if math.Abs(got-exact) > slack {
+			t.Errorf("%s estimate %v vs exact %v: off by %v, stated CI half-width %v",
+				meta.Method, got, exact, math.Abs(got-exact), meta.CIHalfWidth)
+		}
+	case "reservoir":
+		if got != exact {
+			t.Errorf("reservoir count %v != exact %v (the matched count must be exact)", got, exact)
+		}
+	case "hll":
+		if math.Abs(got-exact) > 2*meta.CIHalfWidth+1e-9 {
+			t.Errorf("hll estimate %v vs exact %v: off by %v, stated CI half-width %v",
+				got, exact, math.Abs(got-exact), meta.CIHalfWidth)
+		}
+	case "limit":
+		if got > exact+1e-9 {
+			t.Errorf("limit-truncated count %v exceeds exact %v", got, exact)
+		}
+	default:
+		t.Errorf("unknown approximation method %q", meta.Method)
+	}
+}
+
+// TestCountServingExactAndApprox: a count request answers exactly under a
+// generous budget (no approximate marker, value agreeing with the cache-less
+// reference) and approximately under a tight one — marked, carrying an error
+// contract the exact answer actually satisfies, and counted by the
+// approx-served metric.
+func TestCountServingExactAndApprox(t *testing.T) {
+	subject, reference := approxServers(t)
+
+	exactResp, err := subject.Handle(approxWindowReq(VizCount, "word0003", 1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactResp.Approximate || exactResp.Approx != nil {
+		t.Fatalf("generous-budget count marked approximate (option %s)", exactResp.Trace.Option)
+	}
+	if exactResp.Value == nil {
+		t.Fatal("count response missing value")
+	}
+	refResp, err := reference.Handle(approxWindowReq(VizCount, "word0003", 1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *refResp.Value != *exactResp.Value {
+		t.Fatalf("exact count diverged between servers: %v vs %v", *exactResp.Value, *refResp.Value)
+	}
+
+	before := subject.Metrics().Snapshot().ApproxServed
+	apResp, err := subject.Handle(approxWindowReq(VizCount, "word0003", tightBudgetMs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !apResp.Approximate || apResp.Approx == nil {
+		t.Fatalf("tight-budget count (option %s, %v exec ms) not served approximately — no exact plan should fit %vms",
+			apResp.Trace.Option, apResp.Trace.ExecMs, float64(tightBudgetMs))
+	}
+	if apResp.Value == nil {
+		t.Fatal("approximate count response missing value")
+	}
+	if apResp.Approx.Fingerprint == "" {
+		t.Error("approximate response carries no fingerprint")
+	}
+	assertWithinStatedError(t, apResp.Approx, *apResp.Value, *exactResp.Value)
+	if got := subject.Metrics().Snapshot().ApproxServed - before; got != 1 {
+		t.Errorf("approx_served counted %d, want 1", got)
+	}
+}
+
+// TestDistinctServingExactAndHLL: distinct-words requests — exact under a
+// generous budget, HLL-sketch-served under a tight one, with the HLL estimate
+// inside its stated interval of the exact answer. The time window is snapped
+// to the sketch's bucket lattice at planning time, so both arms count the
+// same row set.
+func TestDistinctServingExactAndHLL(t *testing.T) {
+	subject, reference := approxServers(t)
+	req := approxWindowReq(VizDistinct, "", 1e6) // no keyword: the HLL shape
+
+	exactResp, err := subject.Handle(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactResp.Approximate {
+		t.Fatalf("generous-budget distinct marked approximate (option %s)", exactResp.Trace.Option)
+	}
+	if exactResp.Value == nil || *exactResp.Value <= 0 {
+		t.Fatalf("exact distinct value = %v, want positive", exactResp.Value)
+	}
+	refResp, err := reference.Handle(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *refResp.Value != *exactResp.Value {
+		t.Fatalf("exact distinct diverged between servers: %v vs %v", *exactResp.Value, *refResp.Value)
+	}
+
+	req.BudgetMs = tightBudgetMs
+	apResp, err := subject.Handle(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !apResp.Approximate || apResp.Approx == nil {
+		t.Fatalf("tight-budget distinct (option %s) not served approximately", apResp.Trace.Option)
+	}
+	if apResp.Approx.Method != "hll" {
+		t.Fatalf("tight-budget distinct used method %q, want hll (the only rule in the distinct space)", apResp.Approx.Method)
+	}
+	assertWithinStatedError(t, apResp.Approx, *apResp.Value, *exactResp.Value)
+}
+
+// TestDistinctWithoutTextColumn: a distinct request against a dataset with no
+// text column is a client error, not a panic or a zero.
+func TestDistinctWithoutTextColumn(t *testing.T) {
+	ds := testDataset(t)
+	srv, err := NewServer(ds, core.QualityOracle{}, core.ApproxTierSpec(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.textCol = "" // simulate a text-less dataset without building one
+	if _, err := srv.Handle(approxWindowReq(VizDistinct, "", 1e6)); err == nil {
+		t.Fatal("distinct request on a text-less dataset succeeded")
+	}
+}
+
+// TestApproxDeterministicAcrossServers: two independent serving stacks over
+// the same data answer a tight-budget (approximate) request byte-identically
+// — the serving-layer face of the (seed, fingerprint, data-version)
+// determinism contract.
+func TestApproxDeterministicAcrossServers(t *testing.T) {
+	subject, reference := approxServers(t)
+	for _, kind := range []VizKind{VizHeatmap, VizCount} {
+		req := approxWindowReq(kind, "word0003", tightBudgetMs)
+		a, err := subject.Handle(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := reference.Handle(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Approximate {
+			t.Fatalf("%s: tight-budget request not approximate (option %s)", kind, a.Trace.Option)
+		}
+		ab, _ := json.Marshal(a)
+		bb, _ := json.Marshal(b)
+		if string(ab) != string(bb) {
+			t.Fatalf("%s: approximate answers diverged across servers\none: %s\ntwo: %s", kind, ab, bb)
+		}
+	}
+}
+
+// TestApproxKeysNeverAnswerExact: the result cache treats fidelity as part of
+// identity — an entry stored under an approximate key is unreachable from the
+// exact spelling of the same request, and the two keys hash apart.
+func TestApproxKeysNeverAnswerExact(t *testing.T) {
+	c := newResultCache(8, time.Minute, nil)
+	approxKey := ResultKey{SQL: "SELECT 1", Kind: VizCount, Budget: 10, DataVersion: 3, Approx: "rows:0.2:0"}
+	exactKey := approxKey
+	exactKey.Approx = ""
+	v := 7.0
+	c.put(approxKey, &Response{Kind: VizCount, Value: &v, Approximate: true})
+	if got := c.get(exactKey); got != nil {
+		t.Fatal("exact key returned an approximate entry")
+	}
+	if got := c.get(approxKey); got == nil || !got.Approximate {
+		t.Fatal("approximate entry not retrievable under its own key")
+	}
+	if approxKey.Hash() == exactKey.Hash() {
+		t.Fatal("approximate and exact keys hash identically")
+	}
+}
+
+// TestCoarserGridNotSubsumed is the regression pin for the subsumption
+// alignment contract: a cached finer-celled parent must never answer a
+// coarser-celled request over the same region (aggregating 2×2 parent cells
+// would re-sum floats in an order direct execution never uses), and a
+// finer-celled request must not be answered either. Both must execute and
+// match direct execution byte for byte.
+func TestCoarserGridNotSubsumed(t *testing.T) {
+	subject, reference := subsumeServers(t)
+	ext := subject.DS.Extent
+	parent := Request{
+		Keyword: "word0003",
+		From:    time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC),
+		To:      time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC),
+		Region:  ext, Kind: VizHeatmap, GridW: 32, GridH: 16, BudgetMs: 500,
+	}
+	if _, err := subject.Handle(parent); err != nil {
+		t.Fatal(err)
+	}
+
+	before := subject.Metrics().Snapshot().SubsumedHits
+	for _, grid := range []struct{ w, h int }{
+		{16, 8},  // coarser cells, same region: boundaries align, sizes don't
+		{64, 32}, // finer cells, same region
+	} {
+		sub := parent
+		sub.GridW, sub.GridH = grid.w, grid.h
+		got, err := subject.Handle(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := reference.Handle(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(want)
+		if string(gb) != string(wb) {
+			t.Fatalf("%dx%d regrid diverged from direct execution\ngot:  %s\nwant: %s", grid.w, grid.h, gb, wb)
+		}
+	}
+	if hits := subject.Metrics().Snapshot().SubsumedHits - before; hits != 0 {
+		t.Fatalf("a regridded request was answered by slicing a different-cell-size parent (%d subsumed hits)", hits)
+	}
+}
+
+// TestApproxRequestsSkipSubsumption: approximate heatmaps neither slice nor
+// get sliced. A Bernoulli sample's seed derives from the query fingerprint —
+// which embeds the region predicate — so a parent's kept rows restricted to a
+// sub-window are not the sub-request's sample; the only correct answer is
+// direct execution, which must stay byte-identical to the cache-less path.
+func TestApproxRequestsSkipSubsumption(t *testing.T) {
+	subject, reference := approxServers(t)
+	ext := subject.DS.Extent
+	parent := approxWindowReq(VizHeatmap, "word0003", tightBudgetMs)
+	parent.Region, parent.GridW, parent.GridH = ext, 32, 16
+	pResp, err := subject.Handle(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pResp.Approximate {
+		t.Fatalf("tight-budget parent heatmap not approximate (option %s) — the test premise is broken", pResp.Trace.Option)
+	}
+
+	before := subject.Metrics().Snapshot().SubsumedHits
+	cellW := (ext.MaxLon - ext.MinLon) / 32
+	cellH := (ext.MaxLat - ext.MinLat) / 16
+	sub := parent
+	sub.GridW, sub.GridH = 16, 8
+	sub.Region = engine.Rect{
+		MinLon: ext.MinLon + 4*cellW, MinLat: ext.MinLat + 2*cellH,
+		MaxLon: ext.MinLon + 20*cellW, MaxLat: ext.MinLat + 10*cellH,
+	}
+	got, err := subject.Handle(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := reference.Handle(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := json.Marshal(got)
+	wb, _ := json.Marshal(want)
+	if string(gb) != string(wb) {
+		t.Fatalf("approximate sub-request diverged from direct execution\ngot:  %s\nwant: %s", gb, wb)
+	}
+	if hits := subject.Metrics().Snapshot().SubsumedHits - before; hits != 0 {
+		t.Fatalf("an approximate request took the containment path (%d subsumed hits)", hits)
+	}
+}

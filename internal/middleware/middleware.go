@@ -22,6 +22,12 @@ const (
 	VizHeatmap VizKind = "heatmap"
 	// VizScatter returns raw points.
 	VizScatter VizKind = "scatter"
+	// VizCount returns a single matching-row count (exact, sampled, or
+	// CMS-sketch-served depending on the chosen rewrite option).
+	VizCount VizKind = "count"
+	// VizDistinct returns the number of distinct words among matching rows
+	// (exact or HLL-sketch-served).
+	VizDistinct VizKind = "distinct"
 )
 
 // Request is a frontend visualization request (the running example of §1:
@@ -50,9 +56,42 @@ type Response struct {
 	Kind   VizKind         `json:"kind"`
 	Bins   map[int]float64 `json:"bins,omitempty"`
 	Points []engine.Point  `json:"points,omitempty"`
-	GridW  int             `json:"grid_w"`
-	GridH  int             `json:"grid_h"`
-	Trace  Trace           `json:"trace"`
+	// Value carries the aggregate answer for VizCount/VizDistinct requests.
+	Value *float64 `json:"value,omitempty"`
+	GridW int      `json:"grid_w"`
+	GridH int      `json:"grid_h"`
+	// Approximate marks any answer whose rewrite option changes query
+	// results (sampling, LIMIT truncation, sketch-served aggregates); Approx
+	// then states the error contract. Exact answers leave both fields at
+	// their zero values, so exact response bytes are unchanged by the tier.
+	Approximate bool        `json:"approximate,omitempty"`
+	Approx      *ApproxMeta `json:"approx,omitempty"`
+	Trace       Trace       `json:"trace"`
+}
+
+// ApproxMeta is the error contract attached to an approximate answer: what
+// method produced it, the stated bound on the aggregate estimate, and the
+// fingerprint that — together with the data version inside the cache key —
+// pins the answer's bytes (see docs/ARCHITECTURE.md, "Approximation & the
+// bit-identity carve-out").
+type ApproxMeta struct {
+	// Method names the approximation: "rows", "reservoir", "cms", "hll",
+	// "sample", or "limit".
+	Method string `json:"method"`
+	// Confidence is the stated coverage of CIHalfWidth (0.95 for two-sided
+	// intervals; zero when no probabilistic bound applies, e.g. "limit").
+	Confidence float64 `json:"confidence,omitempty"`
+	// CIHalfWidth bounds the error of Value: a two-sided CI half-width for
+	// sampling/HLL, the one-sided overestimate bound for CMS.
+	CIHalfWidth float64 `json:"ci_half_width,omitempty"`
+	// Bound classifies the bound: "two-sided", "overestimate", "exact-count"
+	// (reservoir: the count is exact, only per-cell values are scaled), or
+	// "truncation" (LIMIT: no bound is stated).
+	Bound string `json:"bound"`
+	// Fingerprint is the approximation clause of the result-cache key — the
+	// (method, parameters, seed) tag that keeps approximate entries from
+	// ever answering exact requests.
+	Fingerprint string `json:"fingerprint"`
 }
 
 // Trace records the rewriting decision for a request.
@@ -489,15 +528,41 @@ func (s *Server) plan(req Request, count, background bool) (planned, error) {
 	version := s.table.DataVersion()
 
 	kind := req.Kind
-	if kind != VizScatter {
+	switch kind {
+	case VizScatter, VizCount, VizDistinct:
+	default:
 		kind = VizHeatmap
 	}
-	gw, gh := req.GridW, req.GridH
-	if gw <= 0 {
-		gw = 64
+	if kind == VizDistinct && s.textCol == "" {
+		return p, badRequestf("dataset has no text column for a distinct-words request")
 	}
-	if gh <= 0 {
-		gh = 64
+	gw, gh := req.GridW, req.GridH
+	if kind == VizCount || kind == VizDistinct {
+		// Aggregate answers have no grid; zeroing it keeps stray grid params
+		// from splitting otherwise-identical cache keys.
+		gw, gh = 0, 0
+	} else {
+		if gw <= 0 {
+			gw = 64
+		}
+		if gh <= 0 {
+			gh = 64
+		}
+	}
+	if kind == VizDistinct {
+		// Snap the time window to the sketch's bucket lattice, so the exact
+		// and HLL options of one distinct request count the same row set (the
+		// summaries only resolve whole buckets). The aligned window is a
+		// deterministic function of (table, request) — every replica computes
+		// the same one, so routing keys stay consistent.
+		if sk := s.table.Sketch; sk != nil {
+			for i := range q.Preds {
+				if q.Preds[i].Kind == engine.PredRange && q.Preds[i].Col == sk.TimeCol {
+					alo, ahi := sk.AlignWindow(int64(q.Preds[i].Lo), int64(q.Preds[i].Hi))
+					q.Preds[i].Lo, q.Preds[i].Hi = float64(alo), float64(ahi)
+				}
+			}
+		}
 	}
 
 	// Plan cache: one ground-truth context per (data version, query shape),
@@ -506,10 +571,23 @@ func (s *Server) plan(req Request, count, background bool) (planned, error) {
 	// counts, selectivities, per-option timings) is data-dependent, so a
 	// stale context would mis-plan and, worse, mis-trace post-flush answers.
 	// Trace.SQL stays the pure signature.
+	//
+	// Aggregate kinds get their own key class: their option space is filtered
+	// differently (see spaceFor), so a count request and a heatmap request
+	// over the same SQL shape must not share a context. Viz kinds keep the
+	// original key format — their space is identical to the server's whenever
+	// it holds no sketch rules, which preserves every pre-tier key byte.
 	p.sig = q.SQL(engine.Hint{})
-	planKey := fmt.Sprintf("v%d\x00%s", version, p.sig)
+	class := ""
+	switch kind {
+	case VizCount:
+		class = "#count\x00"
+	case VizDistinct:
+		class = "#distinct\x00"
+	}
+	planKey := fmt.Sprintf("v%d\x00%s%s", version, class, p.sig)
 	entry, how, err := s.plans.get(planKey, !background, func(boost *atomic.Bool) (*core.QueryContext, error) {
-		ccfg := core.DefaultContextConfig(s.Space)
+		ccfg := core.DefaultContextConfig(s.spaceFor(kind))
 		ccfg.Lookups = s.lookups
 		if background {
 			ccfg.Yield = s.backgroundYield(boost)
@@ -549,10 +627,14 @@ func (s *Server) plan(req Request, count, background bool) (planned, error) {
 	p.rkey = ResultKey{
 		SQL: p.rq.SQL(p.hint), Kind: kind, GridW: gw, GridH: gh,
 		Region: s.regionOrExtent(req), Budget: p.budget, DataVersion: version,
+		Approx: approxTag(p.rq),
 	}
 	// The subsumption family: everything the key pins except the
 	// region/grid geometry. Time bounds collapse to the same instants the
 	// query predicate uses, so two spellings of one window share a family.
+	// The approximation tag keeps fidelity classes apart even here — an
+	// approximate in-flight execution must never look like a containment
+	// candidate for an exact request (or vice versa).
 	p.fam = famKey{
 		keyword: req.Keyword,
 		fromMs:  req.From.UnixMilli(),
@@ -560,8 +642,65 @@ func (s *Server) plan(req Request, count, background bool) (planned, error) {
 		kind:    kind,
 		budget:  p.budget,
 		version: version,
+		approx:  p.rkey.Approx,
 	}
 	return p, nil
+}
+
+// spaceFor filters the server's rewrite-option space to the rules that can
+// answer a given visualization kind: grid/point kinds need row-producing
+// options (sketch aggregates return no points), counts need count-unbiased
+// options (LIMIT truncates, HLL answers a different aggregate), and distinct
+// requests can only be approximated by HLL. Exact hint options always stay.
+func (s *Server) spaceFor(kind VizKind) core.SpaceSpec {
+	sp := s.Space
+	if len(sp.ApproxRules) == 0 {
+		return sp
+	}
+	keep := func(k core.ApproxKind) bool {
+		switch kind {
+		case VizCount:
+			return k != core.ApproxLimit && k != core.ApproxHLL
+		case VizDistinct:
+			return k == core.ApproxHLL
+		default:
+			return k != core.ApproxCMS && k != core.ApproxHLL
+		}
+	}
+	filtered := sp.ApproxRules[:0:0]
+	for _, r := range sp.ApproxRules {
+		if keep(r.Kind) {
+			filtered = append(filtered, r)
+		}
+	}
+	sp.ApproxRules = filtered
+	return sp
+}
+
+// approxTag renders a rewritten query's approximation clause as the cache
+// key's fidelity fingerprint: empty for exact queries, else a short
+// (method, parameters, seed) tag. The rewritten SQL already differs per
+// option, but the tag is what lets every cache layer — result cache,
+// subsumption, single-flight, cluster peer fetch — refuse cross-fidelity
+// answers without parsing SQL.
+func approxTag(rq *engine.Query) string {
+	switch rq.Approx.Method {
+	case engine.ApproxRows:
+		return fmt.Sprintf("rows:%g:%d", rq.Approx.Rate, rq.Approx.Seed)
+	case engine.ApproxReservoir:
+		return fmt.Sprintf("res:%d:%d", rq.Approx.K, rq.Approx.Seed)
+	case engine.ApproxSketchCount:
+		return "cms"
+	case engine.ApproxSketchDistinct:
+		return "hll"
+	}
+	switch {
+	case rq.SamplePercent > 0:
+		return fmt.Sprintf("sample:%d", rq.SamplePercent)
+	case rq.Limit > 0:
+		return fmt.Sprintf("limit:%d", rq.Limit)
+	}
+	return ""
 }
 
 // ResultKeyFor resolves a request to the result-cache key the serving path
@@ -754,10 +893,29 @@ func (s *Server) handle(ctx context.Context, req Request, prefetch bool) (*Respo
 		switch rkey.Kind {
 		case VizScatter:
 			resp.Points = res.Points
+		case VizCount:
+			v := res.AggValue
+			if !res.HasAgg {
+				// Exact and row-level-sampled paths: the (possibly scaled)
+				// matched-row estimate. Reservoirs report matched/K · K ==
+				// the exact matched count.
+				v = res.Weight * float64(len(res.RowIDs))
+				if res.MatchedRows > 0 {
+					v = float64(res.MatchedRows)
+				}
+			}
+			resp.Value = &v
+		case VizDistinct:
+			v := res.AggValue
+			if !res.HasAgg {
+				v = float64(engine.DistinctWordsExact(s.table, res.RowIDs, s.textCol))
+			}
+			resp.Value = &v
 		default:
 			grid := viz.NewGrid(rkey.Region, rkey.GridW, rkey.GridH)
 			resp.Bins = grid.Counts(res.Points, res.Weight)
 		}
+		annotateApprox(resp, p, res)
 		return resp, nil
 	}()
 	if err != nil {
@@ -867,6 +1025,52 @@ func (s *Server) noteOutcome(resp *Response) {
 	if !resp.Trace.Viable {
 		s.metrics.budgetViolations.Add(1)
 	}
+	if resp.Approximate {
+		s.metrics.approxServed.Add(1)
+	}
+}
+
+// annotateApprox stamps an executed response with its approximation
+// contract. Exact executions (empty fingerprint) are left untouched, so
+// their encoded bytes cannot change.
+func annotateApprox(resp *Response, p planned, res *engine.Result) {
+	if p.rkey.Approx == "" {
+		return
+	}
+	resp.Approximate = true
+	meta := &ApproxMeta{Fingerprint: p.rkey.Approx}
+	switch p.rq.Approx.Method {
+	case engine.ApproxRows:
+		meta.Method = "rows"
+		meta.Bound = "two-sided"
+		meta.Confidence = 0.95
+		meta.CIHalfWidth = engine.SampleCountCI(res.SampledRows, p.rq.Approx.Rate, 1.96)
+	case engine.ApproxReservoir:
+		// The matched count is exact; only per-cell values are scaled.
+		meta.Method = "reservoir"
+		meta.Bound = "exact-count"
+	case engine.ApproxSketchCount:
+		meta.Method = "cms"
+		meta.Bound = "overestimate"
+		meta.CIHalfWidth = res.AggBound
+	case engine.ApproxSketchDistinct:
+		meta.Method = "hll"
+		meta.Bound = "two-sided"
+		meta.Confidence = 0.95
+		meta.CIHalfWidth = res.AggBound
+	default:
+		switch {
+		case p.rq.SamplePercent > 0:
+			meta.Method = "sample"
+			meta.Bound = "two-sided"
+			meta.Confidence = 0.95
+			meta.CIHalfWidth = engine.SampleCountCI(len(res.RowIDs), float64(p.rq.SamplePercent)/100, 1.96)
+		case p.rq.Limit > 0:
+			meta.Method = "limit"
+			meta.Bound = "truncation"
+		}
+	}
+	resp.Approx = meta
 }
 
 func (s *Server) regionOrExtent(req Request) engine.Rect {

@@ -33,6 +33,13 @@ type ResultKey struct {
 	// stop being addressed. See docs/ARCHITECTURE.md, "Data versions &
 	// staleness".
 	DataVersion uint64 `json:"data_version"`
+	// Approx is the fidelity fingerprint of the rewrite option that produced
+	// the result: empty for exact answers, else a (method, parameters, seed)
+	// tag (see approxTag). It keeps approximate entries from ever being
+	// addressed by exact requests — the rewritten SQL already differs, but
+	// the explicit tag lets subsumption, single-flight, and the cluster peer
+	// protocol refuse cross-fidelity traffic without parsing SQL.
+	Approx string `json:"approx,omitempty"`
 }
 
 // Hash spreads a result key over shards (and, in internal/cluster, over the
@@ -49,6 +56,11 @@ func (k ResultKey) Hash() uint64 {
 	h = mixShard(h, math.Float64bits(k.Region.MaxLat))
 	h = mixShard(h, math.Float64bits(k.Budget))
 	h = mixShard(h, k.DataVersion)
+	if k.Approx != "" {
+		// Mixed only when set, so every exact key hashes — and shards, and
+		// routes — exactly as it did before the approximate tier existed.
+		h = mixShard(h, fnv64(k.Approx))
+	}
 	return h
 }
 
